@@ -1,0 +1,56 @@
+"""Ablation benchmarks for design choices the paper fixes.
+
+Not paper figures — these quantify the sensitivity of the paper's
+conclusions to its fixed knobs: LRU replacement, the latency-server
+flash model, and the free FTL (DESIGN.md §7).
+"""
+
+from repro.experiments import ablations
+
+from conftest import run_experiment
+
+
+def test_ablation_eviction_policy(benchmark):
+    result = run_experiment(benchmark, ablations.eviction_policy)
+    by_policy = {row["policy"]: row for row in result.rows}
+
+    # CLOCK approximates LRU closely on this workload.
+    assert by_policy["clock"]["read60_us"] < 1.25 * by_policy["lru"]["read60_us"]
+
+    # No policy changes the paper's conclusions: flash still provides a
+    # high hit rate under every policy.
+    for row in result.rows:
+        assert row["flash_hit60"] > 0.5
+
+
+def test_ablation_flash_parallelism(benchmark):
+    result = run_experiment(benchmark, ablations.flash_parallelism)
+    by_level = {row["parallelism"]: row for row in result.rows}
+
+    # Bounded parallelism can only slow things down.
+    assert by_level["1"]["read_us"] >= by_level["unlimited"]["read_us"] * 0.95
+
+    # Eight channels (matching the eight threads) is close to unlimited.
+    assert by_level["8"]["read_us"] < 1.15 * by_level["unlimited"]["read_us"]
+
+
+def test_ablation_ftl_cost(benchmark):
+    result = run_experiment(benchmark, ablations.ftl_cost)
+    free = next(r for r in result.rows if r["ftl"].startswith("free"))
+    modeled = [r for r in result.rows if not r["ftl"].startswith("free")]
+
+    # The free-FTL assumption reports WA exactly 1.
+    assert free["write_amplification"] == 1.0
+
+    for row in modeled:
+        # GC is real but bounded on a TRIM-friendly cache workload.
+        assert 1.0 <= row["write_amplification"] < 4.0
+        # The application barely notices: flash writes are off the
+        # critical path under the baseline policies.
+        assert row["write_us"] < 4.0 * max(free["write_us"], 0.5)
+        # ... and reads shift only mildly (GC time steals device time).
+        assert row["read_us"] < 1.3 * free["read_us"]
+
+    # More overprovisioning lowers write amplification.
+    was = [r["write_amplification"] for r in modeled]
+    assert was == sorted(was, reverse=True)

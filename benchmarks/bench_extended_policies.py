@@ -1,0 +1,33 @@
+"""Extension bench: trickle and delayed writeback policies (§3.6).
+
+Verifies the paper's extrapolation that "more elaborate policies"
+would have performed identically to the simple asynchronous/periodic
+ones — i.e. everything but synchronous-to-filer lands in one flat band.
+"""
+
+from repro.experiments import extended_policies
+
+from conftest import run_experiment
+
+
+def test_extended_policies_match_the_flat_band(benchmark):
+    result = run_experiment(benchmark, extended_policies.run)
+    by_policy = {row["ram_policy"]: row for row in result.rows}
+
+    flat_band = [
+        row
+        for label, row in by_policy.items()
+        if label[0] in ("a", "p", "t", "d")
+    ]
+    assert len(flat_band) >= 4
+
+    # Writes: the whole band is at RAM speed.
+    for row in flat_band:
+        assert row["write_us"] < 2.0, "%s should write at RAM speed" % row["ram_policy"]
+
+    # Reads: the band is flat (within noise of each other).
+    reads = [row["read_us"] for row in flat_band]
+    assert max(reads) < 1.25 * min(reads)
+
+    # The synchronous policy stands out exactly as in Figure 2.
+    assert by_policy["s"]["write_us"] > 10 * max(r["write_us"] for r in flat_band)

@@ -1,0 +1,70 @@
+"""Extension benches: recovery cost (§7.8's gap), the post-restart
+latency timeline, and host-count scaling (§3.8's open scalability
+question)."""
+
+from repro.experiments import multihost, recovery, recovery_timeline
+
+from conftest import run_experiment
+
+
+def test_recovery_scan_sweep(benchmark):
+    result = run_experiment(benchmark, recovery.run)
+    by_restart = {row["restart"]: row for row in result.rows}
+
+    volatile = by_restart["volatile crash"]
+    instant = by_restart["persistent scan=0us"]
+
+    # Recovering a warm cache for free clearly beats losing it.
+    assert instant["read_us"] < volatile["read_us"]
+    assert instant["filer_reads"] < volatile["filer_reads"]
+
+    # Recovery cost is monotone in the scan time (up to sampling noise;
+    # very slow scans saturate once the flash never comes back online
+    # within the run, so consecutive points may coincide).
+    scans = [row for row in result.rows if row["restart"].startswith("persistent")]
+    reads = [row["read_us"] for row in scans]
+    for earlier, later in zip(reads, reads[1:]):
+        assert later >= earlier * 0.97
+
+    # A sufficiently slow scan erodes the benefit toward (or past) the
+    # volatile crash: the extension's headline finding.
+    assert scans[-1]["read_us"] > instant["read_us"] * 1.05
+
+
+def test_recovery_timeline(benchmark):
+    result = run_experiment(benchmark, recovery_timeline.run)
+    rows = [row for row in result.rows if row["warm_us"] > 0]
+    assert len(rows) >= 5
+
+    early = rows[0]
+    # Right after the restart, both damaged configurations sit far
+    # above the warm baseline (filer-latency regime).
+    assert early["cold_us"] > 2.0 * early["warm_us"]
+    assert early["recovering_us"] > 2.0 * early["warm_us"]
+
+    # By mid-run the recovering cache has snapped back to the warm
+    # level while the cold cache is still refilling.
+    midpoint = rows[len(rows) // 2]
+    assert midpoint["recovering_us"] < 2.0 * midpoint["warm_us"]
+
+    # Integrated over the run, recovering beats cold.
+    cold_total = sum(row["cold_us"] for row in rows)
+    recovering_total = sum(row["recovering_us"] for row in rows)
+    assert recovering_total < cold_total
+
+
+def test_multihost_scaling(benchmark):
+    result = run_experiment(benchmark, multihost.run)
+    rows = result.rows
+
+    # One host needs no invalidations.
+    assert rows[0]["hosts"] == 1
+    assert rows[0]["inval_pct"] == 0.0
+
+    # Invalidation pressure grows with the host count.
+    inval = [row["inval_pct"] for row in rows]
+    assert inval[-1] > inval[1] > inval[0]
+
+    # The invalidation refetches surface as filer reads per shared
+    # working set: more hosts, more refetch traffic.
+    assert rows[-1]["filer_reads"] > rows[0]["filer_reads"]

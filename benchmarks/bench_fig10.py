@@ -1,0 +1,46 @@
+"""Figure 10 — the effect of flash cache persistence.
+
+Paper shape: the doubled flash write latency of a persistent cache is
+invisible to the application; losing the warm cache (cold start) is
+expensive wherever the flash was doing work; both flash curves beat
+no-flash.
+"""
+
+import pytest
+
+from repro.experiments import figure10
+
+from conftest import FAST, run_experiment
+
+
+def test_figure10_persistence(benchmark):
+    result = run_experiment(benchmark, figure10.run)
+
+    for row in result.rows:
+        # Warm flash beats cold flash wherever the cache matters (give
+        # the tiny 5 GB point a pass: RAM alone covers it).
+        if 20.0 <= row["ws_gb"] <= 320.0:
+            assert row["flash_warm_us"] < row["flash_cold_us"]
+        # Both beat no flash for cache-sized working sets.
+        if 20.0 <= row["ws_gb"] <= 80.0:
+            assert row["flash_warm_us"] < row["noflash_warm_us"]
+
+    # The penalty of crashing (cold start) is largest where the WS fits
+    # in flash.
+    by_ws = {row["ws_gb"]: row for row in result.rows}
+    fits = by_ws[60.0]
+    assert fits["flash_cold_us"] > 1.3 * fits["flash_warm_us"]
+
+
+def test_figure10_persistence_cost_is_invisible(benchmark):
+    plain, persistent = benchmark.pedantic(
+        figure10.persistence_cost, rounds=1, iterations=1
+    )
+    # Doubling the flash write latency does not reach the application:
+    # writes land in RAM, and flash writes happen in the background.
+    assert persistent.write_latency_us == pytest.approx(
+        plain.write_latency_us, rel=0.05
+    )
+    assert persistent.read_latency_us == pytest.approx(
+        plain.read_latency_us, rel=0.20
+    )

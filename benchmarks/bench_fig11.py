@@ -1,0 +1,31 @@
+"""Figure 11 — invalidations and read latency vs. write percentage
+(two hosts sharing one working set).
+
+Paper shape: with the 64 GB flash the fraction of writes requiring
+invalidation is much higher than RAM-only (the big cache keeps shared
+blocks alive); read latency rises with the invalidation rate because
+invalidated blocks must be refetched from the filer.
+"""
+
+from repro.experiments import figure11
+
+from conftest import run_experiment
+
+
+def test_figure11_invalidations_vs_write_ratio(benchmark):
+    result = run_experiment(benchmark, figure11.run)
+
+    for row in result.rows:
+        # The flash cache sees at least as many invalidations as the
+        # RAM-only configuration, for both working sets.
+        assert row["inval_flash80_pct"] >= row["inval_noflash80_pct"]
+        assert row["inval_flash60_pct"] >= row["inval_noflash60_pct"]
+        # Invalidation percentages are substantial with flash.
+        assert row["inval_flash60_pct"] > 10.0
+
+    # Sharing hurts reads: the with-flash read latency at high write
+    # ratios is no better than at low ones (invalidation refetches).
+    low = result.rows[0]
+    high = result.rows[-1]
+    assert high["read_flash80_us"] > 0
+    assert low["inval_flash80_pct"] > 0

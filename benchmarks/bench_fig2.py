@@ -1,0 +1,64 @@
+"""Figure 2 — 49 writeback-policy combinations x 3 architectures.
+
+Paper shape (§7.1): the latency surface is flat except where policies
+expose synchronous filer writes; the unified architecture has the
+lowest read latencies (larger effective capacity) while naive and
+lookaside write at RAM speed and unified writes at ~8/9 of the flash
+write latency.
+"""
+
+import statistics
+
+from repro.experiments import figure2
+
+from conftest import run_experiment
+
+
+def rows_for(result, arch):
+    return [row for row in result.rows if row["arch"] == arch]
+
+
+def row(result, arch, ram, flash):
+    return next(
+        r
+        for r in rows_for(result, arch)
+        if r["ram_policy"] == ram and r["flash_policy"] == flash
+    )
+
+
+def test_figure2_policy_grid(benchmark):
+    result = run_experiment(benchmark, figure2.run)
+
+    # --- writeback policy does not matter, excepting combinations that
+    # result in synchronous writes to the filer: RAM policy "s" chains,
+    # flash policy "s" (the syncer's filer writes convoy) and "n"
+    # (dirty-eviction convoys once the flash fills) ---
+    benign_policies = ("a", "p1", "p5", "p15", "p30")
+    for arch in ("naive", "lookaside"):
+        benign = [
+            r["write_us"]
+            for r in rows_for(result, arch)
+            if r["ram_policy"] in benign_policies
+            and r["flash_policy"] in benign_policies
+        ]
+        # All benign combinations write at RAM speed.
+        assert max(benign) < 5.0, "%s benign writes should be ~0.4 us" % arch
+        # The fully synchronous chain is orders of magnitude slower.
+        ss = row(result, arch, "s", "s")
+        assert ss["write_us"] > 20 * max(benign)
+
+    # --- read latencies are flat across policies within an arch ---
+    for arch in ("naive", "lookaside", "unified"):
+        reads = [r["read_us"] for r in rows_for(result, arch)]
+        assert max(reads) < 1.5 * statistics.median(reads)
+
+    # --- unified reads lowest on the 80 GB working set ---
+    unified_reads = statistics.median(r["read_us"] for r in rows_for(result, "unified"))
+    naive_reads = statistics.median(r["read_us"] for r in rows_for(result, "naive"))
+    assert unified_reads < naive_reads * 1.02
+
+    # --- naive/lookaside writes lowest; unified pays ~8/9 flash write ---
+    unified_aa = row(result, "unified", "a", "a")
+    naive_aa = row(result, "naive", "a", "a")
+    assert naive_aa["write_us"] < 1.0
+    assert 8.0 < unified_aa["write_us"] < 35.0  # ~8/9 * 21 us plus noise

@@ -1,0 +1,32 @@
+"""Figure 3 — effective cache size (structure vs. medium latency).
+
+Paper shape: the RAM-speed naive 8+64 and RAM-speed unified 8+56 curves
+coincide (equal effective capacity); the real-flash curve sits above
+them by the flash medium's latency and converges to them at both ends
+(tiny working sets hit RAM, huge ones miss everything).
+"""
+
+import pytest
+
+from repro.experiments import figure3
+
+from conftest import run_experiment
+
+
+def test_figure3_effective_cache_size(benchmark):
+    result = run_experiment(benchmark, figure3.run)
+
+    for row in result.rows:
+        # Equal effective capacity: the two pretend-RAM curves track
+        # each other closely at every working-set size.
+        assert row["naive_ramspeed_us"] == pytest.approx(
+            row["unified_56_ramspeed_us"], rel=0.25
+        )
+        # The real flash is never meaningfully faster than the same
+        # structure at RAM speed.
+        assert row["naive_flash_us"] >= row["naive_ramspeed_us"] * 0.9
+
+    # The medium-latency gap is visible where the flash absorbs most
+    # hits (working sets around the flash size).
+    mid = [r for r in result.rows if 40.0 <= r["ws_gb"] <= 80.0]
+    assert any(r["naive_flash_us"] > r["naive_ramspeed_us"] * 1.08 for r in mid)

@@ -1,0 +1,35 @@
+"""Figure 4 — read latency vs. working-set size across flash sizes.
+
+Paper shape: no-flash worst everywhere and plateauing around the filer
+miss cost; bigger flash strictly better; the flash's advantage is
+dramatic while the working set fits and persists (smaller) far beyond.
+"""
+
+from repro.experiments import figure4
+
+from conftest import run_experiment
+
+
+def test_figure4_flash_vs_no_flash(benchmark):
+    result = run_experiment(benchmark, figure4.run)
+    by_ws = {row["ws_gb"]: row for row in result.rows}
+
+    # Ordering: noflash >= 32 >= 64 >= 128 at every working-set size
+    # (small tolerance for sampling noise in which filer reads are slow).
+    for row in result.rows:
+        assert row["noflash_us"] >= row["flash32_us"] * 0.9
+        assert row["flash32_us"] >= row["flash64_us"] * 0.9
+        assert row["flash64_us"] >= row["flash128_us"] * 0.9
+
+    # Dramatic improvement while the WS fits in flash: at 60 GB the
+    # 64 GB flash wins by at least 2x over no flash.
+    fits = by_ws[60.0]
+    assert fits["noflash_us"] > 2.0 * fits["flash64_us"]
+
+    # The flash still helps when the WS far exceeds it (320 GB).
+    huge = by_ws[320.0]
+    assert huge["noflash_us"] > 1.1 * huge["flash64_us"]
+
+    # The no-flash curve saturates: growing the WS stops hurting once
+    # nothing fits anyway.
+    assert by_ws[320.0]["noflash_us"] < 1.3 * by_ws[80.0]["noflash_us"]

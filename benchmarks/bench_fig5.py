@@ -1,0 +1,31 @@
+"""Figure 5 — filer prefetch-rate sensitivity.
+
+Paper shape: the prefetch rate dominates application read latency; a
+flash cache at a pessimal 80% prefetch rate can be *worse* than no
+flash at an optimistic 95% — except in the pocket where the working set
+fits in flash but not in RAM.
+"""
+
+from repro.experiments import figure5
+
+from conftest import run_experiment
+
+
+def test_figure5_prefetch_sensitivity(benchmark):
+    result = run_experiment(benchmark, figure5.run)
+    by_ws = {row["ws_gb"]: row for row in result.rows}
+
+    # Within each configuration, 80% prefetch is always worse than 95%.
+    for row in result.rows:
+        assert row["noflash_p80_us"] > row["noflash_p95_us"]
+        assert row["flash64_p80_us"] > row["flash64_p95_us"]
+
+    # The pocket: where the WS fits in flash (60 GB), even pessimal
+    # prefetch with flash beats optimistic prefetch without it.
+    pocket = by_ws[60.0]
+    assert pocket["flash64_p80_us"] < pocket["noflash_p95_us"]
+
+    # Out of the pocket (way beyond flash), the pessimal-with-flash
+    # curve rises above the optimistic no-flash one.
+    out = by_ws[320.0]
+    assert out["flash64_p80_us"] > out["noflash_p95_us"]

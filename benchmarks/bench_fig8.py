@@ -1,0 +1,39 @@
+"""Figure 8 — latency vs. write percentage.
+
+Paper shape: read latency stable across write ratios; write latency at
+RAM speed until very high write rates, where the RAM syncer falls
+behind and synchronous evictions expose the flash write latency.
+"""
+
+from repro.experiments import figure8
+
+from conftest import run_experiment
+
+
+def test_figure8_write_ratio(benchmark):
+    result = run_experiment(benchmark, figure8.run)
+    by_pct = {row["write_pct"]: row for row in result.rows}
+
+    moderate = [row for row in result.rows if 0 < row["write_pct"] <= 60]
+    low = [row for row in result.rows if 0 < row["write_pct"] <= 30]
+
+    # Read latency is stable in the low-to-moderate range.  (Known
+    # scale deviation, recorded in EXPERIMENTS.md: beyond ~50% writes
+    # the scaled runs start queueing read requests behind writeback
+    # data on the host->filer wire earlier than the paper's full-scale
+    # runs do.)
+    for ws in ("60", "80"):
+        reads = [row["read%s_us" % ws] for row in low]
+        assert max(reads) < 1.5 * min(reads)
+        all_moderate = [row["read%s_us" % ws] for row in moderate]
+        assert max(all_moderate) < 2.5 * min(all_moderate)
+
+    # Write latency stays near RAM speed through the moderate range.
+    for row in moderate:
+        assert row["write60_us"] < 5.0
+        assert row["write80_us"] < 5.0
+
+    # At 90% writes the syncer starts to fall behind: write latency is
+    # no better than in the moderate range.
+    if 90 in by_pct:
+        assert by_pct[90]["write60_us"] >= min(r["write60_us"] for r in moderate)

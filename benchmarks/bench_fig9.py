@@ -1,0 +1,38 @@
+"""Figure 9 — read latency vs. flash device timing.
+
+Paper shape: application latency scales with the flash latency wherever
+the flash is exposed (so faster flash — down to PCM-like timing — is
+directly visible); the 60 GB curves lie below the 80 GB curves; when
+the working set falls out of flash the unified architecture's larger
+effective capacity shows.
+"""
+
+from repro.experiments import figure9
+
+from conftest import run_experiment
+
+
+def test_figure9_flash_timing(benchmark):
+    result = run_experiment(benchmark, figure9.run)
+    fastest = result.rows[0]
+    slowest = result.rows[-1]
+
+    # Every architecture/working-set combination speeds up with faster
+    # flash.
+    for column in result.columns:
+        if column == "flash_read_us":
+            continue
+        assert fastest[column] < slowest[column]
+
+    # The 60 GB working set (fits in flash) is faster than the 80 GB
+    # one for the same architecture at the paper's default timing.
+    assert slowest["naive60_us"] < slowest["naive80_us"]
+    assert slowest["lookaside60_us"] < slowest["lookaside80_us"]
+
+    # Rough linearity: the latency increase from the fastest to the
+    # slowest flash is of the same order as the flash-read increase
+    # times the flash hit share — i.e. clearly nonzero but bounded by
+    # the raw timing delta.
+    delta_device = slowest["flash_read_us"] - fastest["flash_read_us"]
+    delta_app = slowest["naive60_us"] - fastest["naive60_us"]
+    assert 0 < delta_app < 1.5 * delta_device

@@ -1,0 +1,35 @@
+"""Extension bench: the §3.2 placement question, answered.
+
+"We would also like to estimate how much better (if at all) an
+alternate placement scheme performs" — the exclusive migration stack is
+that scheme; this bench quantifies it against naive and unified.
+"""
+
+from repro.experiments import placement
+
+from conftest import run_experiment
+
+
+def test_placement_ablation(benchmark):
+    result = run_experiment(benchmark, placement.run)
+
+    for row in result.rows:
+        # Exclusive keeps RAM-speed writes (unified does not).
+        assert row["exclusive_write_us"] < 5.0
+        assert row["unified_write_us"] > row["exclusive_write_us"]
+
+        # Migration costs flash traffic the naive placement avoids...
+        if row["ws_gb"] >= 20.0:
+            assert row["exclusive_flash_writes"] > 0
+
+    # ... and buys read latency where effective capacity matters: when
+    # the working set overflows the flash (80 GB+), exclusive reads are
+    # no worse than naive's.
+    overflow = [r for r in result.rows if 80.0 <= r["ws_gb"] <= 320.0]
+    assert overflow, "sweep must include overflow working sets"
+    for row in overflow:
+        assert row["exclusive_read_us"] <= row["naive_read_us"] * 1.10
+
+    # Exclusive is competitive with unified on reads while winning writes.
+    for row in overflow:
+        assert row["exclusive_read_us"] <= row["unified_read_us"] * 1.15

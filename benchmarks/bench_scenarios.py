@@ -1,0 +1,32 @@
+"""Extension bench: do the paper's motivating workloads (§1) actually
+benefit from client flash — and which ones?"""
+
+from repro.experiments import scenarios
+
+from conftest import run_experiment
+
+
+def test_motivating_scenarios(benchmark):
+    result = run_experiment(benchmark, scenarios.run)
+    by_name = {row["scenario"]: row for row in result.rows}
+
+    # Writes land in RAM for every scenario (the §7.1 conclusion
+    # generalizes across workload shapes).
+    for row in result.rows:
+        assert row["flash_write_us"] < 2.0
+
+    # The skewed random-read web workload benefits most; the streaming
+    # render workload benefits least (its sequential sweeps defeat an
+    # LRU cache smaller than the asset set, and the filer's prefetcher
+    # already serves it well).
+    assert by_name["web_app"]["read_speedup"] > by_name["render_farm"]["read_speedup"]
+    assert by_name["web_app"]["read_speedup"] > 1.2
+    assert by_name["web_app"]["flash_hit_pct"] > 25.0
+
+    # No scenario is actively hurt.
+    for row in result.rows:
+        assert row["read_speedup"] > 0.95
+
+    # The checkpointing scientific workload also gains: its dataset
+    # re-reads hit the flash between checkpoint bursts.
+    assert by_name["scientific"]["read_speedup"] > 1.1

@@ -1,0 +1,42 @@
+"""§7.4's omitted graphs, regenerated, plus the §3.8 consistency-traffic
+extension."""
+
+from repro.experiments import consistency_traffic, section74
+
+from conftest import run_experiment
+
+
+def test_section74_cache_size_sweep(benchmark):
+    result = run_experiment(benchmark, section74.run)
+    by_size = {row["flash_gb"]: row for row in result.rows}
+
+    # Latency decreases with flash size for both working sets...
+    for label in ("read60_us", "read80_us"):
+        series = [row[label] for row in result.rows]
+        for earlier, later in zip(series, series[1:]):
+            assert later <= earlier * 1.1
+
+    # ... until the cache captures the working set, then plateaus: the
+    # 60 GB curve gains almost nothing past 64 GB.
+    assert by_size[64.0]["read60_us"] < 1.25 * by_size[128.0]["read60_us"]
+    # While the 80 GB curve is still improving from 32 to 64.
+    assert by_size[32.0]["read80_us"] > 1.3 * by_size[64.0]["read80_us"]
+
+    # Hit rates saturate at the plateau.
+    assert by_size[64.0]["hit60_pct"] > 75.0
+
+
+def test_consistency_traffic_overhead(benchmark):
+    result = run_experiment(benchmark, consistency_traffic.run)
+
+    for row in result.rows:
+        # Modeling the traffic can only add latency...
+        assert row["read_modeled_us"] >= row["read_counted_us"] * 0.99
+        # ... but the minimal protocol costs single-digit percent:
+        # the paper's count-only simplification did not hide a large
+        # effect.
+        assert row["overhead_pct"] < 10.0
+
+    assert any(row["overhead_pct"] > 0.3 for row in result.rows), (
+        "the traffic should be measurable somewhere in the grid"
+    )

@@ -1,0 +1,28 @@
+"""Extension bench: the §4 robustness claim the paper states without
+data — conclusions hold across working-set fractions and thread counts."""
+
+from repro.experiments import sensitivity
+
+from conftest import run_experiment
+
+
+def test_sensitivity_grid(benchmark):
+    result = run_experiment(benchmark, sensitivity.run)
+
+    wins = [row["flash_win"] for row in result.rows]
+
+    # The flash wins at every grid point...
+    for row in result.rows:
+        assert row["flash_win"] > 1.5, (
+            "flash should clearly win at ws_fraction=%s threads=%s"
+            % (row["ws_fraction"], row["threads"])
+        )
+        # ... and writes stay at RAM speed everywhere.
+        assert row["flash_write_us"] < 2.0
+
+    # The win's magnitude is stable: no grid point collapses the
+    # conclusion (within a factor of ~2 of the median win).
+    wins_sorted = sorted(wins)
+    median_win = wins_sorted[len(wins_sorted) // 2]
+    assert min(wins) > median_win / 2
+    assert max(wins) < median_win * 2

@@ -1,0 +1,16 @@
+"""Table 1 — Timing Model Parameters (rendered from the defaults)."""
+
+from repro.experiments import table1
+
+from conftest import run_experiment
+
+
+def test_table1_timing_model(benchmark):
+    result = run_experiment(benchmark, table1.run)
+    values = {row["parameter"]: row["value"] for row in result.rows}
+    assert values["RAM read"] == "400 ns / 4K block"
+    assert values["Flash read"] == "88.0 us / 4K block"
+    assert values["Flash write"] == "21.0 us / 4K block"
+    assert values["Network base latency"] == "8.2 us / packet"
+    assert values["File server slow read"] == "7952.0 us / 4K block"
+    assert values["File server fast read rate"] == "90%"

@@ -1,0 +1,52 @@
+"""Shared infrastructure for the figure-regeneration benchmarks.
+
+Every benchmark regenerates one of the paper's tables/figures at scaled
+geometry (see ``repro.experiments.common``), prints the series, saves it
+under ``benchmarks/results/``, and asserts the paper's qualitative
+shape.  Set ``REPRO_BENCH_FULL=1`` for the full sweeps (several minutes)
+instead of the reduced default ones.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+#: Full sweeps when REPRO_BENCH_FULL=1; reduced (fast) sweeps otherwise.
+FAST = os.environ.get("REPRO_BENCH_FULL", "0") != "1"
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def save_result(result) -> None:
+    """Persist the rendered table (and, when the first column is
+    numeric, an ASCII chart of the series) next to the benchmarks."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / ("%s.txt" % result.experiment)
+    content = result.format_table()
+    if result.notes:
+        content += "\nnotes: %s" % result.notes
+    try:
+        from repro.report.markdown import results_chart
+
+        content += "\n\n" + results_chart(result, result.columns[0])
+    except Exception:
+        pass  # non-numeric axes (e.g. table1) simply skip the chart
+    path.write_text(content + "\n", encoding="utf-8")
+
+
+def run_experiment(benchmark, run_fn, **kwargs):
+    """Run one experiment exactly once under pytest-benchmark timing."""
+    kwargs.setdefault("fast", FAST)
+    result = benchmark.pedantic(lambda: run_fn(**kwargs), rounds=1, iterations=1)
+    print()
+    print(result.format_table())
+    save_result(result)
+    return result
+
+
+@pytest.fixture(autouse=True)
+def _quiet_cache_warnings():
+    yield

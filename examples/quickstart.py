@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Quickstart: generate a synthetic workload, simulate a client-side
+flash cache, and compare it against a RAM-only client.
+
+This is the paper's elevator pitch in ~40 lines: a compute server
+("host") with 1 MB of RAM available for file caching gains a lot from
+putting an 8 MB flash cache under it, because the alternative is the
+networked file server — fast when its prefetcher wins, milliseconds
+when it does not.
+
+(Sizes here are megabytes rather than the paper's gigabytes purely so
+the example runs in seconds; every latency constant is the paper's.)
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import MB, SimConfig, run_simulation
+from repro.tracegen import TraceGenConfig, generate_trace
+
+
+def main() -> None:
+    # 1. A workload: an 8 MB working set over a 64 MB file server,
+    #    eight application threads, 30% writes (the paper's baseline mix).
+    trace = generate_trace(TraceGenConfig.small_example())
+    print("workload: %d I/O records, %.1f MB of data\n" % (len(trace), trace.total_bytes / MB))
+
+    # 2. A client with a flash cache (the paper's "naive" architecture:
+    #    flash as an independent tier under the RAM cache).
+    with_flash = SimConfig(ram_bytes=1 * MB, flash_bytes=8 * MB)
+    flash_results = run_simulation(trace, with_flash)
+
+    # 3. The same client without flash.
+    ram_only = SimConfig(ram_bytes=1 * MB, flash_bytes=0)
+    ram_results = run_simulation(trace, ram_only)
+
+    # 4. Compare what the application sees.
+    print("with 8 MB flash cache:")
+    print(flash_results.summary())
+    print()
+    print("RAM only:")
+    print(ram_results.summary())
+    print()
+    speedup = ram_results.read_latency_us / flash_results.read_latency_us
+    print("flash cache read speedup: %.1fx" % speedup)
+
+
+if __name__ == "__main__":
+    main()

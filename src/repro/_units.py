@@ -1,0 +1,80 @@
+"""Time and size units used throughout the simulator.
+
+The paper's simulator works in integer multiples of 100 ns; ours keeps
+every timestamp and latency as an integer count of *nanoseconds*, which
+is both exact and cheap.  Sizes are integer bytes; cache capacities and
+I/O extents are expressed in 4 KB blocks (the paper's block size).
+"""
+
+from __future__ import annotations
+
+# --- time units (integer nanoseconds) -----------------------------------
+
+NS = 1
+US = 1_000 * NS
+MS = 1_000 * US
+SECOND = 1_000 * MS
+
+# --- size units (integer bytes) ------------------------------------------
+
+KB = 1_024
+MB = 1_024 * KB
+GB = 1_024 * MB
+TB = 1_024 * GB
+
+#: The paper's traces and caches use 4 KB blocks throughout.
+BLOCK_SIZE = 4 * KB
+
+
+def blocks_for_bytes(nbytes: int) -> int:
+    """Return the number of 4 KB blocks needed to hold ``nbytes``.
+
+    Rounds up, so any non-zero byte count occupies at least one block.
+
+    >>> blocks_for_bytes(1)
+    1
+    >>> blocks_for_bytes(8192)
+    2
+    """
+    if nbytes < 0:
+        raise ValueError("byte count must be non-negative, got %r" % (nbytes,))
+    return (nbytes + BLOCK_SIZE - 1) // BLOCK_SIZE
+
+
+def format_bytes(nbytes: int) -> str:
+    """Render a byte count with a binary-unit suffix, e.g. ``'64.0 GB'``.
+
+    >>> format_bytes(64 * GB)
+    '64.0 GB'
+    >>> format_bytes(512)
+    '512 B'
+    """
+    if nbytes < 0:
+        return "-" + format_bytes(-nbytes)
+    value = float(nbytes)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if value < 1024.0 or unit == "TB":
+            if unit == "B":
+                return "%d B" % nbytes
+            return "%.1f %s" % (value, unit)
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_time(ns: int) -> str:
+    """Render a nanosecond count with the most readable unit.
+
+    >>> format_time(400)
+    '400 ns'
+    >>> format_time(88_000)
+    '88.0 us'
+    """
+    if ns < 0:
+        return "-" + format_time(-ns)
+    if ns < US:
+        return "%d ns" % ns
+    if ns < MS:
+        return "%.1f us" % (ns / US)
+    if ns < SECOND:
+        return "%.3f ms" % (ns / MS)
+    return "%.3f s" % (ns / SECOND)

@@ -1,0 +1,60 @@
+"""Block identifiers and cache-entry records.
+
+A *block* is a 4 KB unit of file data.  Traces address blocks by
+``(file, offset)``; the trace layer flattens these to a single global
+integer block number (see :mod:`repro.traces.records`), so throughout
+the simulator a block id is just an ``int``.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Medium(enum.Enum):
+    """The physical medium backing a cache buffer.
+
+    Only the unified architecture mixes media inside one store; the
+    naive and lookaside architectures use one store per medium.
+    """
+
+    RAM = "ram"
+    FLASH = "flash"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class BlockEntry:
+    """Metadata for one cached block.
+
+    Attributes:
+        block:  global block number.
+        medium: which physical store holds the buffer.
+        dirty:  True when the cached copy is newer than the next tier.
+        pinned: True while the host stack forbids evicting this entry
+                (used to keep the RAM cache a subset of the flash cache
+                in the naive/lookaside architectures).
+    """
+
+    __slots__ = ("block", "medium", "dirty", "pinned")
+
+    def __init__(
+        self,
+        block: int,
+        medium: Medium = Medium.RAM,
+        dirty: bool = False,
+        pinned: bool = False,
+    ) -> None:
+        self.block = block
+        self.medium = medium
+        self.dirty = dirty
+        self.pinned = pinned
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flags = "".join(
+            flag
+            for flag, present in (("D", self.dirty), ("P", self.pinned))
+            if present
+        )
+        return "<BlockEntry %d %s %s>" % (self.block, self.medium, flags or "-")

@@ -1,0 +1,257 @@
+"""Eviction (replacement) policies for block stores.
+
+The paper fixes LRU ("we use LRU") and explicitly leaves replacement
+policy out of its design space; :class:`LRUPolicy` is therefore the
+default everywhere.  FIFO and CLOCK are provided for the ablation
+benchmarks that quantify how much the paper's conclusions depend on
+that choice.
+
+A policy tracks membership order only — the store owns the entries.
+All operations are O(1) amortized.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, Iterator, Optional
+
+from repro.errors import CacheError
+
+
+class EvictionPolicy:
+    """Interface: maintains an ordering over block keys.
+
+    Subclasses implement the four mutation hooks plus victim selection.
+    ``victim(skip)`` returns the best eviction candidate whose key does
+    not satisfy ``skip`` (used to honor pinned entries); it returns
+    ``None`` only when every tracked key is skipped.
+    """
+
+    def insert(self, key: int) -> None:
+        raise NotImplementedError
+
+    def touch(self, key: int) -> None:
+        raise NotImplementedError
+
+    def remove(self, key: int) -> None:
+        raise NotImplementedError
+
+    def victim(self, skip: Optional[Callable[[int], bool]] = None) -> Optional[int]:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator[int]:
+        """Iterate keys from eviction-candidate end to most-protected end."""
+        raise NotImplementedError
+
+
+class LRUPolicy(EvictionPolicy):
+    """Least-recently-used ordering — the paper's single LRU chain.
+
+    Built on :class:`collections.OrderedDict`: the front is the LRU end.
+    """
+
+    def __init__(self) -> None:
+        self._order: "OrderedDict[int, None]" = OrderedDict()
+
+    def insert(self, key: int) -> None:
+        if key in self._order:
+            raise CacheError("LRU insert of already-present key %d" % key)
+        self._order[key] = None
+
+    def touch(self, key: int) -> None:
+        self._order.move_to_end(key)
+
+    def remove(self, key: int) -> None:
+        del self._order[key]
+
+    def victim(self, skip: Optional[Callable[[int], bool]] = None) -> Optional[int]:
+        if skip is None:
+            return next(iter(self._order), None)
+        for key in self._order:
+            if not skip(key):
+                return key
+        return None
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._order)
+
+
+class FIFOPolicy(EvictionPolicy):
+    """First-in-first-out: insertion order, never reordered by touches."""
+
+    def __init__(self) -> None:
+        self._order: "OrderedDict[int, None]" = OrderedDict()
+
+    def insert(self, key: int) -> None:
+        if key in self._order:
+            raise CacheError("FIFO insert of already-present key %d" % key)
+        self._order[key] = None
+
+    def touch(self, key: int) -> None:
+        # FIFO ignores reuse.
+        if key not in self._order:
+            raise CacheError("FIFO touch of absent key %d" % key)
+
+    def remove(self, key: int) -> None:
+        del self._order[key]
+
+    def victim(self, skip: Optional[Callable[[int], bool]] = None) -> Optional[int]:
+        if skip is None:
+            return next(iter(self._order), None)
+        for key in self._order:
+            if not skip(key):
+                return key
+        return None
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._order)
+
+
+class ClockPolicy(EvictionPolicy):
+    """Second-chance (CLOCK) approximation of LRU.
+
+    Entries carry a reference bit set on touch.  Victim selection sweeps
+    a circular hand, clearing reference bits until it finds an entry
+    with the bit unset (and not skipped).
+    """
+
+    def __init__(self) -> None:
+        # OrderedDict as circular buffer: hand is the front.
+        self._refbit: "OrderedDict[int, bool]" = OrderedDict()
+
+    def insert(self, key: int) -> None:
+        if key in self._refbit:
+            raise CacheError("CLOCK insert of already-present key %d" % key)
+        self._refbit[key] = False
+
+    def touch(self, key: int) -> None:
+        self._refbit[key] = True
+
+    def remove(self, key: int) -> None:
+        del self._refbit[key]
+
+    def victim(self, skip: Optional[Callable[[int], bool]] = None) -> Optional[int]:
+        if not self._refbit:
+            return None
+        # Two sweeps suffice: the first clears reference bits.
+        for _sweep in range(2):
+            for _ in range(len(self._refbit)):
+                key, referenced = next(iter(self._refbit.items()))
+                if (skip is None or not skip(key)) and not referenced:
+                    return key
+                # Give a second chance (or skip a pinned entry) by
+                # rotating it to the back with the bit cleared.
+                self._refbit.move_to_end(key)
+                self._refbit[key] = False if not (skip and skip(key)) else referenced
+        # Everything was skipped.
+        return None
+
+    def __len__(self) -> int:
+        return len(self._refbit)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._refbit)
+
+
+class SLRUPolicy(EvictionPolicy):
+    """Segmented LRU: a probationary and a protected segment.
+
+    New keys enter the probationary segment; a hit promotes a key to
+    the protected segment (demoting the protected LRU back to the
+    probationary MRU when the protected segment is full).  Victims come
+    from the probationary LRU end first.  Scan-resistant: a one-pass
+    sweep never displaces the protected set.
+
+    ``protected_capacity`` bounds the protected segment; the store
+    passes a fraction of its capacity via :func:`make_policy`.
+    """
+
+    def __init__(self, protected_capacity: int = 64) -> None:
+        if protected_capacity < 1:
+            raise CacheError("protected capacity must be >= 1")
+        self.protected_capacity = protected_capacity
+        self._probation: "OrderedDict[int, None]" = OrderedDict()
+        self._protected: "OrderedDict[int, None]" = OrderedDict()
+
+    def insert(self, key: int) -> None:
+        if key in self._probation or key in self._protected:
+            raise CacheError("SLRU insert of already-present key %d" % key)
+        self._probation[key] = None
+
+    def touch(self, key: int) -> None:
+        if key in self._protected:
+            self._protected.move_to_end(key)
+            return
+        if key not in self._probation:
+            raise CacheError("SLRU touch of absent key %d" % key)
+        del self._probation[key]
+        self._protected[key] = None
+        while len(self._protected) > self.protected_capacity:
+            demoted, _ = self._protected.popitem(last=False)
+            self._probation[demoted] = None  # back as probationary MRU
+
+    def remove(self, key: int) -> None:
+        if key in self._probation:
+            del self._probation[key]
+        else:
+            del self._protected[key]
+
+    def victim(self, skip: Optional[Callable[[int], bool]] = None) -> Optional[int]:
+        for segment in (self._probation, self._protected):
+            for key in segment:
+                if skip is None or not skip(key):
+                    return key
+        return None
+
+    def __len__(self) -> int:
+        return len(self._probation) + len(self._protected)
+
+    def __iter__(self) -> Iterator[int]:
+        yield from self._probation
+        yield from self._protected
+
+
+def make_policy(name: str, capacity_blocks: int = 0) -> EvictionPolicy:
+    """Construct an eviction policy from its name.
+
+    Names: ``lru``, ``fifo``, ``clock``, ``slru`` (80 % protected), or
+    ``slru:<fraction>`` with an explicit protected fraction.  The
+    store's ``capacity_blocks`` sizes SLRU's protected segment.
+
+    >>> type(make_policy("lru")).__name__
+    'LRUPolicy'
+    """
+    lowered = name.lower()
+    if lowered.startswith("slru"):
+        fraction = 0.8
+        if ":" in lowered:
+            try:
+                fraction = float(lowered.split(":", 1)[1])
+            except ValueError:
+                raise CacheError("bad SLRU fraction in %r" % name) from None
+        if not 0.0 < fraction < 1.0:
+            raise CacheError("SLRU protected fraction must be in (0, 1)")
+        protected = max(1, int(capacity_blocks * fraction)) if capacity_blocks else 64
+        return SLRUPolicy(protected_capacity=protected)
+    factories: Dict[str, Callable[[], EvictionPolicy]] = {
+        "lru": LRUPolicy,
+        "fifo": FIFOPolicy,
+        "clock": ClockPolicy,
+    }
+    try:
+        factory = factories[lowered]
+    except KeyError:
+        raise CacheError(
+            "unknown eviction policy %r (choose from %s, slru[:fraction])"
+            % (name, ", ".join(sorted(factories)))
+        ) from None
+    return factory()

@@ -1,0 +1,78 @@
+"""Per-cache-store statistics.
+
+Counts are split into a warmup phase and a measurement phase exactly as
+the paper does ("half of it being devoted to a warmup period for which
+statistics are not collected"): the store owner calls
+:meth:`CacheStats.reset_for_measurement` at the warmup boundary, which
+zeroes the measured counters while the cache contents persist.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class CacheStats:
+    """Hit/miss/eviction counters for one :class:`~repro.cache.store.BlockStore`."""
+
+    __slots__ = (
+        "hits",
+        "misses",
+        "insertions",
+        "evictions",
+        "dirty_evictions",
+        "invalidations",
+        "writebacks",
+    )
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.insertions = 0
+        self.evictions = 0
+        self.dirty_evictions = 0
+        self.invalidations = 0
+        self.writebacks = 0
+
+    def reset_for_measurement(self) -> None:
+        """Zero all counters (called at the warmup/measurement boundary)."""
+        self.hits = 0
+        self.misses = 0
+        self.insertions = 0
+        self.evictions = 0
+        self.dirty_evictions = 0
+        self.invalidations = 0
+        self.writebacks = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total lookups recorded (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups that hit; 0.0 when no lookups occurred."""
+        total = self.accesses
+        if total == 0:
+            return 0.0
+        return self.hits / total
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flatten to a plain dict for reporting."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "insertions": self.insertions,
+            "evictions": self.evictions,
+            "dirty_evictions": self.dirty_evictions,
+            "invalidations": self.invalidations,
+            "writebacks": self.writebacks,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<CacheStats hits=%d misses=%d hit_rate=%.3f>" % (
+            self.hits,
+            self.misses,
+            self.hit_rate,
+        )

@@ -1,0 +1,211 @@
+"""The block store: a fixed-capacity cache of 4 KB blocks.
+
+One :class:`BlockStore` models one cache tier ("a single LRU chain of
+blocks").  It is a pure data structure — every operation is immediate;
+the host stack charges device latencies around calls to it.
+
+Key design points:
+
+* **Eviction is two-phase.**  ``pop_victim`` removes and returns the
+  victim entry; if it is dirty the *caller* performs the (simulated-
+  time) writeback before filling the freed buffer.  The victim leaves
+  the index immediately, so concurrent simulation threads never race on
+  a half-evicted block — a re-reference simply misses and refetches,
+  which is what a real cache with a locked-for-eviction buffer does.
+* **Pinning** lets the naive/lookaside host stacks keep the flash cache
+  a superset of the RAM cache: flash entries for RAM-resident blocks
+  are pinned and skipped during victim selection.
+* **Dirty tracking** maintains an explicit dirty set so the periodic
+  syncer can snapshot dirty blocks in O(dirty).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Set, Union
+
+from repro.cache.block import BlockEntry, Medium
+from repro.cache.policy import EvictionPolicy, make_policy
+from repro.cache.stats import CacheStats
+from repro.errors import CacheError
+
+
+class BlockStore:
+    """A fixed-capacity block cache with pluggable eviction policy."""
+
+    def __init__(
+        self,
+        capacity_blocks: int,
+        policy: Union[str, EvictionPolicy] = "lru",
+        name: str = "",
+    ) -> None:
+        if capacity_blocks < 0:
+            raise CacheError("capacity must be >= 0, got %d" % capacity_blocks)
+        self.capacity_blocks = capacity_blocks
+        self.name = name
+        self._entries: Dict[int, BlockEntry] = {}
+        self._dirty: Set[int] = set()
+        if isinstance(policy, str):
+            policy = make_policy(policy, capacity_blocks)
+        self._policy = policy
+        self.stats = CacheStats()
+
+    # --- lookup ------------------------------------------------------
+
+    def __contains__(self, block: int) -> bool:
+        return block in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, block: int, touch: bool = True) -> Optional[BlockEntry]:
+        """Look up a block, recording a hit or miss.
+
+        ``touch=True`` (the default) promotes the entry in the eviction
+        order, modeling a reference.
+        """
+        entry = self._entries.get(block)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        if touch:
+            self._policy.touch(block)
+        return entry
+
+    def peek(self, block: int) -> Optional[BlockEntry]:
+        """Look up without touching the eviction order or the statistics."""
+        return self._entries.get(block)
+
+    # --- insertion and eviction ---------------------------------------
+
+    def is_full(self) -> bool:
+        """True when the next insert needs an eviction first."""
+        return len(self._entries) >= self.capacity_blocks
+
+    @property
+    def free_blocks(self) -> int:
+        return self.capacity_blocks - len(self._entries)
+
+    def put(
+        self,
+        block: int,
+        medium: Medium = Medium.RAM,
+        dirty: bool = False,
+        pinned: bool = False,
+    ) -> BlockEntry:
+        """Insert a new entry; there must be space and no duplicate.
+
+        Callers evict first (``pop_victim``) when :meth:`is_full`.
+        """
+        if block in self._entries:
+            raise CacheError("%s: duplicate insert of block %d" % (self.name, block))
+        if len(self._entries) >= self.capacity_blocks:
+            raise CacheError(
+                "%s: insert into full store (capacity %d); evict first"
+                % (self.name, self.capacity_blocks)
+            )
+        entry = BlockEntry(block, medium=medium, dirty=dirty, pinned=pinned)
+        self._entries[block] = entry
+        self._policy.insert(block)
+        if dirty:
+            self._dirty.add(block)
+        self.stats.insertions += 1
+        return entry
+
+    def pop_victim(
+        self, skip: Optional[Callable[[int], bool]] = None
+    ) -> Optional[BlockEntry]:
+        """Remove and return the eviction victim.
+
+        Pinned entries are always skipped; ``skip`` adds further
+        exclusions.  If *every* entry is excluded, pinning is overridden
+        (evicting a pinned entry beats deadlock) and the raw policy
+        victim is taken; ``None`` is returned only for an empty store.
+        """
+        def excluded(key: int) -> bool:
+            if self._entries[key].pinned:
+                return True
+            return skip is not None and skip(key)
+
+        victim = self._policy.victim(excluded)
+        if victim is None:
+            victim = self._policy.victim(skip)
+            if victim is None:
+                victim = self._policy.victim(None)
+                if victim is None:
+                    return None
+        entry = self._remove_entry(victim)
+        self.stats.evictions += 1
+        if entry.dirty:
+            self.stats.dirty_evictions += 1
+        return entry
+
+    def remove(self, block: int, invalidation: bool = False) -> Optional[BlockEntry]:
+        """Drop a block (e.g. on cross-host invalidation); None if absent."""
+        if block not in self._entries:
+            return None
+        entry = self._remove_entry(block)
+        if invalidation:
+            self.stats.invalidations += 1
+        return entry
+
+    def _remove_entry(self, block: int) -> BlockEntry:
+        entry = self._entries.pop(block)
+        self._policy.remove(block)
+        self._dirty.discard(block)
+        return entry
+
+    def clear(self) -> None:
+        """Empty the store (models a crash of a volatile cache)."""
+        for block in list(self._entries):
+            self._remove_entry(block)
+
+    # --- dirty management ---------------------------------------------
+
+    def mark_dirty(self, block: int) -> None:
+        entry = self._entries[block]
+        entry.dirty = True
+        self._dirty.add(block)
+
+    def mark_clean(self, block: int) -> None:
+        entry = self._entries.get(block)
+        if entry is None:
+            return
+        entry.dirty = False
+        self._dirty.discard(block)
+        self.stats.writebacks += 1
+
+    def dirty_blocks(self) -> List[int]:
+        """Snapshot of currently dirty block numbers (syncer input)."""
+        return list(self._dirty)
+
+    @property
+    def dirty_count(self) -> int:
+        return len(self._dirty)
+
+    # --- pinning -------------------------------------------------------
+
+    def pin(self, block: int) -> None:
+        """Protect a block from eviction (no-op if absent)."""
+        entry = self._entries.get(block)
+        if entry is not None:
+            entry.pinned = True
+
+    def unpin(self, block: int) -> None:
+        entry = self._entries.get(block)
+        if entry is not None:
+            entry.pinned = False
+
+    # --- introspection --------------------------------------------------
+
+    def blocks(self) -> Iterator[int]:
+        """Iterate resident block numbers in eviction order (LRU first)."""
+        return iter(self._policy)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<BlockStore %s %d/%d dirty=%d>" % (
+            self.name,
+            len(self._entries),
+            self.capacity_blocks,
+            len(self._dirty),
+        )

@@ -1,0 +1,31 @@
+"""The client cache stack and simulation driver — the paper's contribution.
+
+This package assembles the substrates into the system the paper
+studies: per-host RAM + flash caches in one of three architectures
+(:class:`Architecture`), each tier governed by one of seven writeback
+policies (:class:`WritebackPolicy`), connected over private network
+segments to a shared filer, with a global instant-invalidation
+consistency directory.
+
+Entry point: :func:`run_simulation`, which replays a
+:class:`~repro.traces.Trace` under a :class:`SimConfig` and returns
+:class:`SimulationResults`.
+"""
+
+from repro.core.architectures import Architecture
+from repro.core.policies import PolicyKind, WritebackPolicy
+from repro.core.config import SimConfig, TimingModel
+from repro.core.restart import RestartSpec
+from repro.core.results import SimulationResults
+from repro.core.simulator import run_simulation
+
+__all__ = [
+    "Architecture",
+    "PolicyKind",
+    "WritebackPolicy",
+    "SimConfig",
+    "TimingModel",
+    "RestartSpec",
+    "SimulationResults",
+    "run_simulation",
+]

@@ -1,0 +1,114 @@
+"""Global cache-consistency directory (§3.8, §7.9).
+
+"The simulator invalidates stale copies of blocks instantly (using
+global knowledge) when a new version is first written into a cache.
+This exposes the overhead caused when these blocks must be fetched
+again later.  However, we only count invalidations; we do not model the
+overhead of cache consistency traffic."
+
+The directory tracks, per block, which hosts hold any copy.  When a
+host writes a block, every *other* host's copies are dropped from all
+of its tiers instantly (zero simulated time), and the write is counted
+as "requiring invalidation" if any copy was dropped.  The headline
+metric is the fraction of application-level block writes requiring
+invalidations (Figures 11 and 12).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set
+
+
+class ConsistencyDirectory:
+    """Tracks block copies across hosts and performs instant invalidation."""
+
+    def __init__(self, n_hosts: int) -> None:
+        self.n_hosts = n_hosts
+        # block -> set of host ids holding a copy in any tier
+        self._holders: Dict[int, Set[int]] = {}
+        # host id -> callback(block) dropping the block from that host's caches
+        self._droppers: Dict[int, Callable[[int], None]] = {}
+        # measured counters (only writes flagged as measured count)
+        self.block_writes = 0
+        self.writes_requiring_invalidation = 0
+        self.copies_invalidated = 0
+        #: optional hook(writer_host, victim_host) fired per dropped
+        #: remote copy; the System uses it to charge invalidation
+        #: messages to the victim's network segment (the §3.8 protocol
+        #: traffic the paper leaves unmodeled).
+        self.traffic_hook: Optional[Callable[[int, int], None]] = None
+
+    def register_host(self, host_id: int, dropper: Callable[[int], None]) -> None:
+        """Register the callback that drops a block from a host's caches."""
+        self._droppers[host_id] = dropper
+
+    # --- copy tracking ---------------------------------------------------
+
+    def note_copy(self, host_id: int, block: int) -> None:
+        """A host now holds a copy of ``block`` (in any tier)."""
+        self._holders.setdefault(block, set()).add(host_id)
+
+    def note_drop(self, host_id: int, block: int) -> None:
+        """A host no longer holds any copy of ``block``.
+
+        The host stack calls this only when the block has left *every*
+        tier on that host.
+        """
+        holders = self._holders.get(block)
+        if holders is not None:
+            holders.discard(host_id)
+            if not holders:
+                del self._holders[block]
+
+    def holders_of(self, block: int) -> Set[int]:
+        """The hosts currently holding a copy (a snapshot)."""
+        return set(self._holders.get(block, ()))
+
+    # --- invalidation -----------------------------------------------------
+
+    def on_block_write(self, writer_host: int, block: int, measured: bool = True) -> int:
+        """A host wrote a new version of ``block``: invalidate other copies.
+
+        Returns the number of remote copies invalidated.  ``measured``
+        says whether this write belongs to the measurement phase of the
+        trace (warmup writes still *invalidate* — the cache contents
+        must be correct — but are not counted, matching how the paper
+        reports invalidations as a percentage of measured writes).
+        Threads interleave freely, so the phase is a per-record
+        property, not a global clock.
+        """
+        if measured:
+            self.block_writes += 1
+        holders = self._holders.get(block)
+        if not holders:
+            return 0
+        others = [host for host in holders if host != writer_host]
+        if not others:
+            return 0
+        for host in others:
+            dropper = self._droppers.get(host)
+            if dropper is not None:
+                dropper(block)
+            holders.discard(host)
+            if self.traffic_hook is not None:
+                self.traffic_hook(writer_host, host)
+        if measured:
+            self.writes_requiring_invalidation += 1
+            self.copies_invalidated += len(others)
+        return len(others)
+
+    # --- reporting -----------------------------------------------------------
+
+    @property
+    def invalidation_fraction(self) -> float:
+        """Fraction of measured block writes that required invalidation
+        (the y-axis of Figures 11 and 12)."""
+        if self.block_writes == 0:
+            return 0.0
+        return self.writes_requiring_invalidation / self.block_writes
+
+    def reset_counters(self) -> None:
+        """Zero the measured counters (used by tests and restarts)."""
+        self.block_writes = 0
+        self.writes_requiring_invalidation = 0
+        self.copies_invalidated = 0

@@ -1,0 +1,667 @@
+"""The per-host cache stack: naive, lookaside, and unified architectures.
+
+This is the system under study.  Each host owns its cache tiers, its
+flash device, and a private network segment to the shared filer.  The
+public surface is two process generators — :meth:`HostStack.read_block`
+and :meth:`HostStack.write_block` — whose simulated duration *is* the
+application-observed latency, plus :meth:`HostStack.drop_block` used by
+the consistency directory for instant invalidation.
+
+Concurrency notes (threads interleave freely, as in the paper):
+
+* Installs are idempotent — if another thread installed the block while
+  this one was waiting on a device, the install becomes a touch.
+* Eviction removes the victim from the index *before* its writeback, so
+  a re-reference during the writeback simply misses (a real cache's
+  locked-for-eviction buffer behaves the same way).
+* In the naive/lookaside architectures, flash entries of RAM-resident
+  blocks are pinned so victim selection preserves the paper's "RAM is
+  always a subset of the flash cache" placement (write-allocated blocks
+  join the flash on their first writeback).
+
+Writeback semantics (§3.5/§3.6): writing *into* a tier follows that
+tier's policy — ``s`` propagates to the next tier before the writer
+continues, ``a`` spawns the propagation in the background, ``p``/``n``
+leave the block dirty for the syncer or the eviction path.  Evicting a
+dirty block always writes it back synchronously, charged to whichever
+process needed the buffer; this is what makes the ``n`` policy degrade
+once a cache fills ("multiple threads doing evictions contend for the
+network, convoy, and slow down").
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Optional
+
+from repro.cache.block import Medium
+from repro.cache.store import BlockStore
+from repro.core.architectures import Architecture
+from repro.core.config import SimConfig
+from repro.core.consistency import ConsistencyDirectory
+from repro.core.policies import PolicyKind
+from repro.engine.simulation import Simulator
+from repro.errors import ConfigError
+from repro.filer.server import Filer
+from repro.flash.device import FlashDevice
+from repro.net.link import NetworkSegment
+from repro.net.packet import Packet
+
+
+def _after(delay_ns: int, gen: Iterator) -> Iterator:
+    """Run a process generator after a delay (delayed-flush helper)."""
+    yield delay_ns
+    yield from gen
+
+
+class HostStack:
+    """Common machinery shared by the three architectures."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host_id: int,
+        config: SimConfig,
+        flash_device: Optional[FlashDevice],
+        segment: NetworkSegment,
+        filer: Filer,
+        directory: ConsistencyDirectory,
+        rng: random.Random,
+    ) -> None:
+        self.sim = sim
+        self.host_id = host_id
+        self.config = config
+        self.flash_device = flash_device
+        self.segment = segment
+        self.filer = filer
+        self.directory = directory
+        self.rng = rng
+        self.timing = config.timing
+        #: syncer-loop liveness predicate; the System replaces it with a
+        #: check on active application threads so the event queue drains
+        #: once the trace replay finishes.
+        self.keep_running = lambda: True
+        #: the flash tier is offline (recovering) before this time
+        self.flash_online_at = 0
+        directory.register_host(host_id, self.drop_block)
+
+    def _flash_online(self) -> bool:
+        """Whether the flash tier exists and has finished recovering."""
+        return self.flash_device is not None and self.sim.now >= self.flash_online_at
+
+    def apply_restart(self, volatile_flash: bool, scan_ns_per_block: int) -> None:
+        """Crash/reboot the host's caches (see repro.core.restart)."""
+        raise NotImplementedError(
+            "restart modeling is not supported by the %s architecture"
+            % self.config.architecture
+        )
+
+    # --- public interface (implemented by subclasses) -----------------
+
+    def read_block(self, block: int) -> Iterator:
+        """Process generator: application read of one block."""
+        raise NotImplementedError
+
+    def write_block(self, block: int, measured: bool = True) -> Iterator:
+        """Process generator: application write of one block.
+
+        ``measured`` marks whether this write belongs to the trace's
+        measurement phase (it gates invalidation *counting* only; the
+        invalidation itself always happens).
+        """
+        raise NotImplementedError
+
+    def drop_block(self, block: int) -> None:
+        """Instantly drop every copy of a block (consistency invalidation)."""
+        raise NotImplementedError
+
+    def start_syncers(self) -> None:
+        """Spawn the periodic syncer processes this configuration needs."""
+        raise NotImplementedError
+
+    def reset_measurement_stats(self) -> None:
+        """Zero cache statistics at the warmup/measurement boundary."""
+        raise NotImplementedError
+
+    # --- filer access over the private segment -------------------------------
+
+    def _filer_read(self) -> Iterator:
+        """One block read from the filer: request packet, service, data packet."""
+        yield from self.segment.transfer(Packet.request(), "up")
+        yield from self.filer.read_block()
+        yield from self.segment.transfer(Packet.data_block(), "down")
+
+    def _filer_write(self) -> Iterator:
+        """One block write to the filer: data packet, service, ack."""
+        yield from self.segment.transfer(Packet.data_block(), "up")
+        yield from self.filer.write_block()
+        yield from self.segment.transfer(Packet.ack(), "down")
+
+    # --- background flush helper ------------------------------------------
+
+    def _spawn(self, gen: Iterator, name: str) -> None:
+        self.sim.spawn(gen, name="%s.h%d" % (name, self.host_id))
+
+
+class LayeredStack(HostStack):
+    """Shared implementation of the two layered architectures
+    (naive and lookaside), which differ only in where RAM writebacks go."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        config = self.config
+        self.ram = BlockStore(config.ram_blocks, config.eviction_policy, name="ram")
+        self.flash: Optional[BlockStore] = None
+        if config.has_flash:
+            if self.flash_device is None:
+                raise ConfigError("flash configured but no flash device supplied")
+            self.flash = BlockStore(
+                config.flash_blocks, config.eviction_policy, name="flash"
+            )
+
+    # --- presence bookkeeping for the consistency directory ---------------
+
+    def _note_present(self, block: int) -> None:
+        self.directory.note_copy(self.host_id, block)
+
+    def _note_maybe_gone(self, block: int) -> None:
+        if block in self.ram:
+            return
+        if self.flash is not None and block in self.flash:
+            return
+        self.directory.note_drop(self.host_id, block)
+
+    def drop_block(self, block: int) -> None:
+        self.ram.remove(block, invalidation=True)
+        if self.flash is not None:
+            removed = self.flash.remove(block, invalidation=True)
+            if removed is not None:
+                self.flash_device.trim_block(block)
+
+    def reset_measurement_stats(self) -> None:
+        self.ram.stats.reset_for_measurement()
+        if self.flash is not None:
+            self.flash.stats.reset_for_measurement()
+
+    def apply_restart(self, volatile_flash: bool, scan_ns_per_block: int) -> None:
+        # RAM is always volatile: its contents (dirty data included —
+        # this is a crash) are gone.
+        for block in list(self.ram.blocks()):
+            if self.flash is not None:
+                self.flash.unpin(block)
+            self.ram.remove(block)
+            self._note_maybe_gone(block)
+        if self.flash is None:
+            return
+        if volatile_flash:
+            for block in list(self.flash.blocks()):
+                self.flash.remove(block)
+                self.flash_device.trim_block(block)
+                self._note_maybe_gone(block)
+        else:
+            # Contents survive, but the cache is offline while recovery
+            # scans and validates its metadata.
+            self.flash_online_at = (
+                self.sim.now + len(self.flash) * scan_ns_per_block
+            )
+
+    # --- read path --------------------------------------------------------
+
+    def read_block(self, block: int) -> Iterator:
+        if self.config.has_ram:
+            entry = self.ram.get(block)
+            if entry is not None:
+                yield self.timing.ram_read_ns
+                return
+        if self.flash is not None and self._flash_online():
+            fentry = self.flash.get(block)
+            if fentry is not None:
+                yield from self.flash_device.read_block(block)
+                yield from self._install_ram(block, dirty=False)
+                return
+            # Miss everywhere: fetch, then fill flash and RAM
+            # ("newly referenced blocks are first placed in flash,
+            # then into RAM").
+            yield from self._filer_read()
+            yield from self._install_flash(block, dirty=False)
+            yield from self._install_ram(block, dirty=False)
+            return
+        # No flash tier configured.
+        yield from self._filer_read()
+        yield from self._install_ram(block, dirty=False)
+
+    # --- write path ------------------------------------------------------
+
+    def write_block(self, block: int, measured: bool = True) -> Iterator:
+        self.directory.on_block_write(self.host_id, block, measured)
+        if not self.config.has_ram:
+            # No RAM cache at all: writes land on the next tier directly.
+            if self.flash is not None:
+                yield from self._write_into_flash(block)
+            else:
+                yield from self._filer_write()
+            return
+        yield from self._install_ram(block, dirty=True)
+        policy = self.config.ram_policy
+        if policy.kind is PolicyKind.SYNC:
+            yield from self._flush_ram_block(block)
+        elif policy.kind is PolicyKind.ASYNC:
+            self._spawn(self._flush_ram_block(block), "ram-flush")
+        elif policy.kind is PolicyKind.DELAYED:
+            self._spawn(
+                _after(policy.flush_delay_ns, self._flush_ram_block(block)),
+                "ram-delayed-flush",
+            )
+        # periodic/trickle/none: the block stays dirty for the
+        # syncer/eviction path.
+
+    # --- RAM tier internals ------------------------------------------------
+
+    def _install_ram(self, block: int, dirty: bool) -> Iterator:
+        """Place (or refresh) a block in RAM, evicting as needed."""
+        if not self.config.has_ram:
+            return
+        existing = self.ram.peek(block)
+        if existing is not None:
+            self.ram.get(block)  # touch + count the access pattern
+            if dirty:
+                self.ram.mark_dirty(block)
+            yield self.timing.ram_write_ns
+            return
+        while self.ram.is_full():
+            victim = self.ram.pop_victim()
+            if victim is None:
+                break
+            if self.flash is not None:
+                self.flash.unpin(victim.block)
+            if victim.dirty:
+                yield from self._flush_evicted_ram_block(victim.block)
+            self._note_maybe_gone(victim.block)
+            # Re-check: another thread may have installed our block
+            # while the writeback was in flight.
+            installed = self.ram.peek(block)
+            if installed is not None:
+                if dirty:
+                    self.ram.mark_dirty(block)
+                yield self.timing.ram_write_ns
+                return
+        self.ram.put(block, Medium.RAM, dirty=dirty)
+        if self.flash is not None:
+            self.flash.pin(block)
+        self._note_present(block)
+        yield self.timing.ram_write_ns
+
+    def _flush_ram_block(self, block: int) -> Iterator:
+        """Policy-driven flush of one (possibly already clean) RAM block."""
+        entry = self.ram.peek(block)
+        if entry is None or not entry.dirty:
+            return
+        self.ram.mark_clean(block)
+        yield from self._writeback_ram_data(block)
+
+    def _flush_evicted_ram_block(self, block: int) -> Iterator:
+        """Writeback for a dirty block already removed from the RAM index."""
+        yield from self._writeback_ram_data(block)
+
+    def _writeback_ram_data(self, block: int) -> Iterator:
+        """Where RAM writebacks go — the one divergence between the
+        naive and lookaside architectures."""
+        raise NotImplementedError
+
+    # --- flash tier internals -----------------------------------------------
+
+    def _install_flash(self, block: int, dirty: bool) -> Iterator:
+        """Write a block's data into the flash cache (fill or update)."""
+        if self.flash is None or not self._flash_online():
+            return
+        existing = self.flash.peek(block)
+        if existing is None:
+            yield from self._make_flash_room(block)
+            if self.flash.peek(block) is None:
+                self.flash.put(
+                    block, Medium.FLASH, dirty=False, pinned=block in self.ram
+                )
+                self._note_present(block)
+        else:
+            self.flash.get(block)  # touch
+        yield from self.flash_device.write_block(block)
+        # The entry can be evicted by another thread during the device
+        # write; if so there is nothing left to mark (the stale data is
+        # simply gone, as on a real device) — tell the device so an
+        # FTL-backed model reclaims the page.
+        if self.flash.peek(block) is None:
+            self.flash_device.trim_block(block)
+        elif dirty:
+            self.flash.mark_dirty(block)
+
+    def _write_into_flash(self, block: int) -> Iterator:
+        """Write *dirty* data into flash, then honor the flash policy."""
+        if self.flash is not None and not self._flash_online():
+            # Recovering: the flash cannot accept writebacks, so dirty
+            # data goes straight to the filer (§3.8's availability gap).
+            yield from self._filer_write()
+            return
+        yield from self._install_flash(block, dirty=True)
+        policy = self.config.flash_policy
+        if policy.kind is PolicyKind.SYNC:
+            yield from self._flush_flash_block(block)
+        elif policy.kind is PolicyKind.ASYNC:
+            self._spawn(self._flush_flash_block(block), "flash-flush")
+        elif policy.kind is PolicyKind.DELAYED:
+            self._spawn(
+                _after(policy.flush_delay_ns, self._flush_flash_block(block)),
+                "flash-delayed-flush",
+            )
+
+    def _make_flash_room(self, incoming: int) -> Iterator:
+        assert self.flash is not None
+        while self.flash.is_full():
+            victim = self.flash.pop_victim()
+            if victim is None:
+                break
+            self.flash_device.trim_block(victim.block)
+            if victim.dirty:
+                yield from self._filer_write()
+            if victim.pinned:
+                # Fallback: every other entry was pinned, so a
+                # RAM-resident block lost its flash copy; drop the RAM
+                # copy too to preserve the subset placement.
+                ram_copy = self.ram.remove(victim.block)
+                if ram_copy is not None and ram_copy.dirty:
+                    yield from self._writeback_ram_data(victim.block)
+            self._note_maybe_gone(victim.block)
+            if self.flash.peek(incoming) is not None:
+                return
+
+    def _flush_flash_block(self, block: int) -> Iterator:
+        """Flush one dirty flash block to the filer."""
+        assert self.flash is not None
+        if not self._flash_online():
+            # "It cannot flush dirty data ... until afterwards."
+            return
+        entry = self.flash.peek(block)
+        if entry is None or not entry.dirty:
+            return
+        self.flash.mark_clean(block)
+        yield from self._filer_write()
+
+    # --- syncers ----------------------------------------------------------
+
+    def start_syncers(self) -> None:
+        ram_policy = self.config.ram_policy
+        if ram_policy.has_syncer and self.config.has_ram:
+            self._spawn(
+                self._syncer_loop(ram_policy, self.ram, self._flush_ram_block),
+                "ram-syncer",
+            )
+        flash_policy = self.config.flash_policy
+        if flash_policy.has_syncer and self.flash is not None:
+            self._spawn(
+                self._syncer_loop(flash_policy, self.flash, self._flush_flash_block),
+                "flash-syncer",
+            )
+
+    def _syncer_loop(self, policy, store, flush_block) -> Iterator:
+        # A periodic syncer issues its whole batch of writebacks at
+        # once, asynchronously (they pipeline on the devices and the
+        # network, as real syncers' queued I/O does; a strictly serial
+        # syncer could never exceed one writeback per round-trip time).
+        # A trickle syncer spreads the batch evenly across the period.
+        trickle = policy.kind is PolicyKind.TRICKLE
+        period_ns = policy.period_ns
+        while self.keep_running():
+            yield period_ns
+            dirty = store.dirty_blocks()
+            if not dirty:
+                continue
+            if trickle:
+                spacing = period_ns // len(dirty)
+                for index, block in enumerate(dirty):
+                    self._spawn(
+                        _after(index * spacing, flush_block(block)),
+                        "trickle-flush",
+                    )
+            else:
+                for block in dirty:
+                    self._spawn(flush_block(block), "syncer-flush")
+
+
+class NaiveStack(LayeredStack):
+    """§3.3 "Naive": an independent flash layer beneath the RAM cache.
+
+    RAM writebacks go to the flash; flash writebacks go to the filer.
+    """
+
+    def _writeback_ram_data(self, block: int) -> Iterator:
+        if self.flash is not None:
+            yield from self._write_into_flash(block)
+        else:
+            yield from self._filer_write()
+
+
+class LookasideStack(LayeredStack):
+    """§3.3 "Lookaside" (Mercury-like): writes bypass the flash.
+
+    "Writes go directly from RAM to the file server instead of being
+    routed through the flash.  The flash is updated after the file
+    server and never contains dirty data."
+    """
+
+    def _writeback_ram_data(self, block: int) -> Iterator:
+        yield from self._filer_write()
+        if self.flash is not None:
+            # Update the flash copy only after the filer write, so the
+            # flash never holds dirty data.
+            yield from self._install_flash(block, dirty=False)
+
+
+class UnifiedStack(HostStack):
+    """§3.3 "Unified": one LRU chain across RAM and flash buffers.
+
+    New blocks land in "the least recently used buffer, whether RAM or
+    flash" — when the cache is full, that is the buffer the LRU victim
+    freed; while filling, free buffers are drawn in proportion to the
+    remaining capacity of each medium (no preference for RAM).  Blocks
+    are never migrated between media.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        config = self.config
+        total = config.ram_blocks + config.flash_blocks
+        self.cache = BlockStore(total, config.eviction_policy, name="unified")
+        self._free_ram = config.ram_blocks
+        self._free_flash = config.flash_blocks
+        if config.has_flash and self.flash_device is None:
+            raise ConfigError("flash configured but no flash device supplied")
+
+    # --- medium accounting ------------------------------------------------
+
+    def _allocate_medium(self) -> Medium:
+        """Pick the medium of a fresh buffer, proportionally to free space."""
+        total_free = self._free_ram + self._free_flash
+        assert total_free > 0, "allocation requested with no free buffers"
+        if self.rng.randrange(total_free) < self._free_ram:
+            self._free_ram -= 1
+            return Medium.RAM
+        self._free_flash -= 1
+        return Medium.FLASH
+
+    def _release_medium(self, medium: Medium) -> None:
+        if medium is Medium.RAM:
+            self._free_ram += 1
+        else:
+            self._free_flash += 1
+
+    def _medium_read(self, medium: Medium, block: int) -> Iterator:
+        if medium is Medium.RAM:
+            yield self.timing.ram_read_ns
+        else:
+            yield from self.flash_device.read_block(block)
+
+    def _medium_write(self, medium: Medium, block: int) -> Iterator:
+        if medium is Medium.RAM:
+            yield self.timing.ram_write_ns
+        else:
+            yield from self.flash_device.write_block(block)
+
+    def _policy_for(self, medium: Medium):
+        """Dirty blocks in RAM buffers follow the RAM policy; dirty
+        blocks in flash buffers follow the flash policy."""
+        if medium is Medium.RAM:
+            return self.config.ram_policy
+        return self.config.flash_policy
+
+    # --- public paths -------------------------------------------------------
+
+    def read_block(self, block: int) -> Iterator:
+        entry = self.cache.get(block)
+        if entry is not None:
+            yield from self._medium_read(entry.medium, block)
+            return
+        yield from self._filer_read()
+        yield from self._install(block, dirty=False)
+
+    def write_block(self, block: int, measured: bool = True) -> Iterator:
+        self.directory.on_block_write(self.host_id, block, measured)
+        entry = self.cache.get(block)
+        if entry is not None:
+            self.cache.mark_dirty(block)
+            yield from self._medium_write(entry.medium, block)
+            self._reclaim_if_gone(block, entry.medium)
+            medium = entry.medium
+        else:
+            medium = yield from self._install(block, dirty=True)
+            if medium is None:
+                # Cache of zero capacity: write straight to the filer.
+                yield from self._filer_write()
+                return
+        policy = self._policy_for(medium)
+        if policy.kind is PolicyKind.SYNC:
+            yield from self._flush_block(block)
+        elif policy.kind is PolicyKind.ASYNC:
+            self._spawn(self._flush_block(block), "unified-flush")
+        elif policy.kind is PolicyKind.DELAYED:
+            self._spawn(
+                _after(policy.flush_delay_ns, self._flush_block(block)),
+                "unified-delayed-flush",
+            )
+
+    def drop_block(self, block: int) -> None:
+        entry = self.cache.remove(block, invalidation=True)
+        if entry is not None:
+            self._release_medium(entry.medium)
+            if entry.medium is Medium.FLASH:
+                self.flash_device.trim_block(block)
+
+    # --- internals -----------------------------------------------------------
+
+    def _install(self, block: int, dirty: bool) -> Iterator:
+        """Insert a block; returns the medium it landed in (or None when
+        the cache has zero capacity)."""
+        if self.cache.capacity_blocks == 0:
+            return None
+        existing = self.cache.peek(block)
+        if existing is None:
+            while self.cache.is_full():
+                victim = self.cache.pop_victim()
+                if victim is None:
+                    break
+                self._release_medium(victim.medium)
+                if victim.medium is Medium.FLASH:
+                    self.flash_device.trim_block(victim.block)
+                if victim.dirty:
+                    yield from self._filer_write()
+                # The victim may have been re-fetched by another thread
+                # during the writeback; only report it gone if it is.
+                if victim.block not in self.cache:
+                    self.directory.note_drop(self.host_id, victim.block)
+                existing = self.cache.peek(block)
+                if existing is not None:
+                    break
+        if existing is not None:
+            if dirty:
+                self.cache.mark_dirty(block)
+            yield from self._medium_write(existing.medium, block)
+            self._reclaim_if_gone(block, existing.medium)
+            return existing.medium
+        medium = self._allocate_medium()
+        self.cache.put(block, medium, dirty=dirty)
+        self.directory.note_copy(self.host_id, block)
+        yield from self._medium_write(medium, block)
+        self._reclaim_if_gone(block, medium)
+        return medium
+
+    def _reclaim_if_gone(self, block: int, medium: Medium) -> None:
+        """If another thread evicted the block during its device write,
+        release its FTL page (no-op for the base device model)."""
+        if medium is Medium.FLASH and self.cache.peek(block) is None:
+            self.flash_device.trim_block(block)
+
+    def _flush_block(self, block: int) -> Iterator:
+        entry = self.cache.peek(block)
+        if entry is None or not entry.dirty:
+            return
+        self.cache.mark_clean(block)
+        yield from self._filer_write()
+
+    def start_syncers(self) -> None:
+        # One syncer per medium with a periodic/trickle policy; each
+        # scans only its medium's dirty blocks.
+        if self.config.ram_policy.has_syncer:
+            self._spawn(
+                self._syncer_loop(self.config.ram_policy, Medium.RAM),
+                "unified-ram-syncer",
+            )
+        if self.config.flash_policy.has_syncer:
+            self._spawn(
+                self._syncer_loop(self.config.flash_policy, Medium.FLASH),
+                "unified-flash-syncer",
+            )
+
+    def _syncer_loop(self, policy, medium: Medium) -> Iterator:
+        # Writebacks are issued asynchronously (periodic) or spread
+        # over the period (trickle); see LayeredStack's syncer loop.
+        trickle = policy.kind is PolicyKind.TRICKLE
+        period_ns = policy.period_ns
+        while self.keep_running():
+            yield period_ns
+            dirty = [
+                block
+                for block in self.cache.dirty_blocks()
+                if (entry := self.cache.peek(block)) is not None
+                and entry.medium is medium
+            ]
+            if not dirty:
+                continue
+            spacing = period_ns // len(dirty) if trickle else 0
+            for index, block in enumerate(dirty):
+                self._spawn(
+                    _after(index * spacing, self._flush_block(block)),
+                    "unified-syncer-flush",
+                )
+
+    def reset_measurement_stats(self) -> None:
+        self.cache.stats.reset_for_measurement()
+
+
+def build_host_stack(
+    sim: Simulator,
+    host_id: int,
+    config: SimConfig,
+    flash_device: Optional[FlashDevice],
+    segment: NetworkSegment,
+    filer: Filer,
+    directory: ConsistencyDirectory,
+    rng: random.Random,
+) -> HostStack:
+    """Construct the stack class matching the configured architecture."""
+    from repro.core.migration import MigrationStack
+
+    cls = {
+        Architecture.NAIVE: NaiveStack,
+        Architecture.LOOKASIDE: LookasideStack,
+        Architecture.UNIFIED: UnifiedStack,
+        Architecture.EXCLUSIVE: MigrationStack,
+    }[config.architecture]
+    return cls(sim, host_id, config, flash_device, segment, filer, directory, rng)

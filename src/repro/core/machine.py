@@ -1,0 +1,284 @@
+"""The simulated machine: hosts, network segments, filer, directory.
+
+:class:`System` wires the substrates together for one configuration and
+replays a trace through them: one simulation process per (host, thread)
+pair, each issuing its records in order with at most one I/O in flight
+("the simulator issues I/O requests from the trace as quickly as
+possible given that each application thread can have only one I/O in
+progress").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.config import SimConfig
+from repro.core.consistency import ConsistencyDirectory
+from repro.core.restart import RestartSpec
+from repro.core.host import HostStack, build_host_stack
+from repro.core.metrics import MetricsCollector
+from repro.engine.rng import RngStreams
+from repro.engine.simulation import Simulator
+from repro.filer.server import Filer
+from repro.flash.device import FlashDevice
+from repro.flash.ftl_device import FTLFlashDevice
+from repro.net.link import NetworkSegment
+from repro.traces.records import Trace, TraceRecord
+
+
+class System:
+    """One simulated deployment: N hosts sharing one filer.
+
+    ``restart`` (a :class:`~repro.core.restart.RestartSpec`) crashes or
+    reboots every host's caches at the warmup/measurement boundary, so
+    the measured phase runs against freshly-lost RAM and a lost or
+    recovering flash cache.
+    """
+
+    def __init__(
+        self,
+        config: SimConfig,
+        n_hosts: int,
+        restart: Optional["RestartSpec"] = None,
+        timeline_bucket_ns: Optional[int] = None,
+    ) -> None:
+        if n_hosts < 1:
+            n_hosts = 1
+        self.config = config
+        self.n_hosts = n_hosts
+        self.restart = restart
+        self._timeline_bucket_ns = timeline_bucket_ns
+        self.sim = Simulator()
+        streams = RngStreams(config.seed)
+        self.filer = Filer(self.sim, streams.stream("filer"), config.timing.filer)
+        self.directory = ConsistencyDirectory(n_hosts)
+        self.segments: List[NetworkSegment] = []
+        self.flash_devices: List[Optional[FlashDevice]] = []
+        self.hosts: List[HostStack] = []
+        for host_id in range(n_hosts):
+            segment = NetworkSegment(
+                self.sim, config.timing.network, name="net.h%d" % host_id
+            )
+            device: Optional[FlashDevice] = None
+            if config.has_flash:
+                if config.ftl_model:
+                    device = FTLFlashDevice(
+                        self.sim,
+                        capacity_blocks=config.flash_blocks,
+                        timing=config.timing.flash,
+                        persistent_metadata=config.persistent_flash,
+                        overprovision=config.ftl_overprovision,
+                        name="flash.h%d" % host_id,
+                    )
+                else:
+                    device = FlashDevice(
+                        self.sim,
+                        config.timing.flash,
+                        parallelism=config.flash_parallelism,
+                        persistent_metadata=config.persistent_flash,
+                        name="flash.h%d" % host_id,
+                    )
+            stack = build_host_stack(
+                self.sim,
+                host_id,
+                config,
+                device,
+                segment,
+                self.filer,
+                self.directory,
+                streams.stream("host", host_id),
+            )
+            self.segments.append(segment)
+            self.flash_devices.append(device)
+            self.hosts.append(stack)
+        self.invalidation_messages = 0
+        if config.model_invalidation_traffic:
+            self.directory.traffic_hook = self._send_invalidation_message
+        self.metrics = MetricsCollector(timeline_bucket_ns=timeline_bucket_ns)
+        self.metrics.measuring = True  # the replay driver gates on warmup
+        # Per-host collectors: consolidation workloads (different
+        # scenarios per host) need per-host latency, not just the fleet
+        # aggregate.
+        self.host_metrics: List[MetricsCollector] = []
+        for _ in range(n_hosts):
+            collector = MetricsCollector()
+            collector.measuring = True
+            self.host_metrics.append(collector)
+        self._blocks_until_measurement = 0
+        self._active_threads = 0
+        self._measurement_started_at: Optional[int] = None
+
+    def _send_invalidation_message(self, _writer_host: int, victim_host: int) -> None:
+        """Occupy the victim's filer→host wire with one notification
+        packet (the invalidation itself stays instant, as in the paper;
+        only the traffic's contention is added)."""
+        from repro.net.packet import Packet
+
+        self.invalidation_messages += 1
+        self.sim.spawn(
+            self.segments[victim_host].transfer(Packet.request(), "down"),
+            name="inval-msg.h%d" % victim_host,
+        )
+
+    # --- warmup boundary ------------------------------------------------
+    #
+    # Application metrics and invalidation counts are gated per record
+    # (a record is warmup iff its index precedes trace.warmup_records).
+    # The *global* statistics that cannot be attributed to single
+    # records — cache hit counters, device/filer/network traffic — are
+    # reset once the replay has completed a warmup's worth of block
+    # volume.  Threads interleave uniformly, so that moment corresponds
+    # to the paper's "half of the volume is warmup" boundary.
+
+    def _record_completed(self, record: TraceRecord) -> None:
+        if self._measurement_started_at is not None:
+            return
+        self._blocks_until_measurement -= record.nblocks
+        if self._blocks_until_measurement <= 0:
+            self._begin_measurement()
+
+    def _begin_measurement(self) -> None:
+        """Reset everything that reports measurement-phase statistics."""
+        self._measurement_started_at = self.sim.now
+        if self.restart is not None:
+            for host in self.hosts:
+                host.apply_restart(
+                    self.restart.volatile_flash, self.restart.scan_ns_per_block
+                )
+        self.metrics.begin_measurement(self.sim.now)
+        self.filer.reset_counters()
+        for host in self.hosts:
+            host.reset_measurement_stats()
+        for device in self.flash_devices:
+            if device is not None:
+                device.reset_counters()
+        for segment in self.segments:
+            segment.reset_counters()
+
+    # --- replay -----------------------------------------------------------
+
+    def replay(self, trace: Trace) -> None:
+        """Replay the whole trace to completion."""
+        groups = trace.split_by_issuer()
+        self._blocks_until_measurement = sum(
+            record.nblocks for record in trace.records[: trace.warmup_records]
+        )
+        if self._blocks_until_measurement == 0:
+            self._begin_measurement()
+        self._active_threads = len(groups)
+        for (host_id, _thread_id), items in sorted(groups.items()):
+            if host_id >= self.n_hosts:
+                raise ValueError(
+                    "trace references host %d but the system has %d hosts"
+                    % (host_id, self.n_hosts)
+                )
+            self.sim.spawn(
+                self._thread_process(trace, self.hosts[host_id], items),
+                name="app.h%d" % host_id,
+            )
+        for host in self.hosts:
+            # Syncers keep ticking while application threads are live and
+            # wind down afterwards, letting the event queue drain.
+            host.keep_running = lambda: self._active_threads > 0
+            host.start_syncers()
+        self.sim.run()
+
+    def _thread_process(
+        self,
+        trace: Trace,
+        stack: HostStack,
+        items: List[Tuple[int, TraceRecord]],
+    ):
+        """One application thread: issue records in order, one at a time."""
+        warmup_records = trace.warmup_records
+        metrics = self.metrics
+        host_metrics = self.host_metrics[stack.host_id]
+        for index, record in items:
+            is_warmup = index < warmup_records
+            is_write = record.is_write
+            request_start = self.sim.now
+            for block in trace.record_blocks(record):
+                block_start = self.sim.now
+                if is_write:
+                    yield from stack.write_block(block, measured=not is_warmup)
+                else:
+                    yield from stack.read_block(block)
+                if not is_warmup:
+                    latency = self.sim.now - block_start
+                    metrics.record_block(is_write, latency, at_ns=self.sim.now)
+                    host_metrics.record_block(is_write, latency)
+            if not is_warmup:
+                metrics.record_request(is_write, self.sim.now - request_start)
+            self._record_completed(record)
+        self._active_threads -= 1
+
+    # --- reporting inputs ----------------------------------------------------
+
+    def measured_ns(self) -> int:
+        if self._measurement_started_at is None:
+            return 0
+        return self.sim.now - self._measurement_started_at
+
+    def aggregate_tier_stats(self) -> Dict[str, Dict[str, float]]:
+        """Sum per-tier cache counters across hosts."""
+        totals: Dict[str, Dict[str, float]] = {}
+        for host in self.hosts:
+            for tier_name, store in _stores_of(host):
+                tier = totals.setdefault(tier_name, {})
+                for key, value in store.stats.as_dict().items():
+                    if key == "hit_rate":
+                        continue
+                    tier[key] = tier.get(key, 0) + value
+        for tier in totals.values():
+            accesses = tier.get("hits", 0) + tier.get("misses", 0)
+            tier["hit_rate"] = (tier.get("hits", 0) / accesses) if accesses else 0.0
+        return totals
+
+    def mean_network_utilization(self) -> float:
+        if not self.segments:
+            return 0.0
+        return sum(s.utilization() for s in self.segments) / len(self.segments)
+
+    def total_flash_traffic(self) -> Tuple[int, int]:
+        reads = sum(d.blocks_read for d in self.flash_devices if d is not None)
+        writes = sum(d.blocks_written for d in self.flash_devices if d is not None)
+        return reads, writes
+
+    def per_host_summary(self) -> List[Dict[str, float]]:
+        """Per-host application latency summary (measurement phase)."""
+        rows: List[Dict[str, float]] = []
+        for host_id, collector in enumerate(self.host_metrics):
+            rows.append(
+                {
+                    "host": host_id,
+                    "read_us": collector.read_latency.mean_us,
+                    "read_blocks": collector.read_latency.count,
+                    "write_us": collector.write_latency.mean_us,
+                    "write_blocks": collector.write_latency.count,
+                }
+            )
+        return rows
+
+    def mean_write_amplification(self) -> Optional[float]:
+        """Mean FTL write amplification across hosts (None without FTLs)."""
+        factors = [
+            d.write_amplification
+            for d in self.flash_devices
+            if isinstance(d, FTLFlashDevice)
+        ]
+        if not factors:
+            return None
+        return sum(factors) / len(factors)
+
+
+def _stores_of(host: HostStack):
+    """Yield (tier name, store) pairs for any architecture."""
+    ram = getattr(host, "ram", None)
+    if ram is not None and ram.capacity_blocks > 0:
+        yield "ram", ram
+    flash = getattr(host, "flash", None)
+    if flash is not None:
+        yield "flash", flash
+    cache = getattr(host, "cache", None)
+    if cache is not None:
+        yield "unified", cache

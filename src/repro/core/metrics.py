@@ -1,0 +1,203 @@
+"""Latency statistics.
+
+"In evaluating possible configurations, we use the latency experienced
+by the application as the governing metric."  Latencies are recorded
+per *block* (the figures' y-axes are per-4KB-block microseconds), split
+into read and write, and only during the measurement phase — the
+warmup half of every trace is replayed but not recorded.
+
+:class:`LatencyStat` is a streaming accumulator (count/total/min/max
+plus log-scale histogram buckets, so percentiles can be estimated
+without storing samples).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro._units import US, format_time
+
+
+class LatencyStat:
+    """Streaming latency accumulator with log-scale histogram buckets."""
+
+    #: bucket boundaries in nanoseconds: 100ns, 200ns, 400ns, ... ~ 1.7s
+    _BUCKET_BASE_NS = 100
+    _N_BUCKETS = 25
+
+    __slots__ = ("count", "total_ns", "min_ns", "max_ns", "_buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total_ns = 0
+        self.min_ns: Optional[int] = None
+        self.max_ns = 0
+        self._buckets: List[int] = [0] * self._N_BUCKETS
+
+    def record(self, latency_ns: int) -> None:
+        """Add one observation."""
+        self.count += 1
+        self.total_ns += latency_ns
+        if self.min_ns is None or latency_ns < self.min_ns:
+            self.min_ns = latency_ns
+        if latency_ns > self.max_ns:
+            self.max_ns = latency_ns
+        index = 0
+        threshold = self._BUCKET_BASE_NS
+        while latency_ns > threshold and index < self._N_BUCKETS - 1:
+            threshold *= 2
+            index += 1
+        self._buckets[index] += 1
+
+    @property
+    def mean_ns(self) -> float:
+        """Mean latency in nanoseconds (0.0 when empty)."""
+        if self.count == 0:
+            return 0.0
+        return self.total_ns / self.count
+
+    @property
+    def mean_us(self) -> float:
+        """Mean latency in microseconds — the figures' unit."""
+        return self.mean_ns / US
+
+    def percentile(self, fraction: float) -> float:
+        """Estimate a percentile (0..1) from the histogram, in ns.
+
+        Returns the upper edge of the bucket containing the requested
+        rank; good to a factor of two, which suffices for shape checks.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = fraction * self.count
+        seen = 0
+        threshold = self._BUCKET_BASE_NS
+        for bucket_count in self._buckets:
+            seen += bucket_count
+            if seen >= rank:
+                return float(threshold)
+            threshold *= 2
+        return float(self.max_ns)
+
+    def merge(self, other: "LatencyStat") -> None:
+        """Fold another accumulator into this one."""
+        self.count += other.count
+        self.total_ns += other.total_ns
+        if other.min_ns is not None and (self.min_ns is None or other.min_ns < self.min_ns):
+            self.min_ns = other.min_ns
+        self.max_ns = max(self.max_ns, other.max_ns)
+        for index, bucket_count in enumerate(other._buckets):
+            self._buckets[index] += bucket_count
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean_us": self.mean_us,
+            "min_us": (self.min_ns or 0) / US,
+            "max_us": self.max_ns / US,
+            "p50_us": self.percentile(0.50) / US,
+            "p99_us": self.percentile(0.99) / US,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<LatencyStat n=%d mean=%s>" % (self.count, format_time(round(self.mean_ns)))
+
+
+class TimelineStat:
+    """Time-bucketed mean latencies: latency *as a function of when*.
+
+    Used by the restart/recovery experiments to show how latency
+    evolves after a reboot — a dimension the aggregate means hide.
+    Buckets are fixed-width in simulated time, keyed relative to the
+    measurement start.
+    """
+
+    __slots__ = ("bucket_ns", "_sums", "_counts")
+
+    def __init__(self, bucket_ns: int) -> None:
+        if bucket_ns <= 0:
+            raise ValueError("bucket width must be positive")
+        self.bucket_ns = bucket_ns
+        self._sums: Dict[int, int] = {}
+        self._counts: Dict[int, int] = {}
+
+    def record(self, at_ns: int, latency_ns: int) -> None:
+        bucket = at_ns // self.bucket_ns
+        self._sums[bucket] = self._sums.get(bucket, 0) + latency_ns
+        self._counts[bucket] = self._counts.get(bucket, 0) + 1
+
+    def series(self) -> List[tuple]:
+        """Sorted (bucket_start_ns, mean_latency_ns, count) triples."""
+        return [
+            (
+                bucket * self.bucket_ns,
+                self._sums[bucket] / self._counts[bucket],
+                self._counts[bucket],
+            )
+            for bucket in sorted(self._sums)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._sums)
+
+
+class MetricsCollector:
+    """All per-run application-level metrics, with warmup gating.
+
+    ``measuring`` starts False; the simulation driver flips it once
+    every warmup record has completed.  Block-level latencies recorded
+    while it is False are discarded.
+
+    ``timeline_bucket_ns`` (optional) additionally records read
+    latencies into time buckets relative to the measurement start.
+    """
+
+    def __init__(self, timeline_bucket_ns: Optional[int] = None) -> None:
+        self.measuring = False
+        self.read_latency = LatencyStat()
+        self.write_latency = LatencyStat()
+        # request-level latencies (whole multi-block operations)
+        self.read_request_latency = LatencyStat()
+        self.write_request_latency = LatencyStat()
+        self.blocks_read = 0
+        self.blocks_written = 0
+        self.measurement_start_ns: Optional[int] = None
+        self.read_timeline: Optional[TimelineStat] = (
+            TimelineStat(timeline_bucket_ns) if timeline_bucket_ns else None
+        )
+
+    def record_block(
+        self, is_write: bool, latency_ns: int, at_ns: Optional[int] = None
+    ) -> None:
+        if not self.measuring:
+            return
+        if is_write:
+            self.write_latency.record(latency_ns)
+            self.blocks_written += 1
+        else:
+            self.read_latency.record(latency_ns)
+            self.blocks_read += 1
+            if self.read_timeline is not None and at_ns is not None:
+                origin = self.measurement_start_ns or 0
+                self.read_timeline.record(max(0, at_ns - origin), latency_ns)
+
+    def record_request(self, is_write: bool, latency_ns: int) -> None:
+        if not self.measuring:
+            return
+        if is_write:
+            self.write_request_latency.record(latency_ns)
+        else:
+            self.read_request_latency.record(latency_ns)
+
+    def begin_measurement(self, now_ns: int) -> None:
+        """Mark the measurement boundary (idempotent on the timestamp).
+
+        The replay driver may enable ``measuring`` early (it gates
+        per-record instead), so the timestamp is recorded on the first
+        call regardless of the flag's current state.
+        """
+        self.measuring = True
+        if self.measurement_start_ns is None:
+            self.measurement_start_ns = now_ns

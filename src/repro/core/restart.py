@@ -1,0 +1,63 @@
+"""Restart/recovery modeling (extension; §7.8 stops short of this).
+
+The paper approximates persistence by skipping or keeping the warmup
+phase and notes two things it does not simulate: the recovery phase
+itself ("We did not attempt to simulate the recovery phase.") and the
+§3.8 observation that "a recoverable cache is unavailable during a
+reboot; it cannot flush dirty data or participate in cache consistency
+protocols until afterwards".
+
+:class:`RestartSpec` models exactly that gap.  At the warmup/
+measurement boundary the system "reboots":
+
+* the RAM cache is always lost (volatile);
+* with ``volatile_flash=True`` the flash contents are lost too — the
+  paper's cold-start case;
+* with ``volatile_flash=False`` the flash contents survive, but the
+  flash tier is **offline** while recovery scans and validates its
+  metadata — ``scan_ns_per_block`` per resident block.  Reads bypass
+  the flash to the filer (without filling it) and flash-bound
+  writebacks divert to the filer until the scan finishes.
+
+This is an availability-blip approximation: application threads keep
+running against the degraded stack rather than being killed and
+restarted, which is the right model for the paper's metric (aggregate
+application latency over the measurement phase).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._units import US
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class RestartSpec:
+    """What happens to the caches at the warmup/measurement boundary."""
+
+    #: True = flash contents are lost (non-persistent cache crashed).
+    volatile_flash: bool = False
+    #: Per-resident-block metadata scan time during recovery; the flash
+    #: tier is offline for ``resident_blocks * scan_ns_per_block``.
+    scan_ns_per_block: int = 10 * US
+
+    def __post_init__(self) -> None:
+        if self.scan_ns_per_block < 0:
+            raise ConfigError("scan time must be non-negative")
+
+    @classmethod
+    def crash_volatile(cls) -> "RestartSpec":
+        """A crash with a non-persistent flash cache (everything lost)."""
+        return cls(volatile_flash=True)
+
+    @classmethod
+    def recover_persistent(cls, scan_ns_per_block: int = 10 * US) -> "RestartSpec":
+        """A reboot with a persistent flash cache that must be scanned."""
+        return cls(volatile_flash=False, scan_ns_per_block=scan_ns_per_block)
+
+    @classmethod
+    def instant_recovery(cls) -> "RestartSpec":
+        """An idealized persistent cache with free recovery (upper bound)."""
+        return cls(volatile_flash=False, scan_ns_per_block=0)

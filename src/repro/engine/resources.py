@@ -1,0 +1,123 @@
+"""Contended resources for the simulation kernel.
+
+:class:`Resource` is a FIFO semaphore: up to ``capacity`` holders at a
+time, strict arrival-order granting.  The paper's network segments
+("each segment can carry one packet at a time") are ``capacity=1``
+resources; a flash device with limited internal parallelism is a
+``capacity=k`` resource.
+
+The idiomatic usage inside a process generator::
+
+    yield resource.acquire()
+    try:
+        yield service_time
+    finally:
+        resource.release()
+
+(The ``try/finally`` matters only for processes that can be interrupted;
+the cache stack's I/O paths never are, so they use the plain form.)
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.engine.events import Completion
+from repro.engine.simulation import Simulator
+from repro.errors import SimulationError
+
+
+class Resource:
+    """A FIFO semaphore with ``capacity`` concurrent holders.
+
+    Tracks simple utilization statistics: total acquisitions, total
+    time-weighted queue length, and busy time, which the simulator's
+    results use to report network utilization.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = "") -> None:
+        if capacity < 1:
+            raise SimulationError("Resource capacity must be >= 1, got %d" % capacity)
+        self._sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._queue: Deque[Completion] = deque()
+        # statistics
+        self.total_acquisitions = 0
+        self._busy_since: Optional[int] = None
+        self.busy_time = 0
+
+    # --- core protocol ----------------------------------------------
+
+    def acquire(self) -> Completion:
+        """Request a slot; the returned completion fires when granted.
+
+        The caller *must* later call :meth:`release` exactly once per
+        granted acquire.
+        """
+        grant = Completion()
+        if self._in_use < self.capacity:
+            self._grant(grant)
+        else:
+            self._queue.append(grant)
+        return grant
+
+    def release(self) -> None:
+        """Release a previously granted slot, waking the next waiter."""
+        if self._in_use <= 0:
+            raise SimulationError("release() of %r without matching acquire" % self.name)
+        self._in_use -= 1
+        if self._queue:
+            self._grant(self._queue.popleft())
+        elif self._in_use == 0 and self._busy_since is not None:
+            self.busy_time += self._sim.now - self._busy_since
+            self._busy_since = None
+
+    def _grant(self, grant: Completion) -> None:
+        if self._in_use == 0 and self._busy_since is None:
+            self._busy_since = self._sim.now
+        self._in_use += 1
+        self.total_acquisitions += 1
+        grant.fire(self)
+
+    # --- introspection ----------------------------------------------
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently granted slots."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of acquire requests still waiting."""
+        return len(self._queue)
+
+    def utilization(self) -> float:
+        """Fraction of simulated time the resource has been non-idle."""
+        busy = self.busy_time
+        if self._busy_since is not None:
+            busy += self._sim.now - self._busy_since
+        if self._sim.now == 0:
+            return 0.0
+        return busy / self._sim.now
+
+    def use(self, service_time: int):
+        """Generator helper: acquire, hold for ``service_time``, release.
+
+        Use with ``yield from``::
+
+            yield from link.use(packet_time)
+        """
+        yield self.acquire()
+        yield service_time
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<Resource %s %d/%d queue=%d>" % (
+            self.name,
+            self._in_use,
+            self.capacity,
+            len(self._queue),
+        )

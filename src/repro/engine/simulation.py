@@ -1,0 +1,171 @@
+"""The discrete-event simulation kernel.
+
+The kernel owns a binary-heap event queue keyed on ``(time, sequence)``.
+Simulation *processes* are plain Python generators; they advance by
+yielding one of:
+
+* an ``int`` — suspend for that many nanoseconds;
+* a :class:`~repro.engine.events.Completion` — suspend until it fires;
+  the fired value becomes the result of the ``yield``.
+
+Processes compose with ``yield from``, which is how the cache stack
+builds multi-step I/O paths out of small helper generators.
+
+The kernel is single-threaded and deterministic: ties in simulated time
+break by scheduling order, so a run with the same inputs always produces
+the same interleaving.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Iterator, List, Optional, Tuple
+
+from repro.engine.events import Completion
+from repro.errors import SimulationError
+
+#: The generator type processes are built from.
+ProcessGenerator = Generator[Any, Any, Any]
+
+
+class Process:
+    """A running simulation process wrapping a generator.
+
+    Exposes :attr:`completion`, which fires with the generator's return
+    value when it finishes; other processes can ``yield proc.completion``
+    to join.
+    """
+
+    __slots__ = ("_sim", "_gen", "completion", "name")
+
+    def __init__(self, sim: "Simulator", gen: ProcessGenerator, name: str = "") -> None:
+        self._sim = sim
+        self._gen = gen
+        self.completion = Completion()
+        self.name = name or getattr(gen, "__name__", "process")
+
+    @property
+    def finished(self) -> bool:
+        """True once the underlying generator has returned."""
+        return self.completion.fired
+
+    def _resume_soon(self, value: Any) -> None:
+        """Schedule this process to resume at the current simulated time."""
+        self._sim._schedule_resume(self, value)
+
+    def _step(self, send_value: Any) -> None:
+        """Advance the generator one yield and act on the command."""
+        try:
+            command = self._gen.send(send_value)
+        except StopIteration as stop:
+            self.completion.fire(stop.value)
+            return
+        if type(command) is int:
+            if command < 0:
+                self._gen.throw(SimulationError("negative timeout %d" % command))
+                return
+            self._sim._schedule_resume_at(self._sim.now + command, self)
+        elif isinstance(command, Completion):
+            command._subscribe(self)
+        else:
+            self._gen.throw(
+                SimulationError(
+                    "process %r yielded %r; expected int delay or Completion"
+                    % (self.name, command)
+                )
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "finished" if self.finished else "running"
+        return "<Process %s %s>" % (self.name, state)
+
+
+class Simulator:
+    """Event loop: owns simulated time and the pending-event heap."""
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._heap: List[Tuple[int, int, Process, Any]] = []
+        self._seq: int = 0
+        self._running = False
+
+    # --- scheduling -------------------------------------------------
+
+    def spawn(self, gen: ProcessGenerator, name: str = "") -> Process:
+        """Create a process from ``gen`` and schedule its first step now."""
+        process = Process(self, gen, name)
+        self._schedule_resume_at(self.now, process)
+        return process
+
+    def _schedule_resume(self, process: Process, value: Any = None) -> None:
+        self._schedule_resume_at(self.now, process, value)
+
+    def _schedule_resume_at(self, when: int, process: Process, value: Any = None) -> None:
+        if when < self.now:
+            raise SimulationError(
+                "cannot schedule in the past (%d < %d)" % (when, self.now)
+            )
+        self._seq += 1
+        heapq.heappush(self._heap, (when, self._seq, process, value))
+
+    # --- execution ---------------------------------------------------
+
+    def run(self, until: Optional[int] = None) -> int:
+        """Run until the event queue drains (or simulated ``until`` is hit).
+
+        Returns the final simulated time.  ``until`` is an absolute
+        timestamp; events scheduled beyond it stay queued so the run can
+        be continued later.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not reentrant")
+        self._running = True
+        try:
+            heap = self._heap
+            while heap:
+                when = heap[0][0]
+                if until is not None and when > until:
+                    self.now = until
+                    break
+                when, _seq, process, value = heapq.heappop(heap)
+                self.now = when
+                process._step(value)
+        finally:
+            self._running = False
+        return self.now
+
+    def run_until_complete(self, gen: ProcessGenerator, name: str = "") -> Any:
+        """Spawn ``gen``, run the simulation, and return its result.
+
+        Raises :class:`SimulationError` if the event queue drains before
+        the process finishes (i.e. it deadlocked on a completion nobody
+        fires).
+        """
+        process = self.spawn(gen, name)
+        self.run()
+        if not process.finished:
+            raise SimulationError(
+                "process %r did not finish; simulation deadlocked" % process.name
+            )
+        return process.completion.value
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events waiting in the queue (for tests/diagnostics)."""
+        return len(self._heap)
+
+
+def timeout(sim: Simulator, delay: int) -> Completion:
+    """Return a completion that fires ``delay`` ns from now.
+
+    Useful when non-process code needs a timer, or when a process wants
+    to race a timer against another completion.
+    """
+    done = Completion()
+
+    def fire_gen() -> Iterator[Any]:
+        yield delay
+        done.fire(sim.now)
+
+    sim.spawn(fire_gen(), name="timeout")
+    return done

@@ -1,0 +1,29 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the package derives from :class:`ReproError`, so
+callers can catch package failures with one ``except`` clause while still
+distinguishing configuration mistakes from simulation-engine misuse and
+malformed trace input.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine was misused or reached an impossible state."""
+
+
+class TraceFormatError(ReproError):
+    """A trace file or record could not be parsed."""
+
+
+class CacheError(ReproError):
+    """A cache store was used incorrectly (e.g. duplicate insert)."""

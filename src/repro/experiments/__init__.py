@@ -1,0 +1,26 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every ``figureN`` module exposes ``run(scale=..., fast=...) -> ExperimentResult``
+that regenerates the corresponding figure's series (at a scaled-down
+geometry — see :mod:`repro.experiments.common`), and the benchmarks in
+``benchmarks/`` wrap those runs for ``pytest --benchmark-only``.
+
+The CLI ``repro-experiments`` runs any experiment by name and prints
+its table.
+"""
+
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    ExperimentResult,
+    baseline_config,
+    baseline_trace,
+    scaled_gb,
+)
+
+__all__ = [
+    "DEFAULT_SCALE",
+    "ExperimentResult",
+    "baseline_config",
+    "baseline_trace",
+    "scaled_gb",
+]

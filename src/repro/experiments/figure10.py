@@ -1,0 +1,70 @@
+"""Figure 10 — the effect of flash cache persistence.
+
+§7.8: persistence is modeled by doubling the flash write latency (a
+data write plus a metadata write per block); its benefit is measured by
+comparing a warmed run against a run whose warmup phase is skipped —
+"equivalent to having a non-persistent cache and crashing at the
+beginning of the simulator run".  Three curves over working-set size:
+no flash (warmed), 64 GB flash not warmed, 64 GB flash warmed.
+
+Findings: the doubled write latency is invisible to the application,
+while losing the warm cache is expensive for every working set that
+fits (or mostly fits) in flash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional, Sequence
+
+from repro.core.simulator import run_simulation
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    ExperimentResult,
+    baseline_config,
+    baseline_trace,
+)
+from repro.experiments.figure3 import FAST_WS_SWEEP, FULL_WS_SWEEP
+
+
+def run(
+    scale: int = DEFAULT_SCALE,
+    fast: bool = False,
+    ws_sweep: Optional[Sequence[float]] = None,
+) -> ExperimentResult:
+    sweep = ws_sweep or (FAST_WS_SWEEP if fast else FULL_WS_SWEEP)
+    result = ExperimentResult(
+        experiment="figure10",
+        title="Effect of persistence: warm vs. cold flash cache",
+        columns=("ws_gb", "noflash_warm_us", "flash_cold_us", "flash_warm_us"),
+        notes=(
+            "Paper: warm persistent flash (with doubled write latency) "
+            "matches the non-persistent warm cache; the cold-start curve "
+            "sits well above it; no-flash worst overall.  Also: the "
+            "persistence write penalty itself is invisible."
+        ),
+    )
+    noflash = baseline_config(flash_gb=0.0, scale=scale)
+    flash_persistent = replace(baseline_config(scale=scale), persistent_flash=True)
+    for ws_gb in sweep:
+        trace = baseline_trace(ws_gb=ws_gb, scale=scale)
+        result.add_row(
+            ws_gb=ws_gb,
+            noflash_warm_us=run_simulation(trace, noflash).read_latency_us,
+            flash_cold_us=run_simulation(
+                trace, flash_persistent, cold_start=True
+            ).read_latency_us,
+            flash_warm_us=run_simulation(trace, flash_persistent).read_latency_us,
+        )
+    return result
+
+
+def persistence_cost(scale: int = DEFAULT_SCALE, ws_gb: float = 60.0):
+    """The §7.8 cost check: warmed runs with and without the doubled
+    flash write latency; returns (plain, persistent) results."""
+    trace = baseline_trace(ws_gb=ws_gb, scale=scale)
+    plain = run_simulation(trace, baseline_config(scale=scale))
+    persistent = run_simulation(
+        trace, replace(baseline_config(scale=scale), persistent_flash=True)
+    )
+    return plain, persistent

@@ -1,0 +1,80 @@
+"""Figure 11 — cache consistency: invalidations vs. write percentage.
+
+§7.9's worst case: two hosts sharing one working set.  For write
+percentages 0–90 %, measure (a) the percentage of application block
+writes requiring invalidation of another host's copy and (b) the
+application read latency, with a 64 GB flash per host and with no
+flash, for both baseline working sets.
+
+Findings: with flash, the invalidation percentage is high (the big
+caches retain shared blocks, so writes keep finding remote copies);
+read latency rises with the invalidation rate because invalidated
+blocks must be refetched from the filer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.simulator import run_simulation
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    ExperimentResult,
+    baseline_config,
+    baseline_trace,
+)
+from repro.experiments.figure8 import FAST_WRITE_SWEEP, FULL_WRITE_SWEEP
+
+
+def run(
+    scale: int = DEFAULT_SCALE,
+    fast: bool = False,
+    write_sweep: Optional[Sequence[float]] = None,
+) -> ExperimentResult:
+    # 0% writes cannot require invalidations; start the sweep at 10%.
+    sweep = [
+        w for w in (write_sweep or (FAST_WRITE_SWEEP if fast else FULL_WRITE_SWEEP))
+        if w > 0
+    ]
+    result = ExperimentResult(
+        experiment="figure11",
+        title="Invalidations and read latency vs. write %% (2 hosts, shared WS)",
+        columns=(
+            "write_pct",
+            "inval_noflash80_pct",
+            "inval_noflash60_pct",
+            "inval_flash80_pct",
+            "inval_flash60_pct",
+            "read_noflash80_us",
+            "read_noflash60_us",
+            "read_flash80_us",
+            "read_flash60_us",
+        ),
+        notes=(
+            "Paper: invalidation percentage much higher with the 64 GB "
+            "flash than with RAM only; read latency grows with the "
+            "invalidation rate."
+        ),
+    )
+    configs = {
+        "noflash": baseline_config(flash_gb=0.0, scale=scale),
+        "flash": baseline_config(flash_gb=64.0, scale=scale),
+    }
+    for write_fraction in sweep:
+        row = {"write_pct": round(write_fraction * 100)}
+        for ws_gb, ws_label in ((80.0, "80"), (60.0, "60")):
+            trace = baseline_trace(
+                ws_gb=ws_gb,
+                write_fraction=write_fraction,
+                n_hosts=2,
+                shared_working_set=True,
+                scale=scale,
+            )
+            for cfg_label, config in configs.items():
+                res = run_simulation(trace, config)
+                row["inval_%s%s_pct" % (cfg_label, ws_label)] = (
+                    100.0 * res.invalidation_fraction
+                )
+                row["read_%s%s_us" % (cfg_label, ws_label)] = res.read_latency_us
+        result.add_row(**row)
+    return result

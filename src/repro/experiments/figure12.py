@@ -1,0 +1,65 @@
+"""Figure 12 — cache consistency: invalidations vs. working-set size.
+
+§7.9's second family: two hosts sharing one working set at the baseline
+30 % writes, sweeping the working-set size; invalidation percentage and
+read latency, with and without a 64 GB flash.
+
+Findings: "for workloads that fit in flash, the percentage of writes
+requiring invalidation is high, even relative to workloads that fit in
+RAM with no flash.  The invalidation rate drops off for out-of-cache
+workloads, but neither as quickly nor as significantly as with the
+smaller RAM cache."
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.simulator import run_simulation
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    ExperimentResult,
+    baseline_config,
+    baseline_trace,
+)
+from repro.experiments.figure3 import FAST_WS_SWEEP, FULL_WS_SWEEP
+
+
+def run(
+    scale: int = DEFAULT_SCALE,
+    fast: bool = False,
+    ws_sweep: Optional[Sequence[float]] = None,
+) -> ExperimentResult:
+    sweep = ws_sweep or (FAST_WS_SWEEP if fast else FULL_WS_SWEEP)
+    result = ExperimentResult(
+        experiment="figure12",
+        title="Invalidations and read latency vs. working-set size "
+        "(2 hosts, shared WS, 30%% writes)",
+        columns=(
+            "ws_gb",
+            "inval_noflash_pct",
+            "inval_flash_pct",
+            "read_noflash_us",
+            "read_flash_us",
+        ),
+        notes=(
+            "Paper: invalidation rate high while the WS fits in flash and "
+            "decaying slowly beyond it; the no-flash rate decays much "
+            "faster with WS size."
+        ),
+    )
+    configs = {
+        "noflash": baseline_config(flash_gb=0.0, scale=scale),
+        "flash": baseline_config(flash_gb=64.0, scale=scale),
+    }
+    for ws_gb in sweep:
+        trace = baseline_trace(
+            ws_gb=ws_gb, n_hosts=2, shared_working_set=True, scale=scale
+        )
+        row = {"ws_gb": ws_gb}
+        for cfg_label, config in configs.items():
+            res = run_simulation(trace, config)
+            row["inval_%s_pct" % cfg_label] = 100.0 * res.invalidation_fraction
+            row["read_%s_us" % cfg_label] = res.read_latency_us
+        result.add_row(**row)
+    return result

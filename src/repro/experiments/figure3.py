@@ -1,0 +1,74 @@
+"""Figure 3 — effective cache size: structure vs. medium latency.
+
+The paper compares, across working-set sizes:
+
+* ``8G RAM, 64G flash, Naive`` — the real baseline;
+* ``8G RAM, 64G RAM, Naive`` — the same structure pretending the flash
+  is as fast as RAM (isolates the *structural* effect);
+* ``8G RAM, 56G RAM, Unified`` — a unified cache with the same 64 GB
+  *total*, also at RAM speed.
+
+Finding: the RAM-only unified 8+56 curve is identical to the RAM-only
+naive 8+64 curve (same effective capacity!), and the gap to the real
+flash curve is purely the flash medium's latency.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.architectures import Architecture
+from repro.core.simulator import run_simulation
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    ExperimentResult,
+    baseline_config,
+    baseline_trace,
+)
+from repro.flash.timing import FlashTiming
+
+#: Working-set sweep (GB at paper scale), §7.2's 5–640 GB range.
+FULL_WS_SWEEP = (5.0, 20.0, 40.0, 60.0, 80.0, 120.0, 200.0, 320.0, 640.0)
+FAST_WS_SWEEP = (5.0, 40.0, 60.0, 80.0, 320.0)
+
+
+def ram_speed_flash() -> FlashTiming:
+    """A "flash" with RAM's 400 ns access time (the pretend cases)."""
+    return FlashTiming(read_ns=400, write_ns=400)
+
+
+def run(
+    scale: int = DEFAULT_SCALE,
+    fast: bool = False,
+    ws_sweep: Optional[Sequence[float]] = None,
+) -> ExperimentResult:
+    sweep = ws_sweep or (FAST_WS_SWEEP if fast else FULL_WS_SWEEP)
+    result = ExperimentResult(
+        experiment="figure3",
+        title="Read latency vs. working-set size: effective cache sizes",
+        columns=("ws_gb", "naive_flash_us", "naive_ramspeed_us", "unified_56_ramspeed_us"),
+        notes=(
+            "Paper: the two RAM-speed curves coincide (equal effective "
+            "capacity 72 GB... naive 8+64 vs unified 8+56 = 64 total); the "
+            "real-flash curve sits above them by the flash latency."
+        ),
+    )
+    naive_real = baseline_config(scale=scale)
+    naive_ramspeed = naive_real.with_timing(
+        naive_real.timing.with_flash(ram_speed_flash())
+    )
+    unified_ramspeed = baseline_config(
+        ram_gb=8.0, flash_gb=56.0, scale=scale, architecture=Architecture.UNIFIED
+    )
+    unified_ramspeed = unified_ramspeed.with_timing(
+        unified_ramspeed.timing.with_flash(ram_speed_flash())
+    )
+    for ws_gb in sweep:
+        trace = baseline_trace(ws_gb=ws_gb, scale=scale)
+        result.add_row(
+            ws_gb=ws_gb,
+            naive_flash_us=run_simulation(trace, naive_real).read_latency_us,
+            naive_ramspeed_us=run_simulation(trace, naive_ramspeed).read_latency_us,
+            unified_56_ramspeed_us=run_simulation(trace, unified_ramspeed).read_latency_us,
+        )
+    return result

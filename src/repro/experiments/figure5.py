@@ -1,0 +1,58 @@
+"""Figure 5 — sensitivity to the filer's prefetch (fast-read) rate.
+
+§7.3: a large client cache may hurt the filer's ability to prefetch, so
+the paper bounds the effect by sweeping the prefetch rate between a
+pessimal 80 % and an optimistic 95 %, with and without a 64 GB flash.
+The "pocket" between the better no-flash curve and the worse with-flash
+curve marks where a prefetch-rate drop would erase the flash's benefit.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.simulator import run_simulation
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    ExperimentResult,
+    baseline_config,
+    baseline_trace,
+)
+from repro.experiments.figure3 import FAST_WS_SWEEP, FULL_WS_SWEEP
+
+PREFETCH_RATES = (0.80, 0.95)
+
+
+def run(
+    scale: int = DEFAULT_SCALE,
+    fast: bool = False,
+    ws_sweep: Optional[Sequence[float]] = None,
+) -> ExperimentResult:
+    sweep = ws_sweep or (FAST_WS_SWEEP if fast else FULL_WS_SWEEP)
+    result = ExperimentResult(
+        experiment="figure5",
+        title="Read latency vs. working-set size, prefetch rate 80% vs 95%",
+        columns=(
+            "ws_gb",
+            "noflash_p80_us",
+            "noflash_p95_us",
+            "flash64_p80_us",
+            "flash64_p95_us",
+        ),
+        notes=(
+            "Paper: prefetch rate dominates; flash at 80% prefetch can be "
+            "worse than no flash at 95% except where the WS fits in flash "
+            "but not RAM."
+        ),
+    )
+    for ws_gb in sweep:
+        trace = baseline_trace(ws_gb=ws_gb, scale=scale)
+        row = {"ws_gb": ws_gb}
+        for rate in PREFETCH_RATES:
+            for flash_gb, label in ((0.0, "noflash"), (64.0, "flash64")):
+                config = baseline_config(flash_gb=flash_gb, scale=scale)
+                config = config.with_timing(config.timing.with_prefetch_rate(rate))
+                key = "%s_p%d_us" % (label, round(rate * 100))
+                row[key] = run_simulation(trace, config).read_latency_us
+        result.add_row(**row)
+    return result

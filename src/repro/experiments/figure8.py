@@ -1,0 +1,60 @@
+"""Figure 8 — latency vs. write percentage (0–90 %).
+
+§7.6: baseline caches (8 GB RAM, 64 GB flash), 60 GB and 80 GB working
+sets, write fraction swept from 0 % to 90 % (the paper says results
+above 90 % "should be taken with a grain of salt").  Findings: read
+latency stable; write latency flat until very high write rates, where
+the 1-second RAM syncer falls behind and synchronous RAM evictions
+expose the flash write latency.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.simulator import run_simulation
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    ExperimentResult,
+    baseline_config,
+    baseline_trace,
+)
+
+FULL_WRITE_SWEEP = (0.0, 0.10, 0.20, 0.30, 0.40, 0.50, 0.60, 0.70, 0.80, 0.90)
+FAST_WRITE_SWEEP = (0.0, 0.30, 0.60, 0.90)
+
+
+def run(
+    scale: int = DEFAULT_SCALE,
+    fast: bool = False,
+    write_sweep: Optional[Sequence[float]] = None,
+) -> ExperimentResult:
+    sweep = write_sweep or (FAST_WRITE_SWEEP if fast else FULL_WRITE_SWEEP)
+    result = ExperimentResult(
+        experiment="figure8",
+        title="Latency vs. write percentage (60 and 80 GB working sets)",
+        columns=(
+            "write_pct",
+            "read60_us",
+            "read80_us",
+            "write60_us",
+            "write80_us",
+        ),
+        notes=(
+            "Paper: read latency stable across write ratios; write latency "
+            "flat (RAM speed) until ~90% writes."
+        ),
+    )
+    config = baseline_config(scale=scale)
+    for write_fraction in sweep:
+        row = {"write_pct": round(write_fraction * 100)}
+        for ws_gb, label in ((60.0, "60"), (80.0, "80")):
+            trace = baseline_trace(
+                ws_gb=ws_gb, write_fraction=write_fraction, scale=scale
+            )
+            res = run_simulation(trace, config)
+            # An all-write trace has no read samples (and vice versa).
+            row["read%s_us" % label] = res.read_latency_us
+            row["write%s_us" % label] = res.write_latency_us
+        result.add_row(**row)
+    return result

@@ -1,0 +1,72 @@
+"""Figure 9 — sensitivity to flash device timing.
+
+§7.7: sweep the flash read latency (write latency scaled
+proportionally) for all three architectures and both baseline working
+sets.  "The leftmost point represents the potential performance of
+phase-change memory."  Findings: application latency scales linearly
+with flash latency wherever the flash latency is exposed; architecture
+matters only when the working set falls out of flash (unified's larger
+effective size shows).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro._units import US
+from repro.core.architectures import Architecture
+from repro.core.simulator import run_simulation
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    ExperimentResult,
+    baseline_config,
+    baseline_trace,
+)
+from repro.flash.timing import FlashTiming
+
+FULL_READ_US_SWEEP = (1, 11, 22, 44, 66, 88, 100)
+FAST_READ_US_SWEEP = (1, 44, 88)
+
+
+def run(
+    scale: int = DEFAULT_SCALE,
+    fast: bool = False,
+    read_us_sweep: Optional[Sequence[int]] = None,
+) -> ExperimentResult:
+    sweep = read_us_sweep or (FAST_READ_US_SWEEP if fast else FULL_READ_US_SWEEP)
+    result = ExperimentResult(
+        experiment="figure9",
+        title="Read latency vs. flash read time (write time proportional)",
+        columns=(
+            "flash_read_us",
+            "lookaside80_us",
+            "naive80_us",
+            "unified80_us",
+            "lookaside60_us",
+            "naive60_us",
+            "unified60_us",
+        ),
+        notes=(
+            "Paper: latency scales linearly with flash speed; 60 GB curves "
+            "below 80 GB; unified best when the WS falls out of flash."
+        ),
+    )
+    traces = {
+        "60": baseline_trace(ws_gb=60.0, scale=scale),
+        "80": baseline_trace(ws_gb=80.0, scale=scale),
+    }
+    for read_us in sweep:
+        timing = FlashTiming.scaled_read(read_us * US)
+        row = {"flash_read_us": read_us}
+        for ws_label, trace in traces.items():
+            for arch in (
+                Architecture.NAIVE,
+                Architecture.LOOKASIDE,
+                Architecture.UNIFIED,
+            ):
+                config = baseline_config(scale=scale).with_architecture(arch)
+                config = config.with_timing(config.timing.with_flash(timing))
+                res = run_simulation(trace, config)
+                row["%s%s_us" % (arch.value, ws_label)] = res.read_latency_us
+        result.add_row(**row)
+    return result

@@ -1,0 +1,67 @@
+"""Extension experiment: scaling the number of hosts.
+
+§3.8 notes that "the size of flash caches may affect the scalability of
+consistency protocols; detailed modeling of this effect is beyond the
+scope of our work."  Without modeling a protocol, the *load* a protocol
+must carry is measurable: this experiment sweeps the host count over a
+shared working set and reports per-host invalidation pressure, filer
+traffic, and application latency — the paper's two-host worst case
+(Figures 11/12) extended along the axis it left open.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.simulator import run_simulation
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    ExperimentResult,
+    baseline_config,
+    baseline_trace,
+)
+
+FULL_HOSTS = (1, 2, 3, 4, 6, 8)
+FAST_HOSTS = (1, 2, 4)
+
+
+def run(
+    scale: int = DEFAULT_SCALE,
+    fast: bool = False,
+    host_sweep: Optional[Sequence[int]] = None,
+    ws_gb: float = 60.0,
+) -> ExperimentResult:
+    sweep = host_sweep or (FAST_HOSTS if fast else FULL_HOSTS)
+    result = ExperimentResult(
+        experiment="multihost",
+        title="Host-count scaling on a shared %g GB working set" % ws_gb,
+        columns=(
+            "hosts",
+            "inval_pct",
+            "copies_invalidated",
+            "read_us",
+            "filer_reads",
+            "filer_writes",
+        ),
+        notes=(
+            "With more hosts sharing one working set, each write finds "
+            "more remote copies: invalidation work grows with the host "
+            "count, and refetches push read latency and filer load up — "
+            "the §3.8 scalability concern, quantified."
+        ),
+    )
+    config = baseline_config(scale=scale)
+    for n_hosts in sweep:
+        trace = baseline_trace(
+            ws_gb=ws_gb, n_hosts=n_hosts, shared_working_set=True, scale=scale
+        )
+        res = run_simulation(trace, config)
+        result.add_row(
+            hosts=n_hosts,
+            inval_pct=100.0 * res.invalidation_fraction,
+            copies_invalidated=res.copies_invalidated,
+            read_us=res.read_latency_us,
+            filer_reads=res.filer_reads,
+            filer_writes=res.filer_writes,
+        )
+    return result

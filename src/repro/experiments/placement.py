@@ -1,0 +1,70 @@
+"""Extension experiment: how much does smarter placement buy? (§3.2)
+
+The paper's open question: "The basic question is whether the simple
+approach is good enough.  We would also like to estimate how much
+better (if at all) an alternate placement scheme performs."
+
+This experiment compares all four placements across working-set sizes:
+
+* **naive** — RAM duplicated inside flash (effective capacity = flash);
+* **lookaside** — same placement, write path differs;
+* **unified** — one LRU chain, blocks placed in whichever buffer frees
+  up (effective capacity = RAM + flash, but hot blocks mostly in flash);
+* **exclusive** (extension) — RAM-first with demotion/promotion
+  migration: effective capacity = RAM + flash *and* hot blocks in RAM.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.architectures import Architecture
+from repro.core.simulator import run_simulation
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    ExperimentResult,
+    baseline_config,
+    baseline_trace,
+)
+from repro.experiments.figure3 import FAST_WS_SWEEP, FULL_WS_SWEEP
+
+
+def run(
+    scale: int = DEFAULT_SCALE,
+    fast: bool = False,
+    ws_sweep: Optional[Sequence[float]] = None,
+) -> ExperimentResult:
+    sweep = ws_sweep or (FAST_WS_SWEEP if fast else FULL_WS_SWEEP)
+    result = ExperimentResult(
+        experiment="placement",
+        title="Placement ablation: read/write latency per architecture",
+        columns=(
+            "ws_gb",
+            "naive_read_us",
+            "unified_read_us",
+            "exclusive_read_us",
+            "naive_write_us",
+            "unified_write_us",
+            "exclusive_write_us",
+            "exclusive_flash_writes",
+            "naive_flash_writes",
+        ),
+        notes=(
+            "Expected: exclusive matches or beats unified on reads (same "
+            "effective capacity, hot blocks in RAM) and keeps naive's "
+            "RAM-speed writes, at the price of extra migration traffic "
+            "(flash writes)."
+        ),
+    )
+    for ws_gb in sweep:
+        trace = baseline_trace(ws_gb=ws_gb, scale=scale)
+        row = {"ws_gb": ws_gb}
+        for arch in (Architecture.NAIVE, Architecture.UNIFIED, Architecture.EXCLUSIVE):
+            config = baseline_config(scale=scale).with_architecture(arch)
+            res = run_simulation(trace, config)
+            row["%s_read_us" % arch.value] = res.read_latency_us
+            row["%s_write_us" % arch.value] = res.write_latency_us
+            if arch in (Architecture.NAIVE, Architecture.EXCLUSIVE):
+                row["%s_flash_writes" % arch.value] = res.flash_blocks_written
+        result.add_row(**row)
+    return result

@@ -1,0 +1,75 @@
+"""Extension experiment: the recovery phase the paper skipped (§7.8).
+
+"(We did not attempt to simulate the recovery phase.)" — this
+experiment does.  All runs replay the warmup, then crash/reboot at the
+measurement boundary:
+
+* ``volatile``   — non-persistent flash: contents lost (≈ Figure 10's
+  "not warmed" curve, measured with an explicit crash);
+* ``instant``    — persistent flash with free recovery (Figure 10's
+  idealized "warmed" persistent cache);
+* ``scan=X``     — persistent flash that is offline while recovery
+  validates each resident block's metadata at X µs/block (§3.8's
+  "unavailable during a reboot").
+
+The interesting question: at what scan cost does a recoverable cache
+stop being worth recovering?  (For reference, rereading a block from
+the filer costs ~141 µs — so recovery only loses if scanning a block
+costs more than refetching it on demand, or if the offline window
+starves the workload.)
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro._units import US
+from repro.core.restart import RestartSpec
+from repro.core.simulator import run_simulation
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    ExperimentResult,
+    baseline_config,
+    baseline_trace,
+)
+
+FULL_SCAN_US = (0, 1, 10, 50, 200, 1000)
+FAST_SCAN_US = (0, 10, 200)
+
+
+def run(
+    scale: int = DEFAULT_SCALE,
+    fast: bool = False,
+    scan_us_sweep: Optional[Sequence[int]] = None,
+    ws_gb: float = 60.0,
+) -> ExperimentResult:
+    sweep = scan_us_sweep or (FAST_SCAN_US if fast else FULL_SCAN_US)
+    trace = baseline_trace(ws_gb=ws_gb, scale=scale)
+    config = baseline_config(scale=scale)
+    result = ExperimentResult(
+        experiment="recovery",
+        title="Restart recovery cost (%g GB working set, 64 GB flash)" % ws_gb,
+        columns=("restart", "read_us", "write_us", "filer_reads"),
+        notes=(
+            "Paper's §7.8 measured only the endpoints (warm vs. lost); "
+            "the scan sweep shows where recovery stops paying off."
+        ),
+    )
+
+    volatile = run_simulation(trace, config, restart=RestartSpec.crash_volatile())
+    result.add_row(
+        restart="volatile crash",
+        read_us=volatile.read_latency_us,
+        write_us=volatile.write_latency_us,
+        filer_reads=volatile.filer_reads,
+    )
+    for scan_us in sweep:
+        spec = RestartSpec.recover_persistent(scan_ns_per_block=scan_us * US)
+        res = run_simulation(trace, config, restart=spec)
+        result.add_row(
+            restart="persistent scan=%dus" % scan_us,
+            read_us=res.read_latency_us,
+            write_us=res.write_latency_us,
+            filer_reads=res.filer_reads,
+        )
+    return result

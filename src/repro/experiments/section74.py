@@ -1,0 +1,69 @@
+"""§7.4's omitted graphs — flash cache size at a fixed workload.
+
+"We next examined the converse case: given a fixed workload, what
+happens as we increase the flash cache size.  As expected, the read
+latency decreases as a greater portion of the working set falls in the
+cache until the flash cache is large enough to capture the entire
+working set, at which point the read latency is that of flash.  As
+there is nothing unexpected in these results, we have omitted the
+corresponding graphs."
+
+The graphs are cheap to regenerate, so here they are: read latency and
+flash hit rate vs. flash size for both baseline working sets, with the
+plateau position checked against the paper's description.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.simulator import run_simulation
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    ExperimentResult,
+    baseline_config,
+    baseline_trace,
+)
+
+FULL_FLASH_SWEEP = (8.0, 16.0, 32.0, 48.0, 64.0, 96.0, 128.0, 192.0)
+FAST_FLASH_SWEEP = (8.0, 32.0, 64.0, 128.0)
+
+
+def run(
+    scale: int = DEFAULT_SCALE,
+    fast: bool = False,
+    flash_sweep_gb: Optional[Sequence[float]] = None,
+) -> ExperimentResult:
+    sweep = flash_sweep_gb or (FAST_FLASH_SWEEP if fast else FULL_FLASH_SWEEP)
+    result = ExperimentResult(
+        experiment="section74",
+        title="Read latency vs. flash size at fixed working sets "
+        "(the graphs §7.4 omitted)",
+        columns=(
+            "flash_gb",
+            "read60_us",
+            "hit60_pct",
+            "read80_us",
+            "hit80_pct",
+        ),
+        notes=(
+            "Paper's description: latency decreases with flash size until "
+            "the cache captures the working set, then plateaus at flash "
+            "latency; the 60 GB curve should plateau by 64 GB, the 80 GB "
+            "curve by 96-128 GB."
+        ),
+    )
+    traces = {
+        "60": baseline_trace(ws_gb=60.0, scale=scale),
+        "80": baseline_trace(ws_gb=80.0, scale=scale),
+    }
+    for flash_gb in sweep:
+        row = {"flash_gb": flash_gb}
+        for label, trace in traces.items():
+            config = baseline_config(flash_gb=flash_gb, scale=scale)
+            res = run_simulation(trace, config)
+            hit_rate = res.hit_rate("flash") or 0.0
+            row["read%s_us" % label] = res.read_latency_us
+            row["hit%s_pct" % label] = 100.0 * hit_rate
+        result.add_row(**row)
+    return result

@@ -1,0 +1,18 @@
+"""File-server ("filer") model.
+
+The paper deliberately does not model the filer's internals: "we use a
+simple model: a 'fast' latency for cache hits, a 'slow' latency for
+misses, and a prefetch success rate that determines what fraction of
+reads are fast.  (Which reads are fast is random.  Writes are buffered
+and always fast.)"  §7.3 studies sensitivity to the prefetch rate.
+
+:class:`Filer` implements that model as a parallel server (the paper
+assumes "a high-performance filer with sophisticated read-ahead,
+nonvolatile cache, and large server memory"); all queueing happens on
+the network segments.
+"""
+
+from repro.filer.timing import FilerTiming
+from repro.filer.server import Filer
+
+__all__ = ["FilerTiming", "Filer"]

@@ -1,0 +1,71 @@
+"""The filer: a parallel server with fast/slow reads and buffered writes."""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Optional
+
+from repro.engine.simulation import Simulator
+from repro.filer.timing import FilerTiming
+
+
+class Filer:
+    """The networked file server shared by all hosts.
+
+    Reads are fast with probability ``timing.fast_read_rate`` (the
+    prefetch/read-ahead success rate), slow otherwise; which reads are
+    fast is random, drawn from the supplied RNG stream.  Writes land in
+    the filer's nonvolatile cache and are always fast.
+
+    The filer services any number of requests concurrently — the paper
+    attributes all contention to the network and the client devices.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rng: random.Random,
+        timing: Optional[FilerTiming] = None,
+        name: str = "filer",
+    ) -> None:
+        self._sim = sim
+        self._rng = rng
+        self.timing = timing or FilerTiming.paper_default()
+        self.name = name
+        # traffic counters
+        self.fast_reads = 0
+        self.slow_reads = 0
+        self.writes = 0
+
+    def read_block(self) -> Iterator:
+        """Process generator: service one 4 KB block read."""
+        if self._rng.random() < self.timing.fast_read_rate:
+            self.fast_reads += 1
+            yield self.timing.fast_read_ns
+        else:
+            self.slow_reads += 1
+            yield self.timing.slow_read_ns
+
+    def write_block(self) -> Iterator:
+        """Process generator: service one 4 KB block write (always fast)."""
+        self.writes += 1
+        yield self.timing.write_ns
+
+    @property
+    def reads(self) -> int:
+        return self.fast_reads + self.slow_reads
+
+    def observed_fast_rate(self) -> float:
+        """Fraction of serviced reads that were fast (for validation)."""
+        total = self.reads
+        if total == 0:
+            return 0.0
+        return self.fast_reads / total
+
+    def reset_counters(self) -> None:
+        self.fast_reads = 0
+        self.slow_reads = 0
+        self.writes = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<Filer %s reads=%d writes=%d>" % (self.name, self.reads, self.writes)

@@ -1,0 +1,47 @@
+"""Filer timing parameters (Table 1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro._units import US
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class FilerTiming:
+    """Per-4KB-block service latencies of the file server.
+
+    Table 1: fast read 92 µs, slow read 7952 µs, write 92 µs, and a 90 %
+    fast-read (prefetch-success) rate.  §7.3 sweeps the rate between a
+    pessimal 80 % and an optimistic 95 %.
+    """
+
+    fast_read_ns: int = 92 * US
+    slow_read_ns: int = 7_952 * US
+    write_ns: int = 92 * US
+    fast_read_rate: float = 0.90
+
+    def __post_init__(self) -> None:
+        if min(self.fast_read_ns, self.slow_read_ns, self.write_ns) < 0:
+            raise ConfigError("filer latencies must be non-negative")
+        if not 0.0 <= self.fast_read_rate <= 1.0:
+            raise ConfigError(
+                "fast read rate must be in [0, 1], got %r" % (self.fast_read_rate,)
+            )
+
+    @classmethod
+    def paper_default(cls) -> "FilerTiming":
+        return cls()
+
+    def with_prefetch_rate(self, rate: float) -> "FilerTiming":
+        """The same timing with a different prefetch-success rate."""
+        return replace(self, fast_read_rate=rate)
+
+    @property
+    def expected_read_ns(self) -> float:
+        """Mean read service time implied by the fast-read rate."""
+        return (
+            self.fast_read_rate * self.fast_read_ns
+            + (1.0 - self.fast_read_rate) * self.slow_read_ns
+        )

@@ -1,0 +1,33 @@
+"""Flash device models.
+
+Three levels of fidelity, matching the paper's usage:
+
+* :class:`FlashDevice` — the simulator's model: a block device with
+  average per-block read/write latencies (Table 1), optional limited
+  internal parallelism, and an optional doubled-write "persistent
+  metadata" mode (§7.8).
+* :class:`~repro.flash.ssd_model.BehavioralSSD` — the empirical model
+  behind Figure 1: per-I/O latencies with short-term variance, a stable
+  write latency, and fill-dependent read degradation (§6.2).
+* :class:`~repro.flash.ftl.PageMappedFTL` — a simple page-mapped flash
+  translation layer with greedy garbage collection and wear statistics;
+  the paper assumes an FTL exists (§3) and leaves caching-specialized
+  FTLs as future work (§8), so this is an extension used by ablation
+  benchmarks.
+"""
+
+from repro.flash.timing import FlashTiming
+from repro.flash.device import FlashDevice
+from repro.flash.ssd_model import BehavioralSSD, SSDModelConfig
+from repro.flash.ftl import PageMappedFTL, FTLConfig
+from repro.flash.ftl_device import FTLFlashDevice
+
+__all__ = [
+    "FlashTiming",
+    "FlashDevice",
+    "BehavioralSSD",
+    "SSDModelConfig",
+    "PageMappedFTL",
+    "FTLConfig",
+    "FTLFlashDevice",
+]

@@ -1,0 +1,99 @@
+"""The simulator's flash device: a block device with average latencies.
+
+The paper treats the flash "as a block device; that is, we write blocks
+to it and read them back", assumes a flash translation layer ("we assume
+our flash device comes equipped with a flash translation layer"), and
+charges a single average per-block latency for each operation, a model
+it validates against real SSDs in §6.2.
+
+Two knobs extend the base model:
+
+* ``parallelism`` — number of operations the device services at once.
+  ``0`` (the default) means unlimited, i.e. a pure latency server; a
+  positive value adds a FIFO queue, used by ablation benchmarks.
+* ``persistent_metadata`` — §7.8's persistence cost model: every write
+  is charged twice ("doubling the flash write latency to model
+  performing two flash writes per block, one of the data and one for
+  the meta-data describing the block").
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.engine.resources import Resource
+from repro.engine.simulation import Simulator
+from repro.flash.timing import FlashTiming
+
+
+class FlashDevice:
+    """A flash cache device charging per-block latencies."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        timing: Optional[FlashTiming] = None,
+        parallelism: int = 0,
+        persistent_metadata: bool = False,
+        name: str = "flash",
+    ) -> None:
+        self._sim = sim
+        self.timing = timing or FlashTiming.paper_default()
+        self.persistent_metadata = persistent_metadata
+        self.name = name
+        self._channel: Optional[Resource] = None
+        if parallelism > 0:
+            self._channel = Resource(sim, capacity=parallelism, name=name)
+        # traffic counters
+        self.blocks_read = 0
+        self.blocks_written = 0
+
+    @property
+    def write_latency_ns(self) -> int:
+        """Effective per-block write latency including metadata writes."""
+        if self.persistent_metadata:
+            return 2 * self.timing.write_ns
+        return self.timing.write_ns
+
+    @property
+    def read_latency_ns(self) -> int:
+        return self.timing.read_ns
+
+    def read_block(self, block: Optional[int] = None) -> Iterator:
+        """Process generator: read one 4 KB block.
+
+        ``block`` identifies the cached block; the base device ignores
+        it (average-latency model), the FTL-backed subclass uses it for
+        address translation.
+        """
+        self.blocks_read += 1
+        if self._channel is not None:
+            yield from self._channel.use(self.timing.read_ns)
+        else:
+            yield self.timing.read_ns
+
+    def write_block(self, block: Optional[int] = None) -> Iterator:
+        """Process generator: write one 4 KB block (plus metadata if
+        the device is in persistent mode)."""
+        self.blocks_written += 1
+        latency = self.write_latency_ns
+        if self._channel is not None:
+            yield from self._channel.use(latency)
+        else:
+            yield latency
+
+    def trim_block(self, block: int) -> None:
+        """Notify the device a block was evicted (no-op for the base
+        model; the FTL-backed device reclaims the page)."""
+
+    def reset_counters(self) -> None:
+        """Zero traffic counters (warmup/measurement boundary)."""
+        self.blocks_read = 0
+        self.blocks_written = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<FlashDevice %s read=%dns write=%dns>" % (
+            self.name,
+            self.timing.read_ns,
+            self.write_latency_ns,
+        )

@@ -1,0 +1,180 @@
+"""A simple page-mapped flash translation layer (extension).
+
+The paper assumes the flash device "comes equipped with a flash
+translation layer that handles wear leveling, erase cycles, and other
+considerations" (§3) and calls a caching-specialized FTL future work
+(§8, citing FlashTier).  This module provides a baseline page-mapped
+FTL so ablation benchmarks can measure the write amplification and wear
+a cache workload induces on such a layer.
+
+Model: the device is ``n_blocks`` erase blocks of ``pages_per_block``
+4 KB pages.  Host writes append to an open block; when free blocks run
+low, a greedy garbage collector picks the erase block with the fewest
+valid pages (ties broken by lowest erase count, a cheap form of wear
+leveling), relocates its valid pages, and erases it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigError, SimulationError
+
+
+@dataclass(frozen=True)
+class FTLConfig:
+    """Geometry and GC tuning of the page-mapped FTL."""
+
+    n_blocks: int = 1024
+    pages_per_block: int = 64
+    #: fraction of physical space reserved (never exposed to the host)
+    overprovision: float = 0.07
+    #: GC runs when free erase blocks drop to this count
+    gc_threshold_blocks: int = 2
+
+    def __post_init__(self) -> None:
+        if self.n_blocks < 4 or self.pages_per_block < 1:
+            raise ConfigError("FTL geometry too small")
+        if not 0.0 <= self.overprovision < 1.0:
+            raise ConfigError("overprovision must be in [0, 1)")
+        if self.gc_threshold_blocks < 1:
+            raise ConfigError("gc threshold must be >= 1")
+
+    @property
+    def physical_pages(self) -> int:
+        return self.n_blocks * self.pages_per_block
+
+    @property
+    def logical_pages(self) -> int:
+        """Host-visible capacity in pages."""
+        return int(self.physical_pages * (1.0 - self.overprovision))
+
+
+class _EraseBlock:
+    __slots__ = ("index", "valid", "next_free", "erase_count", "pages")
+
+    def __init__(self, index: int, pages_per_block: int) -> None:
+        self.index = index
+        self.valid = 0
+        self.next_free = 0
+        self.erase_count = 0
+        # pages[i] = logical page stored there, or None if invalid/unused
+        self.pages: List[Optional[int]] = [None] * pages_per_block
+
+
+class PageMappedFTL:
+    """Page-mapped FTL with greedy, wear-aware garbage collection."""
+
+    def __init__(self, config: FTLConfig = FTLConfig()) -> None:
+        self.config = config
+        ppb = config.pages_per_block
+        self._blocks = [_EraseBlock(i, ppb) for i in range(config.n_blocks)]
+        self._free: List[int] = list(range(config.n_blocks - 1, 0, -1))
+        self._open: _EraseBlock = self._blocks[0]
+        # logical page -> (erase block index, page index)
+        self._map: Dict[int, Tuple[int, int]] = {}
+        # statistics
+        self.host_writes = 0
+        self.flash_writes = 0
+        self.erases = 0
+        self.gc_runs = 0
+
+    # --- host interface ----------------------------------------------
+
+    def read(self, lpn: int) -> Optional[Tuple[int, int]]:
+        """Return the physical location of a logical page, or None."""
+        self._check_lpn(lpn)
+        return self._map.get(lpn)
+
+    def write(self, lpn: int) -> None:
+        """Write (or overwrite) a logical page."""
+        self._check_lpn(lpn)
+        self.host_writes += 1
+        self._invalidate(lpn)
+        self._append(lpn)
+        if len(self._free) < self.config.gc_threshold_blocks:
+            self._collect()
+
+    def trim(self, lpn: int) -> None:
+        """Discard a logical page (cache eviction maps naturally to TRIM)."""
+        self._check_lpn(lpn)
+        self._invalidate(lpn)
+        self._map.pop(lpn, None)
+
+    # --- statistics -----------------------------------------------------
+
+    @property
+    def write_amplification(self) -> float:
+        """Total flash page writes per host page write (>= 1.0)."""
+        if self.host_writes == 0:
+            return 1.0
+        return self.flash_writes / self.host_writes
+
+    def wear_stats(self) -> Dict[str, float]:
+        """Min/max/mean erase counts across erase blocks."""
+        counts = [blk.erase_count for blk in self._blocks]
+        return {
+            "min": float(min(counts)),
+            "max": float(max(counts)),
+            "mean": sum(counts) / len(counts),
+        }
+
+    # --- internals --------------------------------------------------------
+
+    def _check_lpn(self, lpn: int) -> None:
+        if not 0 <= lpn < self.config.logical_pages:
+            raise ConfigError(
+                "logical page %d out of range [0, %d)" % (lpn, self.config.logical_pages)
+            )
+
+    def _invalidate(self, lpn: int) -> None:
+        location = self._map.get(lpn)
+        if location is None:
+            return
+        block_index, page_index = location
+        block = self._blocks[block_index]
+        block.pages[page_index] = None
+        block.valid -= 1
+
+    def _append(self, lpn: int) -> None:
+        block = self._open
+        if block.next_free >= self.config.pages_per_block:
+            block = self._open_new_block()
+        page_index = block.next_free
+        block.pages[page_index] = lpn
+        block.next_free += 1
+        block.valid += 1
+        self._map[lpn] = (block.index, page_index)
+        self.flash_writes += 1
+
+    def _open_new_block(self) -> _EraseBlock:
+        if not self._free:
+            raise SimulationError(
+                "FTL out of free blocks; host wrote past logical capacity"
+            )
+        self._open = self._blocks[self._free.pop()]
+        return self._open
+
+    def _collect(self) -> None:
+        """Greedy GC: reclaim the block with the fewest valid pages."""
+        self.gc_runs += 1
+        candidates = [
+            blk
+            for blk in self._blocks
+            if blk is not self._open and blk.index not in self._free and blk.next_free > 0
+        ]
+        if not candidates:
+            return
+        victim = min(candidates, key=lambda blk: (blk.valid, blk.erase_count))
+        survivors = [lpn for lpn in victim.pages if lpn is not None]
+        # Erase first so the victim itself is available as relocation
+        # space — this guarantees GC always has room to make progress.
+        victim.pages = [None] * self.config.pages_per_block
+        victim.next_free = 0
+        victim.valid = 0
+        victim.erase_count += 1
+        self.erases += 1
+        self._free.insert(0, victim.index)
+        for lpn in survivors:
+            self._append(lpn)

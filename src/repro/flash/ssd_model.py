@@ -1,0 +1,144 @@
+"""Behavioral SSD model reproducing the paper's Figure 1 measurements.
+
+Section 6.2 of the paper measured two consumer SSDs by replaying the
+simulator's flash I/O logs and found:
+
+1. high *short-term* variance in access latency, but stable averages
+   across groups of 10,000–100,000 block accesses;
+2. a single stable average **write** latency from beginning to end,
+   across all workloads (even 90 % application writes);
+3. **read** latency that fluctuates and degrades as the device fills,
+   with a weak positive relationship between write volume and read
+   latency — and much better read latency replaying cache-workload logs
+   than doing purely random I/O ("caching workloads are not random").
+
+The paper did not (and could not) identify the internal mechanism, so
+this model is *behavioral*: it generates per-I/O latencies with exactly
+those three properties, which is what Figure 1's scatter plot shows.
+It exists so the Figure 1 benchmark can regenerate the plot and so the
+flash-modeling-validation test can confirm that a single average
+latency is an adequate simulator model (the paper's conclusion).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Set, Tuple
+
+from repro._units import US
+from repro.engine.rng import RngStreams
+from repro.errors import ConfigError
+
+#: An SSD operation: ("r" or "w", block number).
+SSDOp = Tuple[str, int]
+
+
+@dataclass(frozen=True)
+class SSDModelConfig:
+    """Parameters of the behavioral SSD model.
+
+    Latencies are nanoseconds per 4 KB block.  Defaults are tuned so a
+    cache-workload replay averages near Table 1's 88 µs read / 21 µs
+    write.
+    """
+
+    capacity_blocks: int = 58 * 1024 * 256  # 58 GB of 4 KB blocks, as in Fig. 1
+    base_read_ns: int = 60 * US
+    base_write_ns: int = 21 * US
+    #: read latency grows by this fraction of base as the device fills 0→1
+    fill_read_penalty: float = 0.6
+    #: additional read penalty proportional to (writes so far / capacity)
+    write_volume_read_penalty: float = 0.05
+    #: multiplier applied to reads under a purely random access pattern
+    random_read_penalty: float = 1.8
+    #: lognormal sigma of per-I/O noise (short-term variance)
+    noise_sigma: float = 0.35
+    seed: int = 20130626
+
+    def __post_init__(self) -> None:
+        if self.capacity_blocks <= 0:
+            raise ConfigError("SSD capacity must be positive")
+        if self.noise_sigma < 0:
+            raise ConfigError("noise sigma must be non-negative")
+
+
+class BehavioralSSD:
+    """Generates per-I/O latencies with Figure 1's qualitative behavior."""
+
+    def __init__(self, config: SSDModelConfig = SSDModelConfig(), random_pattern: bool = False) -> None:
+        self.config = config
+        self.random_pattern = random_pattern
+        self._rng = RngStreams(config.seed).stream("ssd")
+        self._written: Set[int] = set()
+        self.total_ios = 0
+        self.total_writes = 0
+
+    # --- state ---------------------------------------------------------
+
+    @property
+    def fill_fraction(self) -> float:
+        """Fraction of the device's blocks ever written (0..1)."""
+        return min(1.0, len(self._written) / self.config.capacity_blocks)
+
+    @property
+    def write_volume_fraction(self) -> float:
+        """Cumulative writes expressed in units of device capacity."""
+        return self.total_writes / self.config.capacity_blocks
+
+    # --- latency generation ---------------------------------------------
+
+    def _noise(self) -> float:
+        sigma = self.config.noise_sigma
+        if sigma == 0:
+            return 1.0
+        # lognormal with mean 1: exp(N(-sigma^2/2, sigma))
+        return math.exp(self._rng.gauss(-0.5 * sigma * sigma, sigma))
+
+    def read_latency_ns(self) -> int:
+        """Sample the latency of reading one block *now*."""
+        cfg = self.config
+        mean = cfg.base_read_ns * (
+            1.0
+            + cfg.fill_read_penalty * self.fill_fraction
+            + cfg.write_volume_read_penalty * self.write_volume_fraction
+        )
+        if self.random_pattern:
+            mean *= cfg.random_read_penalty
+        return max(1, round(mean * self._noise()))
+
+    def write_latency_ns(self) -> int:
+        """Sample the latency of writing one block *now*.
+
+        Deliberately independent of fill level and history (finding 2).
+        """
+        return max(1, round(self.config.base_write_ns * self._noise()))
+
+    def access(self, op: str, block: int) -> int:
+        """Perform one I/O, updating device state; returns its latency."""
+        self.total_ios += 1
+        if op == "w":
+            self.total_writes += 1
+            self._written.add(block % self.config.capacity_blocks)
+            return self.write_latency_ns()
+        if op == "r":
+            return self.read_latency_ns()
+        raise ConfigError("SSD op must be 'r' or 'w', got %r" % (op,))
+
+    # --- replay helpers (what §6.2 actually did) --------------------------
+
+    def replay(self, ops: Iterable[SSDOp]) -> List[int]:
+        """Replay an I/O log; returns the latency of every operation."""
+        return [self.access(op, block) for op, block in ops]
+
+    @staticmethod
+    def grouped_averages(latencies: Sequence[int], group: int = 10_000) -> List[float]:
+        """Average latencies in groups, as Figure 1 plots ("each point is
+        the average of 10,000 block I/Os")."""
+        if group <= 0:
+            raise ConfigError("group size must be positive")
+        out: List[float] = []
+        for start in range(0, len(latencies) - group + 1, group):
+            chunk = latencies[start : start + group]
+            out.append(sum(chunk) / len(chunk))
+        return out

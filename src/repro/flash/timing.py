@@ -1,0 +1,62 @@
+"""Flash timing presets.
+
+The paper's Table 1 gives one flash timing (88 µs read, 21 µs write per
+4 KB block, derived from validating against NetApp Mercury hardware);
+§7.7 sweeps the read time from near-zero ("the leftmost point represents
+the potential performance of phase-change memory") to ~100 µs with the
+write time scaled proportionally.  :meth:`FlashTiming.scaled_read`
+builds exactly that sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._units import US
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class FlashTiming:
+    """Per-4KB-block access latencies of a flash device, in nanoseconds."""
+
+    read_ns: int = 88 * US
+    write_ns: int = 21 * US
+
+    def __post_init__(self) -> None:
+        if self.read_ns < 0 or self.write_ns < 0:
+            raise ConfigError(
+                "flash latencies must be non-negative: read=%d write=%d"
+                % (self.read_ns, self.write_ns)
+            )
+
+    @classmethod
+    def paper_default(cls) -> "FlashTiming":
+        """Table 1's flash timing: 88 µs read, 21 µs write."""
+        return cls()
+
+    @classmethod
+    def scaled_read(cls, read_ns: int) -> "FlashTiming":
+        """A timing with the given read latency and a proportionally
+        scaled write latency, as in the paper's §7.7 sweep ("a range of
+        flash read latencies (shown) and write latencies
+        (proportional)")."""
+        default = cls.paper_default()
+        if default.read_ns == 0:
+            raise ConfigError("cannot scale from a zero default read latency")
+        write_ns = round(read_ns * default.write_ns / default.read_ns)
+        return cls(read_ns=read_ns, write_ns=write_ns)
+
+    @classmethod
+    def phase_change_memory(cls) -> "FlashTiming":
+        """An aggressive timing standing in for PCM (§7.7's leftmost point)."""
+        return cls.scaled_read(1 * US)
+
+    def scaled(self, factor: float) -> "FlashTiming":
+        """Both latencies multiplied by ``factor`` (e.g. 2.0 = slower part)."""
+        if factor < 0:
+            raise ConfigError("scale factor must be non-negative")
+        return FlashTiming(
+            read_ns=round(self.read_ns * factor),
+            write_ns=round(self.write_ns * factor),
+        )

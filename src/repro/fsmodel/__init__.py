@@ -1,0 +1,31 @@
+"""Impressions-style file-system model generator.
+
+The paper seeds its trace generator with "a list of files and file
+sizes from the Impressions file system generator" (Agrawal et al.,
+"Generating realistic impressions for file-system benchmarking").  The
+original Impressions is a C tool; this package reimplements the part
+the trace generator needs: a statistically realistic population of
+files — lognormal size body with a heavy (Pareto) tail — plus the
+paper's Zipfian small-integer per-file popularities, scaled to a target
+total size (the paper uses a 1.4 TB model).
+"""
+
+from repro.fsmodel.distributions import (
+    pareto_sample,
+    poisson_sample,
+    truncated_lognormal_sample,
+    zipf_popularity,
+)
+from repro.fsmodel.files import FileSpec, FileSystemModel
+from repro.fsmodel.impressions import ImpressionsConfig, generate_filesystem
+
+__all__ = [
+    "pareto_sample",
+    "poisson_sample",
+    "truncated_lognormal_sample",
+    "zipf_popularity",
+    "FileSpec",
+    "FileSystemModel",
+    "ImpressionsConfig",
+    "generate_filesystem",
+]

@@ -1,0 +1,104 @@
+"""The file-system model: a population of files with sizes and popularities."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence
+
+from repro._units import BLOCK_SIZE, format_bytes
+from repro.errors import ConfigError
+
+
+class FileSpec:
+    """One file: an id, a size in blocks, and an integer popularity weight."""
+
+    __slots__ = ("file_id", "blocks", "popularity")
+
+    def __init__(self, file_id: int, blocks: int, popularity: int = 1) -> None:
+        if blocks < 1:
+            raise ConfigError("file must have >= 1 block, got %d" % blocks)
+        if popularity < 1:
+            raise ConfigError("popularity must be >= 1, got %d" % popularity)
+        self.file_id = file_id
+        self.blocks = blocks
+        self.popularity = popularity
+
+    @property
+    def nbytes(self) -> int:
+        return self.blocks * BLOCK_SIZE
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<FileSpec %d %s pop=%d>" % (
+            self.file_id,
+            format_bytes(self.nbytes),
+            self.popularity,
+        )
+
+
+class FileSystemModel:
+    """The population of files the trace generator samples from.
+
+    Files are identified by dense ids ``0..n-1`` matching their index;
+    the trace layer relies on this to map ``(file, offset)`` pairs to
+    global block numbers.
+    """
+
+    def __init__(self, files: Sequence[FileSpec]) -> None:
+        if not files:
+            raise ConfigError("file-system model needs at least one file")
+        for index, spec in enumerate(files):
+            if spec.file_id != index:
+                raise ConfigError(
+                    "file ids must be dense: index %d has id %d" % (index, spec.file_id)
+                )
+        self.files: List[FileSpec] = list(files)
+
+    def __len__(self) -> int:
+        return len(self.files)
+
+    def __iter__(self) -> Iterator[FileSpec]:
+        return iter(self.files)
+
+    def __getitem__(self, file_id: int) -> FileSpec:
+        return self.files[file_id]
+
+    @property
+    def total_blocks(self) -> int:
+        return sum(spec.blocks for spec in self.files)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.total_blocks * BLOCK_SIZE
+
+    def file_blocks(self) -> List[int]:
+        """Per-file sizes in blocks (the geometry a Trace carries)."""
+        return [spec.blocks for spec in self.files]
+
+    def popularities(self) -> List[float]:
+        """Per-file sampling weights."""
+        return [float(spec.popularity) for spec in self.files]
+
+    def size_histogram(self, bucket_edges_blocks: Sequence[int]) -> Dict[str, int]:
+        """Count files per size bucket (for model validation/reporting)."""
+        edges = sorted(bucket_edges_blocks)
+        labels = (
+            ["<= %d" % edges[0]]
+            + ["%d..%d" % (lo + 1, hi) for lo, hi in zip(edges, edges[1:])]
+            + ["> %d" % edges[-1]]
+        )
+        counts = [0] * (len(edges) + 1)
+        for spec in self.files:
+            placed = False
+            for index, edge in enumerate(edges):
+                if spec.blocks <= edge:
+                    counts[index] += 1
+                    placed = True
+                    break
+            if not placed:
+                counts[-1] += 1
+        return dict(zip(labels, counts))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<FileSystemModel %d files, %s>" % (
+            len(self.files),
+            format_bytes(self.total_bytes),
+        )

@@ -1,0 +1,95 @@
+"""Impressions-style file population generation.
+
+Impressions (Agrawal et al., TOS 2009) models file sizes with a
+lognormal body plus a heavy tail of large files.  We reproduce that
+shape: each file is lognormal with probability ``1 - tail_fraction``
+and Pareto (heavy tail) otherwise, and files accumulate until the
+population reaches the target total size.  Popularities come from the
+paper's Zipfian small-integer scheme.
+
+The defaults generate a model that scales from the paper's 1.4 TB
+server down to the megabyte-scale models the benchmarks use, keeping
+the size *distribution* fixed while the file count varies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._units import GB, KB, MB, TB, blocks_for_bytes
+from repro.engine.rng import RngStreams
+from repro.errors import ConfigError
+from repro.fsmodel.distributions import (
+    pareto_sample,
+    truncated_lognormal_sample,
+    zipf_popularity,
+)
+from repro.fsmodel.files import FileSpec, FileSystemModel
+
+import math
+
+
+@dataclass(frozen=True)
+class ImpressionsConfig:
+    """Parameters of the file population.
+
+    ``lognormal_mu``/``lognormal_sigma`` describe the body of the file
+    *size* distribution in bytes (defaults give a ~32 KB median, like
+    Impressions' desktop snapshots); ``tail_fraction`` of files instead
+    draw from a Pareto tail of large files.
+    """
+
+    total_bytes: int = int(1.4 * TB)
+    lognormal_mu: float = math.log(32 * KB)
+    lognormal_sigma: float = 1.8
+    tail_fraction: float = 0.02
+    tail_alpha: float = 1.3
+    tail_min_bytes: int = 4 * MB
+    max_file_bytes: int = 16 * GB
+    zipf_max_popularity: int = 16
+    zipf_exponent: float = 1.5
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.total_bytes <= 0:
+            raise ConfigError("total size must be positive")
+        if not 0.0 <= self.tail_fraction <= 1.0:
+            raise ConfigError("tail fraction must be in [0, 1]")
+        if self.max_file_bytes <= 0 or self.tail_min_bytes <= 0:
+            raise ConfigError("file size bounds must be positive")
+
+
+def generate_filesystem(config: ImpressionsConfig) -> FileSystemModel:
+    """Generate a file population totaling approximately
+    ``config.total_bytes`` (within one file's worth of slack)."""
+    streams = RngStreams(config.seed)
+    size_rng = streams.stream("fsmodel", "sizes")
+    pop_rng = streams.stream("fsmodel", "popularity")
+
+    # Never let one file exceed the whole model: crucial when the model
+    # is scaled down to megabytes.
+    max_file = min(config.max_file_bytes, config.total_bytes)
+    tail_min = min(config.tail_min_bytes, max_file)
+
+    files = []
+    total = 0
+    file_id = 0
+    while total < config.total_bytes:
+        if size_rng.random() < config.tail_fraction:
+            size = pareto_sample(size_rng, config.tail_alpha, tail_min)
+        else:
+            size = truncated_lognormal_sample(
+                size_rng, config.lognormal_mu, config.lognormal_sigma, max_file
+            )
+        size_bytes = min(int(size), max_file, config.total_bytes - total)
+        blocks = max(1, blocks_for_bytes(max(1, size_bytes)))
+        files.append(
+            FileSpec(
+                file_id,
+                blocks,
+                zipf_popularity(pop_rng, config.zipf_max_popularity, config.zipf_exponent),
+            )
+        )
+        total += blocks * 4096
+        file_id += 1
+    return FileSystemModel(files)

@@ -1,0 +1,18 @@
+"""Network model: private host↔filer segments.
+
+The paper models the network coarsely but deliberately: "each segment
+can carry one packet at a time, and each I/O request uses one packet in
+each direction.  Each packet is assumed to incur a fixed latency (for
+headers, block information, and so forth) plus a small amount of
+additional time per bit of block data transferred."
+
+:class:`NetworkSegment` implements exactly that: a capacity-1 FIFO
+resource held for the packet's wire time.  Serialization here is what
+produces the paper's convoy effect when many threads evict dirty blocks
+simultaneously (§7.1).
+"""
+
+from repro.net.packet import Packet, PacketKind
+from repro.net.link import NetworkSegment, NetworkTiming
+
+__all__ = ["Packet", "PacketKind", "NetworkSegment", "NetworkTiming"]

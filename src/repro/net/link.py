@@ -1,0 +1,92 @@
+"""The network segment: one packet at a time, base + per-bit latency."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro._units import NS, US
+from repro.engine.resources import Resource
+from repro.engine.simulation import Simulator
+from repro.errors import ConfigError
+from repro.net.packet import Packet
+
+
+@dataclass(frozen=True)
+class NetworkTiming:
+    """Table 1's network parameters.
+
+    ``base_latency_ns`` is the fixed per-packet cost (8.2 µs — headers,
+    block information, protocol overhead); ``per_bit_ns`` is the wire
+    time per bit of block data (1 ns/bit ≈ gigabit speed).
+    """
+
+    base_latency_ns: int = 8_200 * NS  # 8.2 us per packet
+    per_bit_ns: float = 1.0            # 1 ns per bit of data
+
+    def __post_init__(self) -> None:
+        if self.base_latency_ns < 0 or self.per_bit_ns < 0:
+            raise ConfigError("network latencies must be non-negative")
+
+    def packet_time_ns(self, packet: Packet) -> int:
+        """Wire time of one packet on the segment."""
+        return self.base_latency_ns + round(self.per_bit_ns * packet.payload_bits)
+
+    @classmethod
+    def paper_default(cls) -> "NetworkTiming":
+        return cls()
+
+
+class NetworkSegment:
+    """A private host↔filer segment: one packet at a time per direction.
+
+    The paper's model is "each I/O request uses one packet in each
+    direction"; the segment is full duplex, so the host→filer wire
+    (requests, write data) and the filer→host wire (read data, acks)
+    serialize independently.  Convoys still form: threads evicting
+    dirty blocks queue on the host→filer wire.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        timing: Optional[NetworkTiming] = None,
+        name: str = "net",
+    ) -> None:
+        self._sim = sim
+        self.timing = timing or NetworkTiming.paper_default()
+        self._up = Resource(sim, capacity=1, name=name + ".up")
+        self._down = Resource(sim, capacity=1, name=name + ".down")
+        self.name = name
+        self.packets_sent = 0
+        self.payload_bytes_sent = 0
+
+    def _wire_for(self, direction: str) -> Resource:
+        if direction == "up":
+            return self._up
+        if direction == "down":
+            return self._down
+        raise ConfigError("direction must be 'up' or 'down', got %r" % (direction,))
+
+    def transfer(self, packet: Packet, direction: str = "up") -> Iterator:
+        """Process generator: occupy one direction of the segment for
+        the packet's wire time.  ``up`` is host→filer, ``down`` is
+        filer→host."""
+        self.packets_sent += 1
+        self.payload_bytes_sent += packet.payload_bytes
+        yield from self._wire_for(direction).use(self.timing.packet_time_ns(packet))
+
+    def utilization(self) -> float:
+        """Mean busy fraction of the two directions."""
+        return (self._up.utilization() + self._down.utilization()) / 2.0
+
+    @property
+    def queue_length(self) -> int:
+        return self._up.queue_length + self._down.queue_length
+
+    def reset_counters(self) -> None:
+        self.packets_sent = 0
+        self.payload_bytes_sent = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<NetworkSegment %s packets=%d>" % (self.name, self.packets_sent)

@@ -1,0 +1,57 @@
+"""Packet descriptors for the network model.
+
+Packets carry no simulated payload bytes — only a *size*, which the
+segment converts to wire time.  Three kinds cover the paper's protocol:
+a request (header only), a data packet (header + one 4 KB block), and
+an acknowledgement (header only).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro._units import BLOCK_SIZE
+from repro.errors import ConfigError
+
+
+class PacketKind(enum.Enum):
+    """What a packet is for; requests and acks carry no block data."""
+
+    REQUEST = "request"
+    DATA = "data"
+    ACK = "ack"
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One packet on a segment: a kind plus its data payload size."""
+
+    kind: PacketKind
+    payload_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes < 0:
+            raise ConfigError("payload must be non-negative")
+        if self.kind is not PacketKind.DATA and self.payload_bytes != 0:
+            raise ConfigError("%s packets carry no payload" % self.kind.value)
+
+    @classmethod
+    def request(cls) -> "Packet":
+        """A header-only request packet ("block information" rides in the
+        fixed per-packet latency)."""
+        return cls(PacketKind.REQUEST)
+
+    @classmethod
+    def data_block(cls) -> "Packet":
+        """A packet carrying one 4 KB block."""
+        return cls(PacketKind.DATA, BLOCK_SIZE)
+
+    @classmethod
+    def ack(cls) -> "Packet":
+        """A header-only acknowledgement."""
+        return cls(PacketKind.ACK)
+
+    @property
+    def payload_bits(self) -> int:
+        return 8 * self.payload_bytes

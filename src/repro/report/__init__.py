@@ -1,0 +1,13 @@
+"""Reporting helpers: ASCII charts and markdown rendering of experiments.
+
+The paper's figures are line charts; these utilities let the benchmark
+harness and the CLI render an :class:`~repro.experiments.common.
+ExperimentResult` as a terminal-friendly chart or a markdown table, so
+reproduction output can be eyeballed against the paper without a
+plotting stack.
+"""
+
+from repro.report.ascii_chart import line_chart
+from repro.report.markdown import experiment_to_markdown, results_chart
+
+__all__ = ["line_chart", "experiment_to_markdown", "results_chart"]

@@ -1,0 +1,101 @@
+"""Terminal line charts.
+
+A deliberately small plotter: multiple named series of (x, y) points on
+one grid, distinct markers per series, linear axes with labeled ticks.
+Made for the experiment tables — a few dozen points per series — not
+for dense data.
+
+Example::
+
+    print(line_chart(
+        {"no flash": [(5, 233), (60, 814)], "64G flash": [(5, 226), (60, 274)]},
+        title="Read latency vs. working set",
+        x_label="WS (GB)", y_label="us",
+    ))
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ReproError
+
+Point = Tuple[float, float]
+
+#: Markers assigned to series in insertion order.
+MARKERS = "*o+x#@%&"
+
+
+def _scale(value: float, lo: float, hi: float, size: int) -> int:
+    """Map value in [lo, hi] to a cell index in [0, size-1]."""
+    if hi <= lo:
+        return 0
+    position = (value - lo) / (hi - lo)
+    return min(size - 1, max(0, round(position * (size - 1))))
+
+
+def _format_tick(value: float) -> str:
+    if abs(value) >= 1000:
+        return "%.0f" % value
+    if abs(value) >= 10:
+        return "%.1f" % value
+    return "%.2f" % value
+
+
+def line_chart(
+    series: Dict[str, Sequence[Point]],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render named point series as an ASCII chart with axes and legend."""
+    if not series:
+        raise ReproError("line_chart needs at least one series")
+    if width < 16 or height < 4:
+        raise ReproError("chart too small: need width >= 16, height >= 4")
+    all_points = [point for points in series.values() for point in points]
+    if not all_points:
+        raise ReproError("line_chart needs at least one data point")
+
+    xs = [point[0] for point in all_points]
+    ys = [point[1] for point in all_points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if y_lo == y_hi:  # flat series: pad so the line sits mid-chart
+        y_lo, y_hi = y_lo - 1.0, y_hi + 1.0
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    legend: List[str] = []
+    for index, (name, points) in enumerate(series.items()):
+        marker = MARKERS[index % len(MARKERS)]
+        legend.append("%s %s" % (marker, name))
+        for x, y in points:
+            column = _scale(x, x_lo, x_hi, width)
+            row = height - 1 - _scale(y, y_lo, y_hi, height)
+            grid[row][column] = marker
+
+    margin = max(len(_format_tick(y_hi)), len(_format_tick(y_lo)))
+    lines: List[str] = []
+    if title:
+        lines.append(title.center(margin + 1 + width))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            tick = _format_tick(y_hi)
+        elif row_index == height - 1:
+            tick = _format_tick(y_lo)
+        else:
+            tick = ""
+        lines.append("%*s|%s" % (margin, tick, "".join(row)))
+    lines.append("%*s+%s" % (margin, "", "-" * width))
+    x_axis = "%s%s" % (
+        _format_tick(x_lo),
+        _format_tick(x_hi).rjust(width - len(_format_tick(x_lo))),
+    )
+    lines.append(" " * (margin + 1) + x_axis)
+    footer = "  ".join(legend)
+    if x_label or y_label:
+        footer += "   [x: %s, y: %s]" % (x_label or "-", y_label or "-")
+    lines.append(footer)
+    return "\n".join(lines)

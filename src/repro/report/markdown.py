@@ -1,0 +1,65 @@
+"""Markdown rendering of experiment results."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.errors import ReproError
+from repro.experiments.common import ExperimentResult
+from repro.report.ascii_chart import line_chart
+
+
+def experiment_to_markdown(result: ExperimentResult) -> str:
+    """Render an ExperimentResult as a GitHub-flavored markdown section."""
+    lines = ["## %s — %s" % (result.experiment, result.title), ""]
+    header = list(result.columns)
+    lines.append("| " + " | ".join(header) + " |")
+    lines.append("|" + "|".join("---" for _ in header) + "|")
+
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return "%.2f" % value
+        return str(value)
+
+    for row in result.rows:
+        lines.append("| " + " | ".join(fmt(row.get(col, "")) for col in header) + " |")
+    if result.notes:
+        lines.extend(["", "*%s*" % result.notes])
+    lines.append("")
+    return "\n".join(lines)
+
+
+def results_chart(
+    result: ExperimentResult,
+    x_column: str,
+    y_columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render numeric experiment columns as an ASCII line chart.
+
+    ``y_columns`` defaults to every numeric column except ``x_column``.
+    """
+    if x_column not in result.columns:
+        raise ReproError("unknown x column %r" % x_column)
+    if y_columns is None:
+        y_columns = [
+            column
+            for column in result.columns
+            if column != x_column
+            and all(isinstance(row.get(column), (int, float)) for row in result.rows)
+        ]
+    if not y_columns:
+        raise ReproError("no numeric y columns to plot")
+    series = {}
+    for column in y_columns:
+        points = [
+            (float(row[x_column]), float(row[column]))
+            for row in result.rows
+            if isinstance(row.get(x_column), (int, float))
+            and isinstance(row.get(column), (int, float))
+        ]
+        if points:
+            series[column] = points
+    if not series:
+        raise ReproError("no plottable points (is %r numeric?)" % x_column)
+    return line_chart(series, title=title or result.title, x_label=x_column)

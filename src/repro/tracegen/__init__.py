@@ -1,0 +1,25 @@
+"""Synthetic trace generator (§4 of the paper).
+
+"We wrote a trace generator to produce large traces with characteristics
+similar to real traces.  The trace generator starts from a list of files
+and file sizes from the Impressions file system generator.  It samples
+this file server model to produce working sets, then samples these to
+produce I/O requests.  A portion of the I/O requests are sampled instead
+from the whole file server."
+
+Pipeline: :func:`repro.fsmodel.generate_filesystem` →
+:func:`repro.tracegen.workingset.build_working_set` →
+:func:`generate_trace`.
+"""
+
+from repro.tracegen.config import TraceGenConfig
+from repro.tracegen.workingset import WorkingSet, WorkingSetPiece, build_working_set
+from repro.tracegen.generator import generate_trace
+
+__all__ = [
+    "TraceGenConfig",
+    "WorkingSet",
+    "WorkingSetPiece",
+    "build_working_set",
+    "generate_trace",
+]

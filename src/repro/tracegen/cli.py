@@ -1,0 +1,89 @@
+"""Command-line interface for the trace generator.
+
+Installed as ``repro-tracegen``::
+
+    repro-tracegen --working-set 60M --fs-size 1400M --out baseline.trace
+    repro-tracegen --inspect baseline.trace
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro._units import GB, KB, MB, TB, format_bytes
+from repro.errors import ReproError
+from repro.fsmodel.impressions import ImpressionsConfig
+from repro.tracegen.config import TraceGenConfig
+from repro.tracegen.generator import generate_trace
+from repro.traces.format import load_trace, save_trace
+from repro.traces.stats import compute_stats
+
+_SUFFIXES = {"K": KB, "M": MB, "G": GB, "T": TB}
+
+
+def parse_size(text: str) -> int:
+    """Parse a size like ``60M`` or ``8G`` into bytes.
+
+    >>> parse_size("4K")
+    4096
+    """
+    text = text.strip().upper()
+    if text and text[-1] in _SUFFIXES:
+        return int(float(text[:-1]) * _SUFFIXES[text[-1]])
+    return int(text)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-tracegen",
+        description="Generate or inspect synthetic block I/O traces "
+        "(per §4 of 'Flash Caching on the Storage Client').",
+    )
+    parser.add_argument("--inspect", metavar="TRACE", help="print statistics of an existing trace and exit")
+    parser.add_argument("--out", metavar="PATH", help="output trace path")
+    parser.add_argument("--binary", action="store_true", help="write the binary format")
+    parser.add_argument("--fs-size", default="1400M", help="file-server model size (default 1400M)")
+    parser.add_argument("--working-set", default="60M", help="working-set size (default 60M)")
+    parser.add_argument("--hosts", type=int, default=1)
+    parser.add_argument("--threads", type=int, default=8, help="threads per host")
+    parser.add_argument("--write-fraction", type=float, default=0.30)
+    parser.add_argument("--ws-fraction", type=float, default=0.80)
+    parser.add_argument("--seed", type=int, default=42)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.inspect:
+            trace = load_trace(args.inspect)
+            print(compute_stats(trace).summary())
+            return 0
+        if not args.out:
+            parser.error("--out is required unless --inspect is given")
+        config = TraceGenConfig(
+            fs=ImpressionsConfig(total_bytes=parse_size(args.fs_size)),
+            working_set_bytes=parse_size(args.working_set),
+            n_hosts=args.hosts,
+            threads_per_host=args.threads,
+            write_fraction=args.write_fraction,
+            ws_fraction=args.ws_fraction,
+            seed=args.seed,
+        )
+        trace = generate_trace(config)
+        save_trace(trace, args.out, binary=args.binary)
+        print(
+            "wrote %d records (%s of I/O) to %s"
+            % (len(trace), format_bytes(trace.total_bytes), args.out)
+        )
+        return 0
+    except ReproError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via console script
+    sys.exit(main())

@@ -1,0 +1,119 @@
+"""The synthetic trace generator itself.
+
+For every I/O request (per §4 of the paper):
+
+* host and thread are uniform;
+* with probability ``ws_fraction`` (80 % baseline) the target comes
+  from the (host's) working set, else from the whole file server;
+* within the working set: a piece is chosen weighted by popularity, the
+  request length is Poisson clamped to the piece, the start is uniform;
+* from the whole server: a file is chosen weighted by popularity, the
+  length is Poisson clamped to the file, the start is uniform;
+* the operation is a write with probability ``write_fraction``.
+
+Requests accumulate until the total volume reaches
+``volume_multiple x working_set`` blocks; the first ``warmup_fraction``
+of that volume is flagged as warmup.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.fsmodel.distributions import WeightedSampler, poisson_sample
+from repro.fsmodel.files import FileSystemModel
+from repro.fsmodel.impressions import generate_filesystem
+from repro.engine.rng import RngStreams
+from repro.tracegen.config import TraceGenConfig
+from repro.tracegen.workingset import WorkingSet, build_working_set
+from repro.traces.records import Trace, TraceOp, TraceRecord
+
+
+def generate_trace(
+    config: TraceGenConfig, model: Optional[FileSystemModel] = None
+) -> Trace:
+    """Generate a synthetic trace.
+
+    ``model`` lets callers reuse one expensive file-system model across
+    many trace configurations (the experiments all share the paper's
+    single "1.4 TB file server model"); by default a model is generated
+    from ``config.fs``.
+    """
+    if model is None:
+        model = generate_filesystem(config.fs)
+    streams = RngStreams(config.seed)
+
+    # --- working sets -------------------------------------------------
+    ws_rng = streams.stream("tracegen", "workingset")
+    working_sets: Dict[int, WorkingSet] = {}
+    if config.shared_working_set:
+        shared = build_working_set(
+            model, config.working_set_blocks, config.region_mean_blocks, ws_rng
+        )
+        for host in range(config.n_hosts):
+            working_sets[host] = shared
+    else:
+        for host in range(config.n_hosts):
+            working_sets[host] = build_working_set(
+                model, config.working_set_blocks, config.region_mean_blocks, ws_rng
+            )
+
+    # --- request generation ----------------------------------------------
+    io_rng = streams.stream("tracegen", "requests")
+    file_sampler = WeightedSampler(model.popularities())
+
+    records: List[TraceRecord] = []
+    volume_blocks = 0
+    warmup_boundary_blocks = int(config.target_volume_blocks * config.warmup_fraction)
+    warmup_records = 0
+
+    while volume_blocks < config.target_volume_blocks:
+        host = io_rng.randrange(config.n_hosts)
+        thread = io_rng.randrange(config.threads_per_host)
+        is_write = io_rng.random() < config.write_fraction
+
+        if io_rng.random() < config.ws_fraction:
+            piece = working_sets[host].sample_piece(io_rng)
+            length = min(
+                piece.nblocks, max(1, poisson_sample(io_rng, config.io_mean_blocks))
+            )
+            start = piece.start + io_rng.randrange(piece.nblocks - length + 1)
+            file_id = piece.file_id
+        else:
+            spec = model[file_sampler.sample(io_rng)]
+            length = min(
+                spec.blocks, max(1, poisson_sample(io_rng, config.io_mean_blocks))
+            )
+            start = io_rng.randrange(spec.blocks - length + 1)
+            file_id = spec.file_id
+
+        records.append(
+            TraceRecord(
+                TraceOp.WRITE if is_write else TraceOp.READ,
+                host,
+                thread,
+                file_id,
+                start,
+                length,
+            )
+        )
+        if volume_blocks < warmup_boundary_blocks:
+            warmup_records += 1
+        volume_blocks += length
+
+    metadata = {
+        "generator": "repro.tracegen",
+        "working_set_bytes": str(config.working_set_bytes),
+        "n_hosts": str(config.n_hosts),
+        "threads_per_host": str(config.threads_per_host),
+        "write_fraction": "%g" % config.write_fraction,
+        "ws_fraction": "%g" % config.ws_fraction,
+        "seed": str(config.seed),
+        "shared_working_set": str(config.shared_working_set),
+    }
+    return Trace(
+        records,
+        model.file_blocks(),
+        warmup_records=warmup_records,
+        metadata=metadata,
+    )

@@ -1,0 +1,25 @@
+"""Block-level I/O traces.
+
+The paper's traces contain "read and write operations.  Each operation
+identifies a file and a range of blocks within that file.  Each
+operation also carries a thread ID and host ID."
+
+This package provides the in-memory representation
+(:class:`TraceRecord`, :class:`Trace`), text and binary file formats
+with round-trip fidelity (:mod:`repro.traces.format`), and summary
+statistics used by validation tests (:mod:`repro.traces.stats`).
+"""
+
+from repro.traces.records import Trace, TraceOp, TraceRecord
+from repro.traces.format import load_trace, save_trace
+from repro.traces.stats import TraceStats, compute_stats
+
+__all__ = [
+    "Trace",
+    "TraceOp",
+    "TraceRecord",
+    "load_trace",
+    "save_trace",
+    "TraceStats",
+    "compute_stats",
+]

@@ -1,0 +1,203 @@
+"""Trace serialization: a text format and a compact binary format.
+
+Text format (``.trace``), line oriented::
+
+    %REPRO-TRACE v1
+    #warmup 1234
+    #meta key value-with-spaces-allowed
+    @files 100 250 3            # sizes in blocks, whitespace separated
+    R 0 3 17 42 8               # op host thread file offset nblocks
+    W 0 1 17 50 1
+
+Binary format (``.btrace``): an 8-byte magic, a JSON header (length
+prefixed), then fixed-width little-endian records — fast to parse for
+the multi-hundred-thousand-record traces the experiments use, and
+constant-size per record regardless of field magnitudes.
+
+:func:`load_trace` auto-detects the format from the file's magic.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from pathlib import Path
+from typing import List, Union
+
+from repro.errors import TraceFormatError
+from repro.traces.records import Trace, TraceOp, TraceRecord
+
+TEXT_MAGIC = "%REPRO-TRACE v1"
+BINARY_MAGIC = b"RPTRC\x00v1"
+_RECORD_STRUCT = struct.Struct("<BIIIQI")  # op, host, thread, file, offset, nblocks
+
+PathLike = Union[str, Path]
+
+
+# --- text format ---------------------------------------------------------
+
+
+def _dump_text(trace: Trace) -> str:
+    lines: List[str] = [TEXT_MAGIC]
+    lines.append("#warmup %d" % trace.warmup_records)
+    for key, value in sorted(trace.metadata.items()):
+        if any(ch.isspace() for ch in key) or not key:
+            raise TraceFormatError(
+                "metadata keys may not be empty or contain whitespace: %r" % key
+            )
+        # Values are JSON-encoded so arbitrary text (empty strings,
+        # leading/trailing whitespace, control characters) round-trips.
+        lines.append("#meta %s %s" % (key, json.dumps(str(value))))
+    lines.append("@files " + " ".join(str(n) for n in trace.file_blocks))
+    for record in trace.records:
+        lines.append(
+            "%s %d %d %d %d %d"
+            % (
+                record.op.value,
+                record.host,
+                record.thread,
+                record.file_id,
+                record.offset,
+                record.nblocks,
+            )
+        )
+    return "\n".join(lines) + "\n"
+
+
+def _parse_text(text: str) -> Trace:
+    lines = text.splitlines()
+    if not lines or lines[0].strip() != TEXT_MAGIC:
+        raise TraceFormatError("not a repro text trace (bad magic)")
+    warmup = 0
+    metadata = {}
+    file_blocks: List[int] = []
+    records: List[TraceRecord] = []
+    for line_number, raw in enumerate(lines[1:], start=2):
+        line = raw.strip()
+        if not line:
+            continue
+        try:
+            if line.startswith("#warmup"):
+                warmup = int(line.split()[1])
+            elif line.startswith("#meta"):
+                parts = line.split(" ", 2)
+                _tag, key = parts[0], parts[1]
+                raw = parts[2] if len(parts) > 2 else ""
+                if raw.startswith('"'):
+                    metadata[key] = json.loads(raw)
+                else:
+                    metadata[key] = raw  # legacy unencoded value
+            elif line.startswith("@files"):
+                file_blocks = [int(tok) for tok in line.split()[1:]]
+            elif line.startswith("#"):
+                continue  # unknown directive: ignore for forward compat
+            else:
+                op_str, host, thread, file_id, offset, nblocks = line.split()
+                records.append(
+                    TraceRecord(
+                        TraceOp(op_str),
+                        int(host),
+                        int(thread),
+                        int(file_id),
+                        int(offset),
+                        int(nblocks),
+                    )
+                )
+        except (ValueError, IndexError) as exc:
+            raise TraceFormatError(
+                "malformed trace line %d: %r (%s)" % (line_number, raw, exc)
+            ) from exc
+    return Trace(records, file_blocks, warmup_records=warmup, metadata=metadata)
+
+
+# --- binary format ---------------------------------------------------------
+
+
+def _dump_binary(trace: Trace) -> bytes:
+    header = json.dumps(
+        {
+            "warmup": trace.warmup_records,
+            "metadata": trace.metadata,
+            "file_blocks": trace.file_blocks,
+            "n_records": len(trace.records),
+        }
+    ).encode("utf-8")
+    chunks = [BINARY_MAGIC, struct.pack("<I", len(header)), header]
+    pack = _RECORD_STRUCT.pack
+    for record in trace.records:
+        chunks.append(
+            pack(
+                1 if record.is_write else 0,
+                record.host,
+                record.thread,
+                record.file_id,
+                record.offset,
+                record.nblocks,
+            )
+        )
+    return b"".join(chunks)
+
+
+def _parse_binary(data: bytes) -> Trace:
+    if not data.startswith(BINARY_MAGIC):
+        raise TraceFormatError("not a repro binary trace (bad magic)")
+    cursor = len(BINARY_MAGIC)
+    (header_len,) = struct.unpack_from("<I", data, cursor)
+    cursor += 4
+    try:
+        header = json.loads(data[cursor : cursor + header_len].decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise TraceFormatError("corrupt binary trace header: %s" % exc) from exc
+    cursor += header_len
+    n_records = header["n_records"]
+    expected = cursor + n_records * _RECORD_STRUCT.size
+    if len(data) < expected:
+        raise TraceFormatError(
+            "truncated binary trace: need %d bytes, have %d" % (expected, len(data))
+        )
+    records: List[TraceRecord] = []
+    unpack = _RECORD_STRUCT.unpack_from
+    for i in range(n_records):
+        is_write, host, thread, file_id, offset, nblocks = unpack(
+            data, cursor + i * _RECORD_STRUCT.size
+        )
+        records.append(
+            TraceRecord(
+                TraceOp.WRITE if is_write else TraceOp.READ,
+                host,
+                thread,
+                file_id,
+                offset,
+                nblocks,
+            )
+        )
+    return Trace(
+        records,
+        header["file_blocks"],
+        warmup_records=header["warmup"],
+        metadata=header.get("metadata", {}),
+    )
+
+
+# --- public API -------------------------------------------------------------
+
+
+def save_trace(trace: Trace, path: PathLike, binary: bool = False) -> None:
+    """Write a trace to ``path`` in text (default) or binary format."""
+    path = Path(path)
+    if binary:
+        path.write_bytes(_dump_binary(trace))
+    else:
+        path.write_text(_dump_text(trace), encoding="utf-8")
+
+
+def load_trace(path: PathLike) -> Trace:
+    """Read a trace, auto-detecting text vs. binary from the magic."""
+    data = Path(path).read_bytes()
+    if data.startswith(BINARY_MAGIC):
+        return _parse_binary(data)
+    try:
+        text = data.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise TraceFormatError("unrecognized trace file %s" % path) from exc
+    return _parse_text(text)

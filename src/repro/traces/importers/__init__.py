@@ -1,0 +1,33 @@
+"""Importers for third-party block-trace formats.
+
+The paper validated against traces "from the SNIA repository and the
+Mercury traces" (§4).  These importers convert the common public
+formats into :class:`repro.traces.Trace` objects so real traces can be
+replayed through the simulator alongside the synthetic ones:
+
+* :mod:`~repro.traces.importers.msr` — MSR Cambridge / SNIA
+  ``IOTTA`` CSV (``timestamp,hostname,disk,type,offset,size,latency``);
+* :mod:`~repro.traces.importers.blkparse` — ``blkparse`` default text
+  output (Linux blktrace completions);
+* :mod:`~repro.traces.importers.spc` — SPC-1-style ASCII
+  (``asu,lba,size,opcode,timestamp``).
+
+All importers share the same conventions: byte offsets are rounded down
+to 4 KB block boundaries, sizes round up to whole blocks, each distinct
+device/ASU becomes a "file" in the trace geometry, and requesters map
+to (host, thread) ids.  Use :func:`load_any` to auto-detect.
+"""
+
+from repro.traces.importers.base import ImportStats
+from repro.traces.importers.msr import import_msr_csv
+from repro.traces.importers.blkparse import import_blkparse
+from repro.traces.importers.spc import import_spc
+from repro.traces.importers.detect import load_any
+
+__all__ = [
+    "ImportStats",
+    "import_msr_csv",
+    "import_blkparse",
+    "import_spc",
+    "load_any",
+]

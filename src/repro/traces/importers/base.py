@@ -1,0 +1,140 @@
+"""Shared machinery for trace importers.
+
+Third-party traces address raw byte (or sector) extents on named
+devices; the simulator addresses 4 KB blocks within dense file ids.
+:class:`TraceBuilder` performs that mapping incrementally:
+
+* each distinct device name (or ASU number) becomes one "file";
+* byte extents are converted to block extents (start rounded down,
+  end rounded up);
+* each file's size grows to cover the largest extent seen, then the
+  whole geometry is frozen when :meth:`build` is called;
+* requesters (process names, CPU ids...) map to dense thread ids.
+
+Importers accumulate :class:`ImportStats` so callers can see how many
+lines were skipped and why — real trace files are messy, and silently
+dropping records is how reproductions go wrong.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro._units import BLOCK_SIZE
+from repro.errors import TraceFormatError
+from repro.traces.records import Trace, TraceOp, TraceRecord
+
+
+@dataclass
+class ImportStats:
+    """What happened while importing a foreign trace."""
+
+    lines_total: int = 0
+    records_imported: int = 0
+    lines_skipped: int = 0
+    skip_reasons: Dict[str, int] = field(default_factory=dict)
+
+    def skip(self, reason: str) -> None:
+        self.lines_skipped += 1
+        self.skip_reasons[reason] = self.skip_reasons.get(reason, 0) + 1
+
+    def summary(self) -> str:
+        lines = [
+            "imported %d records from %d lines (%d skipped)"
+            % (self.records_imported, self.lines_total, self.lines_skipped)
+        ]
+        for reason, count in sorted(self.skip_reasons.items()):
+            lines.append("  skipped %6d: %s" % (count, reason))
+        return "\n".join(lines)
+
+
+class TraceBuilder:
+    """Incrementally builds a Trace from foreign byte/sector extents."""
+
+    def __init__(self, warmup_fraction: float = 0.0) -> None:
+        if not 0.0 <= warmup_fraction < 1.0:
+            raise TraceFormatError("warmup fraction must be in [0, 1)")
+        self._warmup_fraction = warmup_fraction
+        self._file_ids: Dict[str, int] = {}
+        self._file_blocks: List[int] = []
+        self._thread_ids: Dict[Tuple[int, str], int] = {}
+        self._threads_per_host: Dict[int, int] = {}
+        self._host_ids: Dict[str, int] = {}
+        self._pending: List[Tuple[bool, int, int, int, int]] = []
+        self.stats = ImportStats()
+
+    # --- id mapping ----------------------------------------------------
+
+    def host_id(self, name: str) -> int:
+        host = self._host_ids.get(name)
+        if host is None:
+            host = len(self._host_ids)
+            self._host_ids[name] = host
+        return host
+
+    def thread_id(self, host: int, name: str) -> int:
+        key = (host, name)
+        thread = self._thread_ids.get(key)
+        if thread is None:
+            thread = self._threads_per_host.get(host, 0)
+            self._threads_per_host[host] = thread + 1
+            self._thread_ids[key] = thread
+        return thread
+
+    def file_id(self, device: str) -> int:
+        fid = self._file_ids.get(device)
+        if fid is None:
+            fid = len(self._file_ids)
+            self._file_ids[device] = fid
+            self._file_blocks.append(1)
+        return fid
+
+    # --- record accumulation ----------------------------------------------
+
+    def add_bytes_extent(
+        self,
+        is_write: bool,
+        host: int,
+        thread: int,
+        device: str,
+        offset_bytes: int,
+        length_bytes: int,
+    ) -> bool:
+        """Add one operation given a byte extent; False if unusable."""
+        if offset_bytes < 0 or length_bytes <= 0:
+            self.stats.skip("non-positive extent")
+            return False
+        start_block = offset_bytes // BLOCK_SIZE
+        end_block = -(-(offset_bytes + length_bytes) // BLOCK_SIZE)
+        file_id = self.file_id(device)
+        self._file_blocks[file_id] = max(self._file_blocks[file_id], end_block)
+        self._pending.append(
+            (is_write, host, thread, file_id, start_block)
+            + (end_block - start_block,)
+        )
+        self.stats.records_imported += 1
+        return True
+
+    # --- output ----------------------------------------------------------------
+
+    def build(self, metadata: Optional[Dict[str, str]] = None) -> Trace:
+        """Freeze the geometry and return the Trace."""
+        records = [
+            TraceRecord(
+                TraceOp.WRITE if is_write else TraceOp.READ,
+                host,
+                thread,
+                file_id,
+                start,
+                nblocks,
+            )
+            for is_write, host, thread, file_id, start, nblocks in self._pending
+        ]
+        warmup = int(len(records) * self._warmup_fraction)
+        return Trace(
+            records,
+            self._file_blocks,
+            warmup_records=warmup,
+            metadata=dict(metadata or {}),
+        )

@@ -1,0 +1,89 @@
+"""``blkparse`` default-output importer (Linux blktrace).
+
+blkparse's default text format is::
+
+    maj,min cpu seq timestamp pid action rwbs sector + nsectors [process]
+
+e.g.::
+
+    8,0    1       42     0.000123456  4510  C   R 1953128 + 8 [fio]
+
+We import completion events (``C``) by default — they are what actually
+hit the device — and map:
+
+* ``maj,min`` → file (device);
+* ``[process]`` → thread within host 0 (blktrace is single-host);
+* ``sector`` (512-byte units) ``+ nsectors`` → a byte extent;
+* ``rwbs`` containing ``W`` → write, containing ``R`` → read (discard
+  and flush records are skipped).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Tuple, Union
+
+from repro.traces.importers.base import TraceBuilder
+from repro.traces.records import Trace
+
+PathLike = Union[str, Path]
+
+SECTOR = 512
+
+_LINE = re.compile(
+    r"^\s*(?P<dev>\d+,\d+)"
+    r"\s+(?P<cpu>\d+)"
+    r"\s+(?P<seq>\d+)"
+    r"\s+(?P<ts>[\d.]+)"
+    r"\s+(?P<pid>\d+)"
+    r"\s+(?P<action>[A-Z])"
+    r"\s+(?P<rwbs>[A-Z]+)"
+    r"\s+(?P<sector>\d+)\s*\+\s*(?P<nsectors>\d+)"
+    r"(?:\s+\[(?P<process>[^\]]*)\])?"
+)
+
+
+def import_blkparse(
+    path: PathLike,
+    action: str = "C",
+    warmup_fraction: float = 0.0,
+) -> Tuple[Trace, "ImportStats"]:
+    """Import a blkparse text file, keeping only ``action`` events
+    (default ``C`` = completions; use ``Q`` for queue events)."""
+    builder = TraceBuilder(warmup_fraction)
+    stats = builder.stats
+    with open(path, "r", encoding="utf-8", errors="replace") as handle:
+        for line in handle:
+            stats.lines_total += 1
+            match = _LINE.match(line)
+            if not match:
+                stats.skip("unparsed line")
+                continue
+            if match.group("action") != action:
+                stats.skip("other action")
+                continue
+            rwbs = match.group("rwbs")
+            if "W" in rwbs:
+                is_write = True
+            elif "R" in rwbs:
+                is_write = False
+            else:
+                stats.skip("non-data rwbs %r" % rwbs)
+                continue
+            nsectors = int(match.group("nsectors"))
+            if nsectors == 0:
+                stats.skip("zero-length I/O")
+                continue
+            process = match.group("process") or ("pid%s" % match.group("pid"))
+            thread = builder.thread_id(0, process)
+            builder.add_bytes_extent(
+                is_write,
+                0,
+                thread,
+                match.group("dev"),
+                int(match.group("sector")) * SECTOR,
+                nsectors * SECTOR,
+            )
+    trace = builder.build({"source": "blkparse", "path": str(path)})
+    return trace, stats

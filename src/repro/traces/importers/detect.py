@@ -1,0 +1,85 @@
+"""Format auto-detection for foreign traces.
+
+:func:`load_any` sniffs the first non-blank lines of a file and
+dispatches to the right importer (or the native loader for repro's own
+formats).  Detection is heuristic but checked against every format's
+canonical shape; ambiguous files raise rather than guess.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+from repro.errors import TraceFormatError
+from repro.traces.format import BINARY_MAGIC, TEXT_MAGIC, load_trace
+from repro.traces.importers.base import ImportStats
+from repro.traces.importers.blkparse import _LINE as _BLKPARSE_LINE
+from repro.traces.importers.blkparse import import_blkparse
+from repro.traces.importers.msr import import_msr_csv
+from repro.traces.importers.spc import import_spc
+from repro.traces.records import Trace
+
+PathLike = Union[str, Path]
+
+_MSR_LINE = re.compile(
+    r"^[\d]+,[^,]+,\d+,\s*(read|write)\s*,\d+,\d+", re.IGNORECASE
+)
+_SPC_LINE = re.compile(r"^\s*\d+\s*,\s*\d+\s*,\s*\d+\s*,\s*[rw]\s*(,|$)", re.IGNORECASE)
+
+
+def detect_format(path: PathLike) -> str:
+    """Return one of ``native``, ``msr``, ``blkparse``, ``spc``.
+
+    Raises :class:`TraceFormatError` when no format matches.
+    """
+    path = Path(path)
+    head = path.open("rb").read(4096)
+    if head.startswith(BINARY_MAGIC):
+        return "native"
+    try:
+        text = head.decode("utf-8", errors="replace")
+    except Exception as exc:  # pragma: no cover - decode with replace can't fail
+        raise TraceFormatError("unreadable trace file %s" % path) from exc
+    lines = [line for line in text.splitlines() if line.strip()][:8]
+    if not lines:
+        raise TraceFormatError("empty trace file %s" % path)
+    if lines[0].strip() == TEXT_MAGIC:
+        return "native"
+    samples = [line for line in lines if not line.lstrip().startswith(("#", "*"))]
+    if samples:
+        # Real trace files contain the odd malformed line; pick the
+        # format most of the sample matches (majority, not unanimity).
+        scores = {
+            "blkparse": sum(1 for line in samples if _BLKPARSE_LINE.match(line)),
+            "spc": sum(1 for line in samples if _SPC_LINE.match(line)),
+            "msr": sum(1 for line in samples if _MSR_LINE.match(line)),
+        }
+        best = max(scores, key=lambda fmt: scores[fmt])
+        if scores[best] * 2 > len(samples):
+            return best
+    raise TraceFormatError(
+        "could not detect the trace format of %s (tried native, blkparse, "
+        "spc, msr-csv)" % path
+    )
+
+
+def load_any(
+    path: PathLike, warmup_fraction: float = 0.0
+) -> Tuple[Trace, Optional[ImportStats]]:
+    """Load a trace of any supported format.
+
+    Returns ``(trace, import_stats)``; ``import_stats`` is None for the
+    native formats (nothing is skipped when loading those).
+    """
+    fmt = detect_format(path)
+    if fmt == "native":
+        return load_trace(path), None
+    if fmt == "msr":
+        return import_msr_csv(path, warmup_fraction)
+    if fmt == "blkparse":
+        return import_blkparse(path, warmup_fraction=warmup_fraction)
+    if fmt == "spc":
+        return import_spc(path, warmup_fraction)
+    raise AssertionError("unreachable: %s" % fmt)

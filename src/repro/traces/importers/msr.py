@@ -1,0 +1,70 @@
+"""MSR Cambridge / SNIA IOTTA CSV importer.
+
+Format (one I/O per line, no header in the original release)::
+
+    timestamp,hostname,disknumber,type,offset,size,responsetime
+
+* ``timestamp`` — Windows filetime (ignored; the simulator reschedules)
+* ``hostname`` — e.g. ``usr``, ``src1``; becomes the host id
+* ``disknumber`` — integer volume; each (host, disk) becomes a file
+* ``type`` — ``Read`` or ``Write`` (case-insensitive)
+* ``offset``/``size`` — bytes
+
+Lines with a header, wrong field counts, or unparsable numbers are
+counted and skipped, not fatal.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Tuple, Union
+
+from repro.traces.importers.base import TraceBuilder
+from repro.traces.records import Trace
+
+PathLike = Union[str, Path]
+
+
+def import_msr_csv(
+    path: PathLike,
+    warmup_fraction: float = 0.0,
+    single_host: bool = False,
+) -> Tuple[Trace, "ImportStats"]:
+    """Import an MSR-Cambridge-style CSV trace.
+
+    ``single_host=True`` folds every hostname onto host 0 (useful when
+    replaying a multi-volume trace through one simulated client).
+    Returns ``(trace, import_stats)``.
+    """
+    builder = TraceBuilder(warmup_fraction)
+    stats = builder.stats
+    with open(path, "r", encoding="utf-8", errors="replace") as handle:
+        for line in handle:
+            stats.lines_total += 1
+            line = line.strip()
+            if not line or line.startswith("#"):
+                stats.skip("blank or comment")
+                continue
+            fields = line.split(",")
+            if len(fields) < 6:
+                stats.skip("too few fields")
+                continue
+            _ts, hostname, disk, op, offset, size = fields[:6]
+            op = op.strip().lower()
+            if op not in ("read", "write"):
+                stats.skip("unknown op %r" % op)
+                continue
+            try:
+                offset_bytes = int(offset)
+                size_bytes = int(size)
+            except ValueError:
+                stats.skip("non-numeric offset/size")
+                continue
+            host = 0 if single_host else builder.host_id(hostname.strip())
+            thread = builder.thread_id(host, disk.strip())
+            device = "%s.%s" % (hostname.strip(), disk.strip())
+            builder.add_bytes_extent(
+                op == "write", host, thread, device, offset_bytes, size_bytes
+            )
+    trace = builder.build({"source": "msr-csv", "path": str(path)})
+    return trace, stats

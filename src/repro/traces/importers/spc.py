@@ -1,0 +1,69 @@
+"""SPC-1-style ASCII trace importer.
+
+The Storage Performance Council trace format (used by several SNIA
+repository traces) is one I/O per line::
+
+    ASU,LBA,size,opcode,timestamp
+
+* ``ASU`` — application storage unit (an integer); becomes a file
+* ``LBA`` — logical block address in 512-byte sectors
+* ``size`` — bytes
+* ``opcode`` — ``R``/``r`` or ``W``/``w``
+* ``timestamp`` — seconds (ignored; the simulator reschedules)
+
+Everything lands on host 0; ASU doubles as the thread id so requests to
+different units can overlap, mirroring how SPC workloads drive units
+concurrently.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Tuple, Union
+
+from repro.traces.importers.base import TraceBuilder
+from repro.traces.records import Trace
+
+PathLike = Union[str, Path]
+
+SECTOR = 512
+
+
+def import_spc(
+    path: PathLike, warmup_fraction: float = 0.0
+) -> Tuple[Trace, "ImportStats"]:
+    """Import an SPC-1-style ASCII trace; returns (trace, stats)."""
+    builder = TraceBuilder(warmup_fraction)
+    stats = builder.stats
+    with open(path, "r", encoding="utf-8", errors="replace") as handle:
+        for line in handle:
+            stats.lines_total += 1
+            line = line.strip()
+            if not line or line.startswith(("#", "*")):
+                stats.skip("blank or comment")
+                continue
+            fields = line.split(",")
+            if len(fields) < 4:
+                stats.skip("too few fields")
+                continue
+            asu, lba, size, opcode = (field.strip() for field in fields[:4])
+            if opcode.lower() == "r":
+                is_write = False
+            elif opcode.lower() == "w":
+                is_write = True
+            else:
+                stats.skip("unknown opcode %r" % opcode)
+                continue
+            try:
+                asu_number = int(asu)
+                offset_bytes = int(lba) * SECTOR
+                size_bytes = int(size)
+            except ValueError:
+                stats.skip("non-numeric field")
+                continue
+            thread = builder.thread_id(0, "asu%d" % asu_number)
+            builder.add_bytes_extent(
+                is_write, 0, thread, "asu%d" % asu_number, offset_bytes, size_bytes
+            )
+    trace = builder.build({"source": "spc", "path": str(path)})
+    return trace, stats

@@ -1,0 +1,202 @@
+"""Trace records and the in-memory trace container."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro._units import BLOCK_SIZE
+from repro.errors import TraceFormatError
+
+
+class TraceOp(enum.Enum):
+    """Operation type of a trace record."""
+
+    READ = "R"
+    WRITE = "W"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class TraceRecord:
+    """One block-range I/O operation.
+
+    Attributes:
+        op:      READ or WRITE.
+        host:    issuing host id (0-based).
+        thread:  issuing thread id within the host (0-based).
+        file_id: file identifier within the trace's file-system model.
+        offset:  starting block within the file.
+        nblocks: number of consecutive 4 KB blocks covered.
+    """
+
+    __slots__ = ("op", "host", "thread", "file_id", "offset", "nblocks")
+
+    def __init__(
+        self,
+        op: TraceOp,
+        host: int,
+        thread: int,
+        file_id: int,
+        offset: int,
+        nblocks: int,
+    ) -> None:
+        if nblocks < 1:
+            raise TraceFormatError("record must cover >= 1 block, got %d" % nblocks)
+        if min(host, thread, file_id, offset) < 0:
+            raise TraceFormatError("record fields must be non-negative")
+        self.op = op
+        self.host = host
+        self.thread = thread
+        self.file_id = file_id
+        self.offset = offset
+        self.nblocks = nblocks
+
+    @property
+    def is_write(self) -> bool:
+        return self.op is TraceOp.WRITE
+
+    @property
+    def nbytes(self) -> int:
+        return self.nblocks * BLOCK_SIZE
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TraceRecord):
+            return NotImplemented
+        return (
+            self.op is other.op
+            and self.host == other.host
+            and self.thread == other.thread
+            and self.file_id == other.file_id
+            and self.offset == other.offset
+            and self.nblocks == other.nblocks
+        )
+
+    def __repr__(self) -> str:
+        return "TraceRecord(%s, h%d t%d, file=%d, off=%d, n=%d)" % (
+            self.op,
+            self.host,
+            self.thread,
+            self.file_id,
+            self.offset,
+            self.nblocks,
+        )
+
+
+class Trace:
+    """An ordered list of records plus the file geometry they address.
+
+    ``file_blocks[f]`` is the size of file ``f`` in 4 KB blocks; the
+    trace uses it to flatten ``(file, offset)`` pairs into *global*
+    block numbers, which is the namespace the caches operate in.
+
+    ``warmup_records`` is the count of leading records forming the
+    warmup phase ("half of it being devoted to a warmup period for
+    which statistics are not collected").
+    """
+
+    def __init__(
+        self,
+        records: Sequence[TraceRecord],
+        file_blocks: Sequence[int],
+        warmup_records: int = 0,
+        metadata: Optional[Dict[str, str]] = None,
+    ) -> None:
+        if not 0 <= warmup_records <= len(records):
+            raise TraceFormatError(
+                "warmup_records %d out of range for %d records"
+                % (warmup_records, len(records))
+            )
+        self.records: List[TraceRecord] = list(records)
+        self.file_blocks: List[int] = list(file_blocks)
+        self.warmup_records = warmup_records
+        self.metadata: Dict[str, str] = dict(metadata or {})
+        # cumulative base block number per file
+        self._file_base: List[int] = list(
+            itertools.accumulate([0] + self.file_blocks[:-1])
+        ) if self.file_blocks else []
+        self._validate()
+
+    def _validate(self) -> None:
+        n_files = len(self.file_blocks)
+        for index, record in enumerate(self.records):
+            if record.file_id >= n_files:
+                raise TraceFormatError(
+                    "record %d references file %d but trace has %d files"
+                    % (index, record.file_id, n_files)
+                )
+            if record.offset + record.nblocks > self.file_blocks[record.file_id]:
+                raise TraceFormatError(
+                    "record %d overruns file %d (%d blocks): offset=%d n=%d"
+                    % (
+                        index,
+                        record.file_id,
+                        self.file_blocks[record.file_id],
+                        record.offset,
+                        record.nblocks,
+                    )
+                )
+
+    # --- addressing ----------------------------------------------------
+
+    def global_block(self, file_id: int, offset: int) -> int:
+        """Flatten a (file, block-offset) pair to a global block number."""
+        return self._file_base[file_id] + offset
+
+    def record_blocks(self, record: TraceRecord) -> range:
+        """The global block numbers a record covers."""
+        start = self.global_block(record.file_id, record.offset)
+        return range(start, start + record.nblocks)
+
+    @property
+    def total_file_blocks(self) -> int:
+        """Size of the whole file-server model, in blocks."""
+        return sum(self.file_blocks)
+
+    # --- structure -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def hosts(self) -> List[int]:
+        """Sorted list of host ids appearing in the trace."""
+        return sorted({record.host for record in self.records})
+
+    def threads_of(self, host: int) -> List[int]:
+        """Sorted list of thread ids used by one host."""
+        return sorted({r.thread for r in self.records if r.host == host})
+
+    def split_by_issuer(self) -> Dict[Tuple[int, int], List[Tuple[int, TraceRecord]]]:
+        """Group records by (host, thread), keeping each record's global
+        index so the replay engine can tell warmup records apart."""
+        groups: Dict[Tuple[int, int], List[Tuple[int, TraceRecord]]] = {}
+        for index, record in enumerate(self.records):
+            groups.setdefault((record.host, record.thread), []).append((index, record))
+        return groups
+
+    def without_warmup(self) -> "Trace":
+        """A copy with the warmup records *removed* — this is the paper's
+        cold-start / crash-at-start scenario (§7.8)."""
+        return Trace(
+            self.records[self.warmup_records :],
+            self.file_blocks,
+            warmup_records=0,
+            metadata=dict(self.metadata),
+        )
+
+    @property
+    def total_bytes(self) -> int:
+        """Total data volume the trace moves."""
+        return sum(record.nbytes for record in self.records)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<Trace %d records, %d files, warmup=%d>" % (
+            len(self.records),
+            len(self.file_blocks),
+            self.warmup_records,
+        )

@@ -1,0 +1,101 @@
+"""Trace summary statistics.
+
+Used by the trace-generator validation tests to check the generated
+workloads actually have the properties §4 of the paper specifies
+(write fraction, working-set concentration, I/O size distribution,
+host/thread balance) and by the ``repro-tracegen`` CLI for inspection.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro._units import BLOCK_SIZE, format_bytes
+from repro.traces.records import Trace
+
+
+@dataclass
+class TraceStats:
+    """Aggregate statistics over one trace."""
+
+    n_records: int = 0
+    n_reads: int = 0
+    n_writes: int = 0
+    total_blocks: int = 0
+    unique_blocks: int = 0
+    mean_io_blocks: float = 0.0
+    max_io_blocks: int = 0
+    write_fraction: float = 0.0
+    records_per_host: Dict[int, int] = field(default_factory=dict)
+    records_per_thread: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    #: fraction of block accesses landing on the N most popular blocks,
+    #: for N = unique_blocks * level; keys are the levels (e.g. 0.2)
+    concentration: Dict[float, float] = field(default_factory=dict)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.total_blocks * BLOCK_SIZE
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Unique data touched (the working footprint)."""
+        return self.unique_blocks * BLOCK_SIZE
+
+    def summary(self) -> str:
+        """Multi-line human-readable summary."""
+        lines = [
+            "records:        %d (%d reads, %d writes; %.1f%% writes)"
+            % (self.n_records, self.n_reads, self.n_writes, 100 * self.write_fraction),
+            "volume:         %s across %d block accesses"
+            % (format_bytes(self.total_bytes), self.total_blocks),
+            "footprint:      %s (%d unique blocks)"
+            % (format_bytes(self.footprint_bytes), self.unique_blocks),
+            "I/O size:       mean %.2f blocks, max %d"
+            % (self.mean_io_blocks, self.max_io_blocks),
+            "hosts:          %d" % len(self.records_per_host),
+            "threads:        %d" % len(self.records_per_thread),
+        ]
+        for level in sorted(self.concentration):
+            lines.append(
+                "top %3.0f%% blocks: %.1f%% of accesses"
+                % (100 * level, 100 * self.concentration[level])
+            )
+        return "\n".join(lines)
+
+
+def compute_stats(
+    trace: Trace, concentration_levels: Tuple[float, ...] = (0.1, 0.2, 0.5)
+) -> TraceStats:
+    """Scan a trace and compute :class:`TraceStats`."""
+    stats = TraceStats()
+    stats.n_records = len(trace.records)
+    block_counts: Counter = Counter()
+    host_counts: Counter = Counter()
+    thread_counts: Counter = Counter()
+    total_blocks = 0
+    for record in trace.records:
+        if record.is_write:
+            stats.n_writes += 1
+        else:
+            stats.n_reads += 1
+        total_blocks += record.nblocks
+        stats.max_io_blocks = max(stats.max_io_blocks, record.nblocks)
+        host_counts[record.host] += 1
+        thread_counts[(record.host, record.thread)] += 1
+        for block in trace.record_blocks(record):
+            block_counts[block] += 1
+    stats.total_blocks = total_blocks
+    stats.unique_blocks = len(block_counts)
+    if stats.n_records:
+        stats.mean_io_blocks = total_blocks / stats.n_records
+        stats.write_fraction = stats.n_writes / stats.n_records
+    stats.records_per_host = dict(host_counts)
+    stats.records_per_thread = dict(thread_counts)
+    if block_counts and total_blocks:
+        by_popularity: List[int] = sorted(block_counts.values(), reverse=True)
+        for level in concentration_levels:
+            top_n = max(1, int(len(by_popularity) * level))
+            stats.concentration[level] = sum(by_popularity[:top_n]) / total_blocks
+    return stats

@@ -1,0 +1,117 @@
+"""Trace manipulation tools.
+
+Utilities for composing experiment inputs out of existing traces —
+most usefully for driving the multi-host consistency experiments with
+*imported* traces (each import becomes one host) and for cutting big
+traces down to experiment size:
+
+* :func:`merge_traces` — interleave several traces onto distinct hosts
+  over a combined file geometry;
+* :func:`slice_records` — keep a contiguous record range;
+* :func:`subsample` — keep every k-th record (cheap thinning);
+* :func:`remap_host` — move all of a trace's records to one host id.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import TraceFormatError
+from repro.traces.records import Trace, TraceRecord
+
+
+def merge_traces(traces: Sequence[Trace], interleave: bool = True) -> Trace:
+    """Merge traces onto distinct hosts over a combined geometry.
+
+    Trace ``i``'s records all land on host ``i`` (their original host
+    ids are folded); file ids are offset so each input keeps a private
+    region of the combined file list.  ``interleave=True`` (default)
+    round-robins records proportionally to each input's length so the
+    merged replay overlaps the workloads, as concurrent hosts would;
+    ``False`` concatenates.
+
+    The merged warmup is the sum of the inputs' warmup record counts
+    (interleaving preserves each record's phase only approximately; the
+    proportional round-robin keeps warmup records in the leading
+    portion).
+    """
+    if not traces:
+        raise TraceFormatError("merge_traces needs at least one trace")
+    file_blocks: List[int] = []
+    rebased: List[List[TraceRecord]] = []
+    for host_id, trace in enumerate(traces):
+        offset = len(file_blocks)
+        file_blocks.extend(trace.file_blocks)
+        rebased.append(
+            [
+                TraceRecord(
+                    record.op,
+                    host_id,
+                    record.thread,
+                    record.file_id + offset,
+                    record.offset,
+                    record.nblocks,
+                )
+                for record in trace.records
+            ]
+        )
+
+    records: List[TraceRecord] = []
+    if interleave:
+        total = sum(len(group) for group in rebased)
+        cursors = [0] * len(rebased)
+        # Proportional round-robin: at each step pick the input whose
+        # progress lags its share the most.
+        for _ in range(total):
+            best = None
+            best_lag = None
+            for index, group in enumerate(rebased):
+                if cursors[index] >= len(group):
+                    continue
+                lag = cursors[index] / len(group)
+                if best_lag is None or lag < best_lag:
+                    best, best_lag = index, lag
+            assert best is not None
+            records.append(rebased[best][cursors[best]])
+            cursors[best] += 1
+    else:
+        for group in rebased:
+            records.extend(group)
+
+    warmup = sum(trace.warmup_records for trace in traces)
+    return Trace(
+        records,
+        file_blocks,
+        warmup_records=min(warmup, len(records)),
+        metadata={"merged_from": str(len(traces))},
+    )
+
+
+def slice_records(trace: Trace, start: int, stop: int) -> Trace:
+    """Keep records[start:stop]; warmup shrinks to the overlap."""
+    if start < 0 or stop < start:
+        raise TraceFormatError("bad slice [%d:%d]" % (start, stop))
+    records = trace.records[start:stop]
+    warmup = max(0, min(trace.warmup_records - start, len(records)))
+    return Trace(records, trace.file_blocks, warmup, dict(trace.metadata))
+
+
+def subsample(trace: Trace, keep_every: int) -> Trace:
+    """Keep every ``keep_every``-th record (cheap thinning for huge
+    imports; working-set structure is preserved statistically)."""
+    if keep_every < 1:
+        raise TraceFormatError("keep_every must be >= 1")
+    records = trace.records[::keep_every]
+    warmup = len(trace.records[: trace.warmup_records : keep_every])
+    return Trace(records, trace.file_blocks, warmup, dict(trace.metadata))
+
+
+def remap_host(trace: Trace, host: int) -> Trace:
+    """Move every record to one host id (fold a multi-host trace)."""
+    if host < 0:
+        raise TraceFormatError("host id must be non-negative")
+    records = [
+        TraceRecord(r.op, host, r.thread, r.file_id, r.offset, r.nblocks)
+        for r in trace.records
+    ]
+    return Trace(records, trace.file_blocks, trace.warmup_records, dict(trace.metadata))

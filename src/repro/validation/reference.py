@@ -1,0 +1,151 @@
+"""The independent reference model used for cross-checking.
+
+A deliberately *simple* replay of the naive architecture: plain
+OrderedDict LRU tiers, single logical thread, no timing — only hit
+accounting plus closed-form per-level latency arithmetic.  It shares no
+code with the event-driven simulator (that is the point: two
+implementations of the same semantics, written differently, checked
+against each other).
+
+Scope: the reference models the naive read path with clean fills and
+the asynchronous write-through write path, which is the configuration
+the cross-check runs (the simulator's other architectures and policies
+are covered by their own white-box tests).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.config import SimConfig
+from repro.traces.records import Trace
+
+
+@dataclass
+class ReferenceReplay:
+    """Hit counts and expected latency sums from the reference model."""
+
+    ram_hits: int = 0
+    ram_misses: int = 0
+    flash_hits: int = 0
+    flash_misses: int = 0
+    read_blocks: int = 0
+    write_blocks: int = 0
+    #: measured-phase read level per block: "ram" / "flash" / "filer"
+    read_levels: List[str] = field(default_factory=list)
+
+    @property
+    def ram_hit_rate(self) -> float:
+        total = self.ram_hits + self.ram_misses
+        return self.ram_hits / total if total else 0.0
+
+    @property
+    def flash_hit_rate(self) -> float:
+        total = self.flash_hits + self.flash_misses
+        return self.flash_hits / total if total else 0.0
+
+    def expected_read_mean_ns(self, config: SimConfig) -> float:
+        """Closed-form mean read latency implied by the hit levels,
+        assuming a deterministic (all-fast) filer and no queueing."""
+        timing = config.timing
+        network = timing.network
+        from repro.net.packet import Packet
+
+        miss_ns = (
+            network.packet_time_ns(Packet.request())
+            + timing.filer.fast_read_ns
+            + network.packet_time_ns(Packet.data_block())
+            + timing.flash.write_ns * (2 if config.persistent_flash else 1)
+            + timing.ram_write_ns
+        )
+        if not config.has_flash:
+            miss_ns -= timing.flash.write_ns * (2 if config.persistent_flash else 1)
+        flash_hit_ns = timing.flash.read_ns + timing.ram_write_ns
+        per_level = {
+            "ram": float(timing.ram_read_ns),
+            "flash": float(flash_hit_ns),
+            "filer": float(miss_ns),
+        }
+        if not self.read_levels:
+            return 0.0
+        return sum(per_level[level] for level in self.read_levels) / len(
+            self.read_levels
+        )
+
+
+class _Tier:
+    """A minimal LRU tier."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.entries: "OrderedDict[int, None]" = OrderedDict()
+
+    def __contains__(self, block: int) -> bool:
+        return block in self.entries
+
+    def touch(self, block: int) -> None:
+        self.entries.move_to_end(block)
+
+    def insert(self, block: int, protected=None) -> None:
+        if block in self.entries:
+            self.entries.move_to_end(block)
+            return
+        while len(self.entries) >= self.capacity > 0:
+            if protected is not None:
+                victim = next(
+                    (key for key in self.entries if key not in protected), None
+                )
+                if victim is None:
+                    victim = next(iter(self.entries))
+                del self.entries[victim]
+            else:
+                self.entries.popitem(last=False)
+        if self.capacity > 0:
+            self.entries[block] = None
+
+
+def replay_reference(trace: Trace, config: SimConfig) -> ReferenceReplay:
+    """Replay a trace through the reference model (single-threaded order)."""
+    ram = _Tier(config.ram_blocks)
+    flash = _Tier(config.flash_blocks if config.has_flash else 0)
+    result = ReferenceReplay()
+
+    for index, record in enumerate(trace.records):
+        measured = index >= trace.warmup_records
+        for block in trace.record_blocks(record):
+            if record.is_write:
+                # async write-through: lands in RAM and (immediately,
+                # in reference time) in flash.
+                ram.insert(block, protected=None)
+                if config.has_flash:
+                    flash.insert(block, protected=ram.entries)
+                if measured:
+                    result.write_blocks += 1
+                continue
+            if measured:
+                result.read_blocks += 1
+            if block in ram:
+                ram.touch(block)
+                if measured:
+                    result.ram_hits += 1
+                    result.read_levels.append("ram")
+                continue
+            if measured:
+                result.ram_misses += 1
+            if config.has_flash and block in flash:
+                flash.touch(block)
+                ram.insert(block)
+                if measured:
+                    result.flash_hits += 1
+                    result.read_levels.append("flash")
+                continue
+            if measured:
+                result.flash_misses += 1
+                result.read_levels.append("filer")
+            if config.has_flash:
+                # flash victims skip RAM-resident blocks (pinning)
+                flash.insert(block, protected=ram.entries)
+            ram.insert(block)
+    return result

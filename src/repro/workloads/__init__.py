@@ -1,0 +1,39 @@
+"""Canonical workload scenarios from the paper's motivation (§1).
+
+"There are many examples of such servers: application servers in
+three-tier web applications, compute servers in data centers, render
+farms used in animation, and compute nodes in scientific computation
+clusters all fit this model."
+
+The paper evaluates one stochastic workload shape (§4); this package
+provides trace generators for the four motivating scenarios, each with
+a distinct access structure the §4 generator cannot express:
+
+* :func:`web_app_server`   — Zipf-skewed small random reads, session
+  writes (the §4 shape tuned read-hot);
+* :func:`render_farm`      — streaming sequential reads of large scene
+  assets plus bursts of frame-output writes;
+* :func:`scientific_compute` — sequential input sweeps punctuated by
+  periodic full-working-set checkpoint write bursts;
+* :func:`data_center_mixed` — a merge of the above on separate hosts
+  sharing one filer.
+
+All return :class:`repro.traces.Trace` objects ready for
+:func:`repro.run_simulation`.
+"""
+
+from repro.workloads.scenarios import (
+    WorkloadSpec,
+    data_center_mixed,
+    render_farm,
+    scientific_compute,
+    web_app_server,
+)
+
+__all__ = [
+    "WorkloadSpec",
+    "web_app_server",
+    "render_farm",
+    "scientific_compute",
+    "data_center_mixed",
+]

@@ -1,0 +1,236 @@
+"""The four motivating workload scenarios.
+
+Each scenario builds its own file population (shaped for the domain)
+and emits records with the domain's access structure.  Block sizes,
+host/thread conventions, and the warmup-half convention all match the
+paper's trace model, so any scenario drops into any experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro._units import KB, MB, blocks_for_bytes
+from repro.engine.rng import RngStreams
+from repro.errors import ConfigError
+from repro.fsmodel.distributions import WeightedSampler, poisson_sample, zipf_popularity
+from repro.fsmodel.files import FileSpec, FileSystemModel
+from repro.traces.records import Trace, TraceOp, TraceRecord
+from repro.traces.tools import merge_traces
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Common knobs shared by every scenario generator."""
+
+    #: total data volume the trace moves (drives the record count)
+    volume_bytes: int = 32 * MB
+    threads: int = 8
+    warmup_fraction: float = 0.5
+    seed: int = 2013
+
+    def __post_init__(self) -> None:
+        if self.volume_bytes <= 0:
+            raise ConfigError("volume must be positive")
+        if self.threads < 1:
+            raise ConfigError("need at least one thread")
+        if not 0.0 <= self.warmup_fraction < 1.0:
+            raise ConfigError("warmup fraction must be in [0, 1)")
+
+
+def _finish(records: List[TraceRecord], model: FileSystemModel, spec: WorkloadSpec, name: str) -> Trace:
+    """Apply the warmup convention and wrap into a Trace."""
+    # The warmup fraction applies to the volume actually produced
+    # (bursty scenarios overshoot the requested volume slightly).
+    actual_total = sum(record.nblocks for record in records)
+    cumulative = 0
+    warmup = 0
+    warmup_target = int(actual_total * spec.warmup_fraction)
+    for record in records:
+        if cumulative < warmup_target:
+            warmup += 1
+        cumulative += record.nblocks
+    return Trace(
+        records,
+        model.file_blocks(),
+        warmup_records=warmup,
+        metadata={"scenario": name, "seed": str(spec.seed)},
+    )
+
+
+# --- web application server -------------------------------------------------
+
+
+def web_app_server(
+    spec: WorkloadSpec = WorkloadSpec(),
+    n_objects: int = 2000,
+    object_mean_kb: int = 24,
+    write_fraction: float = 0.10,
+) -> Trace:
+    """A three-tier web app's storage tier: Zipf-hot small objects.
+
+    Mostly-random small reads with strong popularity skew (sessions,
+    templates, thumbnails) and a light stream of session-state writes.
+    """
+    rng = RngStreams(spec.seed).stream("web")
+    files = []
+    for file_id in range(n_objects):
+        blocks = max(1, poisson_sample(rng, object_mean_kb * KB / 4096))
+        # strong skew: a few very hot objects (sessions, templates)
+        files.append(FileSpec(file_id, blocks, zipf_popularity(rng, 64, 1.1)))
+    model = FileSystemModel(files)
+    sampler = WeightedSampler(model.popularities())
+
+    records: List[TraceRecord] = []
+    target = blocks_for_bytes(spec.volume_bytes)
+    produced = 0
+    while produced < target:
+        spec_file = model[sampler.sample(rng)]
+        length = min(spec_file.blocks, max(1, poisson_sample(rng, 2.0)))
+        start = rng.randrange(spec_file.blocks - length + 1)
+        op = TraceOp.WRITE if rng.random() < write_fraction else TraceOp.READ
+        records.append(
+            TraceRecord(op, 0, rng.randrange(spec.threads), spec_file.file_id, start, length)
+        )
+        produced += length
+    return _finish(records, model, spec, "web_app_server")
+
+
+# --- render farm -----------------------------------------------------------------
+
+
+def render_farm(
+    spec: WorkloadSpec = WorkloadSpec(),
+    n_assets: int = 24,
+    asset_mb: int = 2,
+    frame_kb: int = 256,
+    frames_per_asset_pass: int = 4,
+) -> Trace:
+    """A render node: stream big scene assets, write out frames.
+
+    Each "pass" reads one asset sequentially (large sequential reads —
+    friendly to the filer's prefetcher and to any cache big enough to
+    hold the asset set), then writes a handful of output frames.
+    """
+    rng = RngStreams(spec.seed).stream("render")
+    asset_blocks = blocks_for_bytes(asset_mb * MB)
+    frame_blocks = blocks_for_bytes(frame_kb * KB)
+    files = [FileSpec(i, asset_blocks, 1) for i in range(n_assets)]
+    # output files, one per thread, sized for many frames
+    output_capacity = frame_blocks * 512
+    for thread in range(spec.threads):
+        files.append(FileSpec(n_assets + thread, output_capacity, 1))
+    model = FileSystemModel(files)
+
+    records: List[TraceRecord] = []
+    target = blocks_for_bytes(spec.volume_bytes)
+    produced = 0
+    frame_cursor = [0] * spec.threads
+    io_blocks = 16  # large sequential read chunks (64 KB)
+    while produced < target:
+        thread = rng.randrange(spec.threads)
+        asset = rng.randrange(n_assets)
+        for start in range(0, asset_blocks, io_blocks):
+            length = min(io_blocks, asset_blocks - start)
+            records.append(
+                TraceRecord(TraceOp.READ, 0, thread, asset, start, length)
+            )
+            produced += length
+        for _frame in range(frames_per_asset_pass):
+            start = frame_cursor[thread]
+            if start + frame_blocks > output_capacity:
+                frame_cursor[thread] = 0
+                start = 0
+            records.append(
+                TraceRecord(
+                    TraceOp.WRITE, 0, thread, n_assets + thread, start, frame_blocks
+                )
+            )
+            frame_cursor[thread] += frame_blocks
+            produced += frame_blocks
+    return _finish(records, model, spec, "render_farm")
+
+
+# --- scientific compute ------------------------------------------------------------
+
+
+def scientific_compute(
+    spec: WorkloadSpec = WorkloadSpec(),
+    dataset_mb: int = 16,
+    checkpoint_mb: int = 4,
+    sweeps_per_checkpoint: int = 2,
+) -> Trace:
+    """A compute node: input sweeps punctuated by checkpoint bursts.
+
+    Repeats: read a contiguous slice of the input dataset (sequential,
+    cache-friendly once resident), every few sweeps dump a checkpoint —
+    a dense burst of large writes, the pattern that stresses writeback
+    policies (§7.6's high-write-rate regime, but bursty).
+    """
+    rng = RngStreams(spec.seed).stream("hpc")
+    dataset_blocks = blocks_for_bytes(dataset_mb * MB)
+    checkpoint_blocks = blocks_for_bytes(checkpoint_mb * MB)
+    files = [
+        FileSpec(0, dataset_blocks, 1),
+        FileSpec(1, checkpoint_blocks * 4, 1),  # rotating checkpoint area
+    ]
+    model = FileSystemModel(files)
+
+    records: List[TraceRecord] = []
+    target = blocks_for_bytes(spec.volume_bytes)
+    produced = 0
+    sweep = 0
+    checkpoint_slot = 0
+    io_blocks = 32  # 128 KB sequential chunks
+    # Size sweep slices so a run of the requested volume contains
+    # several sweeps (and hence several checkpoints) regardless of how
+    # the dataset size and volume compare.
+    slice_blocks = max(
+        io_blocks,
+        min(dataset_blocks // 8, target // (8 * spec.threads) or io_blocks),
+    )
+    while produced < target:
+        # one sweep: each thread reads a slice of the dataset
+        for thread in range(spec.threads):
+            base = rng.randrange(max(1, dataset_blocks - slice_blocks + 1))
+            for start in range(base, base + slice_blocks, io_blocks):
+                length = min(io_blocks, dataset_blocks - start)
+                if length <= 0:
+                    break
+                records.append(TraceRecord(TraceOp.READ, 0, thread, 0, start, length))
+                produced += length
+        sweep += 1
+        if sweep % sweeps_per_checkpoint == 0:
+            base = (checkpoint_slot % 4) * checkpoint_blocks
+            checkpoint_slot += 1
+            for start in range(base, base + checkpoint_blocks, io_blocks):
+                length = min(io_blocks, base + checkpoint_blocks - start)
+                thread = rng.randrange(spec.threads)
+                records.append(TraceRecord(TraceOp.WRITE, 0, thread, 1, start, length))
+                produced += length
+    return _finish(records, model, spec, "scientific_compute")
+
+
+# --- combined data center ----------------------------------------------------------
+
+
+def data_center_mixed(spec: WorkloadSpec = WorkloadSpec()) -> Trace:
+    """Three heterogeneous hosts sharing one filer: web + render + HPC.
+
+    The consolidation scenario the paper's deployment model implies —
+    each host gets its own flash cache, the filer sees all three.
+    """
+    per_host = WorkloadSpec(
+        volume_bytes=spec.volume_bytes // 3 or spec.volume_bytes,
+        threads=spec.threads,
+        warmup_fraction=spec.warmup_fraction,
+        seed=spec.seed,
+    )
+    return merge_traces(
+        [
+            web_app_server(per_host),
+            render_farm(per_host),
+            scientific_compute(per_host),
+        ]
+    )

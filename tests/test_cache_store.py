@@ -1,0 +1,202 @@
+"""Tests for BlockStore."""
+
+import pytest
+
+from repro.cache.block import Medium
+from repro.cache.store import BlockStore
+from repro.errors import CacheError
+
+
+def full_store(capacity=3, **put_kwargs):
+    store = BlockStore(capacity, name="t")
+    for block in range(capacity):
+        store.put(block, **put_kwargs)
+    return store
+
+
+class TestLookup:
+    def test_get_miss_counts(self):
+        store = BlockStore(4)
+        assert store.get(1) is None
+        assert store.stats.misses == 1
+        assert store.stats.hits == 0
+
+    def test_get_hit_counts_and_touches(self):
+        store = full_store()
+        entry = store.get(0)
+        assert entry is not None
+        assert store.stats.hits == 1
+        # 0 was touched, so the victim is now 1
+        victim = store.pop_victim()
+        assert victim.block == 1
+
+    def test_peek_does_not_touch_or_count(self):
+        store = full_store()
+        store.peek(0)
+        assert store.stats.hits == 0
+        assert store.pop_victim().block == 0
+
+    def test_contains(self):
+        store = full_store()
+        assert 0 in store
+        assert 99 not in store
+
+
+class TestInsertEvict:
+    def test_put_then_len(self):
+        store = BlockStore(4)
+        store.put(7)
+        assert len(store) == 1
+        assert store.free_blocks == 3
+
+    def test_duplicate_put_rejected(self):
+        store = BlockStore(4)
+        store.put(7)
+        with pytest.raises(CacheError):
+            store.put(7)
+
+    def test_put_into_full_rejected(self):
+        store = full_store()
+        with pytest.raises(CacheError):
+            store.put(99)
+
+    def test_pop_victim_lru_order(self):
+        store = full_store()
+        assert store.pop_victim().block == 0
+        assert store.pop_victim().block == 1
+
+    def test_pop_victim_counts_dirty(self):
+        store = BlockStore(2)
+        store.put(1, dirty=True)
+        store.put(2)
+        victim = store.pop_victim()
+        assert victim.block == 1
+        assert victim.dirty
+        assert store.stats.dirty_evictions == 1
+        assert store.stats.evictions == 1
+
+    def test_pop_victim_empty_returns_none(self):
+        assert BlockStore(2).pop_victim() is None
+
+    def test_capacity_zero_always_full(self):
+        store = BlockStore(0)
+        assert store.is_full()
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(CacheError):
+            BlockStore(-1)
+
+
+class TestPinning:
+    def test_pinned_entry_skipped(self):
+        store = full_store()
+        store.pin(0)
+        assert store.pop_victim().block == 1
+
+    def test_all_pinned_falls_back(self):
+        store = full_store()
+        for block in range(3):
+            store.pin(block)
+        victim = store.pop_victim()
+        assert victim is not None  # pinning never deadlocks eviction
+
+    def test_unpin_restores_victimhood(self):
+        store = full_store()
+        store.pin(0)
+        store.unpin(0)
+        assert store.pop_victim().block == 0
+
+    def test_pin_absent_is_noop(self):
+        store = BlockStore(2)
+        store.pin(42)  # must not raise
+
+    def test_skip_filter_composes_with_pins(self):
+        store = full_store()
+        store.pin(0)
+        assert store.pop_victim(skip=lambda k: k == 1).block == 2
+
+
+class TestDirtyTracking:
+    def test_put_dirty_registers(self):
+        store = BlockStore(4)
+        store.put(1, dirty=True)
+        assert store.dirty_blocks() == [1]
+        assert store.dirty_count == 1
+
+    def test_mark_dirty_then_clean(self):
+        store = BlockStore(4)
+        store.put(1)
+        store.mark_dirty(1)
+        assert store.peek(1).dirty
+        store.mark_clean(1)
+        assert not store.peek(1).dirty
+        assert store.dirty_count == 0
+        assert store.stats.writebacks == 1
+
+    def test_mark_clean_absent_is_noop(self):
+        store = BlockStore(4)
+        store.mark_clean(42)  # must not raise
+
+    def test_remove_clears_dirty(self):
+        store = BlockStore(4)
+        store.put(1, dirty=True)
+        store.remove(1)
+        assert store.dirty_count == 0
+
+    def test_eviction_clears_dirty(self):
+        store = BlockStore(1)
+        store.put(1, dirty=True)
+        store.pop_victim()
+        assert store.dirty_count == 0
+
+
+class TestRemoveAndClear:
+    def test_remove_returns_entry(self):
+        store = BlockStore(4)
+        store.put(1, Medium.FLASH)
+        entry = store.remove(1)
+        assert entry.block == 1
+        assert entry.medium is Medium.FLASH
+        assert 1 not in store
+
+    def test_remove_absent_returns_none(self):
+        assert BlockStore(4).remove(9) is None
+
+    def test_invalidation_counted(self):
+        store = BlockStore(4)
+        store.put(1)
+        store.remove(1, invalidation=True)
+        assert store.stats.invalidations == 1
+
+    def test_clear_empties(self):
+        store = full_store()
+        store.clear()
+        assert len(store) == 0
+        assert store.dirty_count == 0
+
+    def test_blocks_iterates_eviction_order(self):
+        store = full_store()
+        store.get(0)  # touch
+        assert list(store.blocks()) == [1, 2, 0]
+
+
+class TestStatsReset:
+    def test_reset_zeroes_counters(self):
+        store = full_store()
+        store.get(0)
+        store.get(99)
+        store.stats.reset_for_measurement()
+        assert store.stats.hits == 0
+        assert store.stats.misses == 0
+        assert store.stats.insertions == 0
+        # contents survive the reset
+        assert len(store) == 3
+
+    def test_hit_rate(self):
+        store = full_store()
+        store.get(0)
+        store.get(99)
+        assert store.stats.hit_rate == pytest.approx(0.5)
+
+    def test_hit_rate_empty(self):
+        assert BlockStore(2).stats.hit_rate == 0.0

@@ -1,0 +1,126 @@
+"""Tests for the two command-line tools."""
+
+import pytest
+
+from repro.experiments import runner
+from repro.tracegen import cli
+from repro.traces.format import load_trace
+
+
+class TestParseSize:
+    def test_plain_bytes(self):
+        assert cli.parse_size("4096") == 4096
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [("4K", 4096), ("1M", 1024**2), ("2G", 2 * 1024**3), ("1T", 1024**4)],
+    )
+    def test_suffixes(self, text, expected):
+        assert cli.parse_size(text) == expected
+
+    def test_lowercase_and_fractional(self):
+        assert cli.parse_size("0.5m") == 512 * 1024
+
+
+class TestTracegenCli:
+    def test_generate_and_inspect(self, tmp_path, capsys):
+        out = tmp_path / "t.trace"
+        status = cli.main(
+            [
+                "--fs-size", "32M",
+                "--working-set", "4M",
+                "--out", str(out),
+                "--seed", "5",
+            ]
+        )
+        assert status == 0
+        trace = load_trace(out)
+        assert len(trace) > 0
+
+        status = cli.main(["--inspect", str(out)])
+        assert status == 0
+        captured = capsys.readouterr()
+        assert "records:" in captured.out
+
+    def test_binary_output(self, tmp_path):
+        out = tmp_path / "t.btrace"
+        status = cli.main(
+            ["--fs-size", "32M", "--working-set", "4M", "--out", str(out), "--binary"]
+        )
+        assert status == 0
+        assert out.read_bytes().startswith(b"RPTRC")
+
+    def test_missing_out_is_an_error(self, capsys):
+        with pytest.raises(SystemExit):
+            cli.main([])
+
+    def test_bad_config_reports_error(self, tmp_path, capsys):
+        status = cli.main(
+            [
+                "--fs-size", "4M",
+                "--working-set", "32M",  # WS bigger than the server model
+                "--out", str(tmp_path / "x.trace"),
+            ]
+        )
+        assert status == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestExperimentsRunner:
+    def test_table1(self, capsys):
+        status = runner.main(["table1"])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "Timing Model Parameters" in out
+        assert "88.0 us" in out
+
+    def test_unknown_experiment(self, capsys):
+        status = runner.main(["figure99"])
+        assert status == 1
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_experiment_list_is_complete(self):
+        assert len(runner.PAPER_EXPERIMENTS) == 13  # table1 + figures 1..12
+        assert set(runner.EXTENSION_EXPERIMENTS) == {
+            "placement",
+            "recovery",
+            "recovery_timeline",
+            "multihost",
+            "extended_policies",
+            "scenarios",
+            "tail_latency",
+            "sensitivity",
+            "section74",
+            "consistency_traffic",
+        }
+
+    def test_chart_flag(self, capsys):
+        status = runner.main(["figure4", "--fast", "--scale", "65536", "--chart"])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "noflash_us" in out
+        assert "|" in out  # the chart's y axis
+
+    def test_extensions_alias(self, capsys, monkeypatch):
+        # Just validate name resolution, not a full (slow) run.
+        monkeypatch.setattr(
+            runner,
+            "run_one",
+            lambda name, scale, fast, chart=False: ("ran %s" % name, None),
+        )
+        status = runner.main(["extensions"])
+        assert status == 0
+        out = capsys.readouterr().out
+        for name in runner.EXTENSION_EXPERIMENTS:
+            assert "ran %s" % name in out
+
+    def test_report_flag(self, tmp_path, capsys):
+        report = tmp_path / "report.md"
+        status = runner.main(
+            ["figure4", "--fast", "--scale", "65536", "--report", str(report)]
+        )
+        assert status == 0
+        content = report.read_text()
+        assert content.startswith("# Experiment report")
+        assert "## figure4" in content
+        assert "noflash_us" in content

@@ -1,0 +1,102 @@
+"""Tests for latency statistics."""
+
+import pytest
+
+from repro.core.metrics import LatencyStat, MetricsCollector
+
+
+class TestLatencyStat:
+    def test_empty(self):
+        stat = LatencyStat()
+        assert stat.count == 0
+        assert stat.mean_ns == 0.0
+        assert stat.percentile(0.5) == 0.0
+
+    def test_mean_min_max(self):
+        stat = LatencyStat()
+        for value in (100, 200, 300):
+            stat.record(value)
+        assert stat.mean_ns == pytest.approx(200.0)
+        assert stat.min_ns == 100
+        assert stat.max_ns == 300
+
+    def test_mean_us(self):
+        stat = LatencyStat()
+        stat.record(88_000)
+        assert stat.mean_us == pytest.approx(88.0)
+
+    def test_percentile_monotone(self):
+        stat = LatencyStat()
+        for value in range(100, 100_000, 500):
+            stat.record(value)
+        assert stat.percentile(0.1) <= stat.percentile(0.5) <= stat.percentile(0.99)
+
+    def test_percentile_bucket_accuracy(self):
+        stat = LatencyStat()
+        for _ in range(100):
+            stat.record(1_000)
+        p50 = stat.percentile(0.5)
+        assert 1_000 <= p50 <= 2_000  # within the bucket factor of two
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            LatencyStat().percentile(1.5)
+
+    def test_merge(self):
+        a, b = LatencyStat(), LatencyStat()
+        a.record(100)
+        b.record(300)
+        a.merge(b)
+        assert a.count == 2
+        assert a.mean_ns == pytest.approx(200.0)
+        assert a.min_ns == 100
+        assert a.max_ns == 300
+
+    def test_merge_empty(self):
+        a = LatencyStat()
+        a.record(50)
+        a.merge(LatencyStat())
+        assert a.count == 1
+
+    def test_as_dict_keys(self):
+        stat = LatencyStat()
+        stat.record(1000)
+        data = stat.as_dict()
+        assert set(data) == {"count", "mean_us", "min_us", "max_us", "p50_us", "p99_us"}
+
+    def test_huge_latency_lands_in_last_bucket(self):
+        stat = LatencyStat()
+        stat.record(10**12)  # beyond the last bucket edge
+        assert stat.percentile(1.0) > 0
+
+
+class TestMetricsCollector:
+    def test_gating_before_measurement(self):
+        collector = MetricsCollector()
+        collector.record_block(False, 100)
+        assert collector.read_latency.count == 0
+
+    def test_records_after_measurement_begins(self):
+        collector = MetricsCollector()
+        collector.begin_measurement(12345)
+        collector.record_block(False, 100)
+        collector.record_block(True, 200)
+        assert collector.read_latency.count == 1
+        assert collector.write_latency.count == 1
+        assert collector.blocks_read == 1
+        assert collector.blocks_written == 1
+        assert collector.measurement_start_ns == 12345
+
+    def test_begin_measurement_idempotent(self):
+        collector = MetricsCollector()
+        collector.begin_measurement(10)
+        collector.begin_measurement(99)
+        assert collector.measurement_start_ns == 10
+
+    def test_request_latency_split(self):
+        collector = MetricsCollector()
+        collector.begin_measurement(0)
+        collector.record_request(False, 1_000)
+        collector.record_request(True, 2_000)
+        assert collector.read_request_latency.count == 1
+        assert collector.write_request_latency.count == 1

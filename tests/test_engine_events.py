@@ -1,0 +1,117 @@
+"""Tests for the Completion synchronization primitive."""
+
+import pytest
+
+from repro.engine.events import Completion, all_of
+from repro.engine.simulation import Simulator
+from repro.errors import SimulationError
+
+
+class TestCompletion:
+    def test_initially_pending(self):
+        comp = Completion()
+        assert not comp.fired
+        assert comp.value is None
+
+    def test_fire_sets_value(self):
+        comp = Completion()
+        comp.fire(42)
+        assert comp.fired
+        assert comp.value == 42
+
+    def test_double_fire_rejected(self):
+        comp = Completion()
+        comp.fire()
+        with pytest.raises(SimulationError):
+            comp.fire()
+
+    def test_callback_before_fire(self):
+        comp = Completion()
+        seen = []
+        comp.add_callback(seen.append)
+        assert seen == []
+        comp.fire("x")
+        assert seen == ["x"]
+
+    def test_callback_after_fire_runs_immediately(self):
+        comp = Completion()
+        comp.fire("y")
+        seen = []
+        comp.add_callback(seen.append)
+        assert seen == ["y"]
+
+    def test_process_waits_for_completion(self):
+        sim = Simulator()
+        comp = Completion()
+        log = []
+
+        def waiter():
+            value = yield comp
+            log.append((sim.now, value))
+
+        def firer():
+            yield 100
+            comp.fire("done")
+
+        sim.spawn(waiter())
+        sim.spawn(firer())
+        sim.run()
+        assert log == [(100, "done")]
+
+    def test_waiting_on_fired_completion_resumes_immediately(self):
+        sim = Simulator()
+        comp = Completion()
+        comp.fire(7)
+        results = []
+
+        def waiter():
+            value = yield comp
+            results.append(value)
+
+        sim.spawn(waiter())
+        sim.run()
+        assert results == [7]
+
+    def test_multiple_waiters_resume_in_subscription_order(self):
+        sim = Simulator()
+        comp = Completion()
+        order = []
+
+        def waiter(tag):
+            yield comp
+            order.append(tag)
+
+        sim.spawn(waiter("a"))
+        sim.spawn(waiter("b"))
+        sim.spawn(waiter("c"))
+
+        def firer():
+            yield 10
+            comp.fire()
+
+        sim.spawn(firer())
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+
+class TestAllOf:
+    def test_empty_list_fires_immediately(self):
+        combined = all_of([])
+        assert combined.fired
+        assert combined.value == []
+
+    def test_collects_values_in_order(self):
+        a, b = Completion(), Completion()
+        combined = all_of([a, b])
+        b.fire(2)
+        assert not combined.fired
+        a.fire(1)
+        assert combined.fired
+        assert combined.value == [1, 2]
+
+    def test_already_fired_inputs(self):
+        a = Completion()
+        a.fire("x")
+        combined = all_of([a])
+        assert combined.fired
+        assert combined.value == ["x"]

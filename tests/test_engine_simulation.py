@@ -1,0 +1,199 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.engine.events import Completion
+from repro.engine.simulation import Simulator, timeout
+from repro.errors import SimulationError
+
+
+class TestTimeAdvancement:
+    def test_starts_at_zero(self):
+        assert Simulator().now == 0
+
+    def test_single_timeout(self):
+        sim = Simulator()
+        times = []
+
+        def proc():
+            yield 500
+            times.append(sim.now)
+
+        sim.spawn(proc())
+        sim.run()
+        assert times == [500]
+
+    def test_sequential_timeouts_accumulate(self):
+        sim = Simulator()
+
+        def proc():
+            yield 100
+            yield 200
+            yield 300
+
+        sim.spawn(proc())
+        assert sim.run() == 600
+
+    def test_zero_delay_allowed(self):
+        sim = Simulator()
+
+        def proc():
+            yield 0
+
+        sim.spawn(proc())
+        assert sim.run() == 0
+
+    def test_interleaving_is_by_time(self):
+        sim = Simulator()
+        log = []
+
+        def proc(tag, delays):
+            for delay in delays:
+                yield delay
+                log.append((sim.now, tag))
+
+        sim.spawn(proc("a", [100, 100, 100]))
+        sim.spawn(proc("b", [150, 150]))
+        sim.run()
+        # At the t=300 tie, b resumes first: its event was scheduled at
+        # t=150, before a's was at t=200 (ties break by schedule order).
+        assert log == [(100, "a"), (150, "b"), (200, "a"), (300, "b"), (300, "a")]
+
+    def test_ties_break_by_schedule_order(self):
+        sim = Simulator()
+        log = []
+
+        def proc(tag):
+            yield 100
+            log.append(tag)
+
+        sim.spawn(proc("first"))
+        sim.spawn(proc("second"))
+        sim.run()
+        assert log == ["first", "second"]
+
+    def test_run_until_leaves_future_events_queued(self):
+        sim = Simulator()
+        fired = []
+
+        def proc():
+            yield 1000
+            fired.append(sim.now)
+
+        sim.spawn(proc())
+        sim.run(until=500)
+        assert sim.now == 500
+        assert fired == []
+        assert sim.pending_events == 1
+        sim.run()
+        assert fired == [1000]
+
+
+class TestProcessComposition:
+    def test_yield_from_subroutine(self):
+        sim = Simulator()
+
+        def inner():
+            yield 50
+            return "inner-result"
+
+        def outer():
+            value = yield from inner()
+            yield 50
+            return value
+
+        result = sim.run_until_complete(outer())
+        assert result == "inner-result"
+        assert sim.now == 100
+
+    def test_process_completion_joins(self):
+        sim = Simulator()
+        log = []
+
+        def worker():
+            yield 100
+            return "w"
+
+        def waiter(proc):
+            value = yield proc.completion
+            log.append((sim.now, value))
+
+        worker_proc = sim.spawn(worker())
+        sim.spawn(waiter(worker_proc))
+        sim.run()
+        assert log == [(100, "w")]
+
+    def test_determinism_across_runs(self):
+        def build_and_run():
+            sim = Simulator()
+            log = []
+
+            def proc(tag, delay):
+                for _ in range(3):
+                    yield delay
+                    log.append((sim.now, tag))
+
+            sim.spawn(proc("x", 70))
+            sim.spawn(proc("y", 110))
+            sim.run()
+            return log
+
+        assert build_and_run() == build_and_run()
+
+
+class TestErrors:
+    def test_negative_timeout_raises_in_process(self):
+        sim = Simulator()
+
+        def proc():
+            yield -1
+
+        sim.spawn(proc())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_bad_yield_type_raises(self):
+        sim = Simulator()
+
+        def proc():
+            yield "not-a-command"
+
+        sim.spawn(proc())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_deadlock_detected_by_run_until_complete(self):
+        sim = Simulator()
+        never = Completion()
+
+        def proc():
+            yield never
+
+        with pytest.raises(SimulationError, match="deadlock"):
+            sim.run_until_complete(proc())
+
+    def test_reentrant_run_rejected(self):
+        sim = Simulator()
+
+        def proc():
+            sim.run()
+            yield 0
+
+        sim.spawn(proc())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+class TestTimeoutHelper:
+    def test_timeout_fires_at_deadline(self):
+        sim = Simulator()
+        done = timeout(sim, 250)
+        observed = []
+
+        def waiter():
+            when = yield done
+            observed.append(when)
+
+        sim.spawn(waiter())
+        sim.run()
+        assert observed == [250]

@@ -1,0 +1,284 @@
+"""Smoke + shape tests for every experiment module.
+
+Each figure runs at a very coarse scale (divisor 65536, i.e. GB→16 KB)
+with reduced sweeps so the whole file stays fast; the full-fidelity
+shape assertions live in the benchmarks.  Here we check that every
+experiment produces its advertised columns and that the cheapest,
+most robust shape properties hold even at tiny scale.
+"""
+
+import pytest
+
+from repro.experiments import (
+    consistency_traffic,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+    section74,
+    sensitivity,
+    table1,
+    tail_latency,
+)
+from repro.experiments.common import (
+    ExperimentResult,
+    baseline_config,
+    baseline_trace,
+    scaled_gb,
+    scaled_policy,
+)
+from repro.core.policies import WritebackPolicy
+
+#: Tiny geometry for smoke tests: GB -> 16 KB.
+SCALE = 65536
+WS = (5.0, 60.0, 80.0, 160.0)
+
+
+class TestCommonHelpers:
+    def test_scaled_gb(self):
+        assert scaled_gb(64.0, 1024) == 64 * 1024 * 1024
+        assert scaled_gb(0.0) == 0
+
+    def test_scaled_gb_floors_at_one_block(self):
+        assert scaled_gb(0.001, 10**9) == 4096
+
+    def test_scaled_policy_divides_period(self):
+        policy = scaled_policy(WritebackPolicy.periodic(30), 1000)
+        assert policy.period_ns == 30_000_000_000 // 1000
+
+    def test_scaled_policy_passthrough(self):
+        policy = WritebackPolicy.asynchronous()
+        assert scaled_policy(policy, 1000) is policy
+
+    def test_baseline_config_scales_policy(self):
+        config = baseline_config(scale=1024)
+        assert config.ram_policy.period_ns < 1_000_000_000
+
+    def test_baseline_trace_cached(self):
+        first = baseline_trace(ws_gb=5.0, scale=SCALE)
+        second = baseline_trace(ws_gb=5.0, scale=SCALE)
+        assert first is second
+
+    def test_experiment_result_table(self):
+        result = ExperimentResult("figX", "demo", ("a", "b"))
+        result.add_row(a=1, b=2.5)
+        table = result.format_table()
+        assert "figX" in table
+        assert "2.50" in table
+        assert result.column("a") == [1]
+
+
+def assert_columns(result, module_name):
+    assert result.rows, "%s produced no rows" % module_name
+    for row in result.rows:
+        for column in result.columns:
+            assert column in row, "%s row missing %s" % (module_name, column)
+
+
+class TestTable1:
+    def test_all_parameters_present(self):
+        result = table1.run()
+        assert_columns(result, "table1")
+        assert len(result.rows) == 10
+
+
+class TestFigure1:
+    def test_series_shape(self):
+        result = figure1.run(scale=1024, fast=True)
+        assert_columns(result, "figure1")
+        reads = result.column("read_us")
+        writes = result.column("write_us")
+        # Reads slower than writes throughout; reads drift upward.
+        assert all(r > w for r, w in zip(reads, writes))
+        assert reads[-1] > reads[0]
+
+
+class TestFigure2:
+    def test_grid_covers_architectures(self):
+        result = figure2.run(scale=SCALE, fast=True)
+        assert_columns(result, "figure2")
+        assert len(result.rows) == 3 * 4 * 4
+        archs = set(result.column("arch"))
+        assert archs == {"naive", "lookaside", "unified"}
+
+    def test_sync_chain_is_worst_write_case_per_arch(self):
+        result = figure2.run(scale=SCALE, fast=True)
+        for arch in ("naive", "lookaside"):
+            rows = [r for r in result.rows if r["arch"] == arch]
+            ss = next(
+                r for r in rows if r["ram_policy"] == "s" and r["flash_policy"] == "s"
+            )
+            aa = next(
+                r for r in rows if r["ram_policy"] == "a" and r["flash_policy"] == "a"
+            )
+            assert ss["write_us"] > 10 * aa["write_us"]
+
+
+class TestFigure3:
+    def test_ramspeed_curves_close(self):
+        result = figure3.run(scale=SCALE, ws_sweep=WS)
+        assert_columns(result, "figure3")
+        for row in result.rows:
+            # Equal effective capacity: within 15% of each other.
+            assert row["naive_ramspeed_us"] == pytest.approx(
+                row["unified_56_ramspeed_us"], rel=0.30
+            )
+
+    def test_real_flash_never_faster_than_ramspeed(self):
+        result = figure3.run(scale=SCALE, ws_sweep=WS)
+        for row in result.rows:
+            assert row["naive_flash_us"] >= row["naive_ramspeed_us"] * 0.95
+
+
+class TestFigure4:
+    def test_flash_ordering(self):
+        result = figure4.run(scale=SCALE, ws_sweep=WS)
+        assert_columns(result, "figure4")
+        for row in result.rows:
+            assert row["noflash_us"] >= row["flash64_us"] * 0.95
+            assert row["flash32_us"] >= row["flash128_us"] * 0.95
+
+    def test_flash_win_largest_when_ws_fits(self):
+        result = figure4.run(scale=SCALE, ws_sweep=WS)
+        by_ws = {row["ws_gb"]: row for row in result.rows}
+        win_fits = by_ws[60.0]["noflash_us"] / by_ws[60.0]["flash64_us"]
+        win_huge = by_ws[160.0]["noflash_us"] / by_ws[160.0]["flash64_us"]
+        assert win_fits > win_huge
+
+
+class TestFigure5:
+    def test_prefetch_dominates(self):
+        result = figure5.run(scale=SCALE, ws_sweep=WS)
+        assert_columns(result, "figure5")
+        for row in result.rows:
+            assert row["noflash_p80_us"] > row["noflash_p95_us"]
+            assert row["flash64_p80_us"] > row["flash64_p95_us"]
+
+
+class TestFigures6And7:
+    GB = 1024**3
+    MB = 1024**2
+
+    def test_zero_ram_exposes_flash_write_latency(self):
+        result = figure6.run(scale=16384, ram_sweep_paper_bytes=(0, 8 * self.GB))
+        assert_columns(result, "figure6")
+        no_ram, baseline = result.rows
+        # "The no-RAM configuration does not work well": writes land on
+        # the flash directly (21 us) instead of RAM (0.4 us).
+        assert no_ram["write_a_us"] > 10 * baseline["write_a_us"]
+
+    def test_small_ram_write_buffer_suffices_with_async(self):
+        result = figure6.run(
+            scale=16384, ram_sweep_paper_bytes=(256 * self.MB, 8 * self.GB)
+        )
+        small, large = result.rows
+        assert small["ram_blocks"] < large["ram_blocks"] / 8
+        assert small["write_a_us"] == pytest.approx(large["write_a_us"], rel=0.2)
+        # ... while the periodic policy needs more RAM to absorb dirt.
+        assert small["write_p1_us"] > small["write_a_us"]
+
+    def test_figure7_uses_small_ws(self):
+        result = figure7.run(scale=SCALE, ram_sweep_paper_bytes=(0, 8 * self.GB))
+        assert result.experiment == "figure7"
+        assert_columns(result, "figure7")
+
+
+class TestFigure8:
+    def test_read_latency_stable_at_moderate_write_ratios(self):
+        result = figure8.run(scale=SCALE, write_sweep=(0.1, 0.3, 0.6))
+        assert_columns(result, "figure8")
+        reads = result.column("read60_us")
+        assert max(reads) < 2.0 * min(reads)
+
+
+class TestFigure9:
+    # Flash-timing differences are tens of µs; at the coarsest scale a
+    # single slow filer read shifts the mean more than that, so this
+    # smoke test uses a finer (but still fast) scale.
+    def test_latency_increases_with_flash_read_time(self):
+        result = figure9.run(scale=16384, read_us_sweep=(1, 88))
+        assert_columns(result, "figure9")
+        fast_row, slow_row = result.rows
+        for column in result.columns:
+            if column == "flash_read_us":
+                continue
+            assert slow_row[column] > fast_row[column] * 0.95
+        assert slow_row["naive60_us"] > fast_row["naive60_us"]
+
+
+class TestFigure10:
+    def test_warm_beats_cold(self):
+        result = figure10.run(scale=16384, ws_sweep=(40.0, 60.0))
+        assert_columns(result, "figure10")
+        for row in result.rows:
+            assert row["flash_warm_us"] < row["flash_cold_us"]
+
+    def test_persistence_cost_invisible_on_writes(self):
+        plain, persistent = figure10.persistence_cost(scale=16384, ws_gb=40.0)
+        assert persistent.write_latency_us == pytest.approx(
+            plain.write_latency_us, rel=0.05
+        )
+        # Reads carry sampling noise from which filer reads are slow;
+        # the benches check the tighter bound at full bench scale.
+        assert persistent.read_latency_us == pytest.approx(
+            plain.read_latency_us, rel=0.35
+        )
+
+
+class TestFigure11:
+    def test_invalidation_grows_with_flash(self):
+        result = figure11.run(scale=SCALE, write_sweep=(0.3,))
+        assert_columns(result, "figure11")
+        row = result.rows[0]
+        assert row["inval_flash80_pct"] >= row["inval_noflash80_pct"]
+
+
+class TestFigure12:
+    def test_flash_retains_invalidations_longer(self):
+        result = figure12.run(scale=SCALE, ws_sweep=(60.0, 160.0))
+        assert_columns(result, "figure12")
+        small, large = result.rows
+        assert small["inval_flash_pct"] > 0
+        # Out of cache, the big flash still catches invalidations the
+        # small RAM cache no longer sees.
+        assert large["inval_flash_pct"] >= large["inval_noflash_pct"]
+
+
+class TestExtensionExperimentsSmoke:
+    """Structure smoke tests for the extension experiments (their shape
+    assertions live in the benchmarks at bench scale)."""
+
+    def test_section74(self):
+        result = section74.run(scale=SCALE, flash_sweep_gb=(8.0, 64.0))
+        assert_columns(result, "section74")
+        small, large = result.rows
+        assert large["hit60_pct"] >= small["hit60_pct"]
+
+    def test_tail_latency(self):
+        result = tail_latency.run(scale=SCALE, flash_sizes_gb=(0.0, 64.0))
+        assert_columns(result, "tail_latency")
+        noflash, flash = result.rows
+        assert flash["mean_us"] <= noflash["mean_us"] * 1.05
+        for row in result.rows:
+            assert row["p99_us"] >= row["p50_us"]
+
+    def test_sensitivity(self):
+        result = sensitivity.run(
+            scale=SCALE, ws_fractions=(0.8,), thread_counts=(8,)
+        )
+        assert_columns(result, "sensitivity")
+        assert result.rows[0]["flash_win"] > 1.0
+
+    def test_consistency_traffic(self):
+        result = consistency_traffic.run(scale=SCALE, grid=((2, 0.30),))
+        assert_columns(result, "consistency_traffic")
+        row = result.rows[0]
+        assert row["read_modeled_us"] >= row["read_counted_us"] * 0.9

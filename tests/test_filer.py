@@ -1,0 +1,120 @@
+"""Tests for the filer model."""
+
+import random
+
+import pytest
+
+from repro._units import US
+from repro.engine.simulation import Simulator
+from repro.errors import ConfigError
+from repro.filer.server import Filer
+from repro.filer.timing import FilerTiming
+
+
+def make_filer(sim=None, rate=0.9, seed=3):
+    sim = sim or Simulator()
+    timing = FilerTiming(fast_read_rate=rate)
+    return sim, Filer(sim, random.Random(seed), timing)
+
+
+class TestTiming:
+    def test_paper_defaults(self):
+        timing = FilerTiming.paper_default()
+        assert timing.fast_read_ns == 92 * US
+        assert timing.slow_read_ns == 7_952 * US
+        assert timing.write_ns == 92 * US
+        assert timing.fast_read_rate == 0.90
+
+    def test_expected_read(self):
+        timing = FilerTiming.paper_default()
+        expected = 0.9 * 92_000 + 0.1 * 7_952_000
+        assert timing.expected_read_ns == pytest.approx(expected)
+
+    def test_with_prefetch_rate(self):
+        timing = FilerTiming.paper_default().with_prefetch_rate(0.8)
+        assert timing.fast_read_rate == 0.8
+        assert timing.fast_read_ns == 92 * US  # everything else unchanged
+
+    def test_rate_validation(self):
+        with pytest.raises(ConfigError):
+            FilerTiming(fast_read_rate=1.5)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ConfigError):
+            FilerTiming(write_ns=-1)
+
+
+class TestReads:
+    def test_all_fast_when_rate_one(self):
+        sim, filer = make_filer(rate=1.0)
+
+        def proc():
+            for _ in range(10):
+                yield from filer.read_block()
+
+        sim.run_until_complete(proc())
+        assert sim.now == 10 * 92 * US
+        assert filer.fast_reads == 10
+        assert filer.slow_reads == 0
+
+    def test_all_slow_when_rate_zero(self):
+        sim, filer = make_filer(rate=0.0)
+
+        def proc():
+            yield from filer.read_block()
+
+        sim.run_until_complete(proc())
+        assert sim.now == 7_952 * US
+        assert filer.slow_reads == 1
+
+    def test_observed_rate_approximates_configured(self):
+        sim, filer = make_filer(rate=0.9)
+
+        def proc():
+            for _ in range(5000):
+                yield from filer.read_block()
+
+        sim.run_until_complete(proc())
+        assert filer.observed_fast_rate() == pytest.approx(0.9, abs=0.02)
+
+    def test_observed_rate_empty(self):
+        _sim, filer = make_filer()
+        assert filer.observed_fast_rate() == 0.0
+
+
+class TestWrites:
+    def test_writes_always_fast(self):
+        sim, filer = make_filer(rate=0.0)  # even with zero prefetch
+
+        def proc():
+            for _ in range(3):
+                yield from filer.write_block()
+
+        sim.run_until_complete(proc())
+        assert sim.now == 3 * 92 * US
+        assert filer.writes == 3
+
+    def test_reset_counters(self):
+        sim, filer = make_filer()
+
+        def proc():
+            yield from filer.write_block()
+            yield from filer.read_block()
+
+        sim.run_until_complete(proc())
+        filer.reset_counters()
+        assert filer.reads == 0
+        assert filer.writes == 0
+
+
+class TestParallelism:
+    def test_filer_is_a_parallel_server(self):
+        sim, filer = make_filer(rate=1.0)
+
+        def reader():
+            yield from filer.read_block()
+
+        for _ in range(8):
+            sim.spawn(reader())
+        sim.run()
+        assert sim.now == 92 * US  # all eight overlap

@@ -1,0 +1,114 @@
+"""Tests for the FlashDevice timing model."""
+
+import pytest
+
+from repro._units import US
+from repro.engine.simulation import Simulator
+from repro.errors import ConfigError
+from repro.flash.device import FlashDevice
+from repro.flash.timing import FlashTiming
+
+
+def run_ops(device, sim, ops):
+    """Run a sequence of 'r'/'w' ops sequentially; return total time."""
+
+    def proc():
+        for op in ops:
+            if op == "r":
+                yield from device.read_block()
+            else:
+                yield from device.write_block()
+
+    sim.run_until_complete(proc())
+    return sim.now
+
+
+class TestTimingPresets:
+    def test_paper_default_values(self):
+        timing = FlashTiming.paper_default()
+        assert timing.read_ns == 88 * US
+        assert timing.write_ns == 21 * US
+
+    def test_scaled_read_keeps_ratio(self):
+        timing = FlashTiming.scaled_read(44 * US)
+        assert timing.read_ns == 44 * US
+        # write scales proportionally: 44/88 * 21 us
+        assert timing.write_ns == pytest.approx(10.5 * US, abs=1)
+
+    def test_scaled_factor(self):
+        doubled = FlashTiming.paper_default().scaled(2.0)
+        assert doubled.read_ns == 176 * US
+        assert doubled.write_ns == 42 * US
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ConfigError):
+            FlashTiming(read_ns=-1)
+
+    def test_pcm_preset_is_fast(self):
+        pcm = FlashTiming.phase_change_memory()
+        assert pcm.read_ns < FlashTiming.paper_default().read_ns
+
+
+class TestDeviceLatency:
+    def test_read_charges_read_latency(self):
+        sim = Simulator()
+        device = FlashDevice(sim)
+        assert run_ops(device, sim, "r") == 88 * US
+
+    def test_write_charges_write_latency(self):
+        sim = Simulator()
+        device = FlashDevice(sim)
+        assert run_ops(device, sim, "w") == 21 * US
+
+    def test_sequential_ops_accumulate(self):
+        sim = Simulator()
+        device = FlashDevice(sim)
+        assert run_ops(device, sim, "rw") == 109 * US
+
+    def test_counters(self):
+        sim = Simulator()
+        device = FlashDevice(sim)
+        run_ops(device, sim, "rrw")
+        assert device.blocks_read == 2
+        assert device.blocks_written == 1
+        device.reset_counters()
+        assert device.blocks_read == 0
+
+
+class TestPersistentMetadata:
+    def test_write_latency_doubles(self):
+        sim = Simulator()
+        device = FlashDevice(sim, persistent_metadata=True)
+        assert device.write_latency_ns == 42 * US
+        assert run_ops(device, sim, "w") == 42 * US
+
+    def test_read_latency_unchanged(self):
+        sim = Simulator()
+        device = FlashDevice(sim, persistent_metadata=True)
+        assert run_ops(device, sim, "r") == 88 * US
+
+
+class TestParallelism:
+    def test_unlimited_parallelism_overlaps(self):
+        sim = Simulator()
+        device = FlashDevice(sim)  # parallelism=0 -> latency server
+
+        def reader():
+            yield from device.read_block()
+
+        for _ in range(4):
+            sim.spawn(reader())
+        sim.run()
+        assert sim.now == 88 * US  # all four overlap completely
+
+    def test_limited_parallelism_queues(self):
+        sim = Simulator()
+        device = FlashDevice(sim, parallelism=2)
+
+        def reader():
+            yield from device.read_block()
+
+        for _ in range(4):
+            sim.spawn(reader())
+        sim.run()
+        assert sim.now == 2 * 88 * US  # two waves of two

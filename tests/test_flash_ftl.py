@@ -1,0 +1,102 @@
+"""Tests for the page-mapped FTL extension."""
+
+import pytest
+
+from repro.errors import ConfigError, SimulationError
+from repro.flash.ftl import FTLConfig, PageMappedFTL
+
+
+def small_ftl(**overrides):
+    defaults = dict(n_blocks=8, pages_per_block=4, overprovision=0.25)
+    defaults.update(overrides)
+    return PageMappedFTL(FTLConfig(**defaults))
+
+
+class TestMapping:
+    def test_unwritten_page_unmapped(self):
+        assert small_ftl().read(0) is None
+
+    def test_write_then_read_maps(self):
+        ftl = small_ftl()
+        ftl.write(3)
+        assert ftl.read(3) is not None
+
+    def test_overwrite_moves_physical_location(self):
+        ftl = small_ftl()
+        ftl.write(3)
+        first = ftl.read(3)
+        ftl.write(3)
+        second = ftl.read(3)
+        assert first != second  # out-of-place update
+
+    def test_distinct_pages_distinct_locations(self):
+        ftl = small_ftl()
+        ftl.write(0)
+        ftl.write(1)
+        assert ftl.read(0) != ftl.read(1)
+
+    def test_trim_unmaps(self):
+        ftl = small_ftl()
+        ftl.write(3)
+        ftl.trim(3)
+        assert ftl.read(3) is None
+
+    def test_out_of_range_lpn_rejected(self):
+        ftl = small_ftl()
+        with pytest.raises(ConfigError):
+            ftl.write(ftl.config.logical_pages)
+        with pytest.raises(ConfigError):
+            ftl.read(-1)
+
+
+class TestGarbageCollection:
+    def test_sustained_overwrites_trigger_gc(self):
+        ftl = small_ftl()
+        for round_number in range(40):
+            for lpn in range(ftl.config.logical_pages):
+                ftl.write(lpn)
+        assert ftl.gc_runs > 0
+        assert ftl.erases > 0
+        # All pages still readable after GC moved them around.
+        for lpn in range(ftl.config.logical_pages):
+            assert ftl.read(lpn) is not None
+
+    def test_write_amplification_at_least_one(self):
+        ftl = small_ftl()
+        for _ in range(20):
+            for lpn in range(ftl.config.logical_pages):
+                ftl.write(lpn)
+        assert ftl.write_amplification >= 1.0
+
+    def test_cold_data_survives_gc(self):
+        ftl = small_ftl()
+        ftl.write(0)  # cold page, never rewritten
+        for _ in range(50):
+            for lpn in range(1, ftl.config.logical_pages):
+                ftl.write(lpn)
+        assert ftl.read(0) is not None
+
+    def test_wear_stats_structure(self):
+        ftl = small_ftl()
+        for _ in range(30):
+            for lpn in range(ftl.config.logical_pages):
+                ftl.write(lpn)
+        wear = ftl.wear_stats()
+        assert wear["max"] >= wear["mean"] >= wear["min"] >= 0
+
+    def test_no_host_writes_means_unit_amplification(self):
+        assert small_ftl().write_amplification == 1.0
+
+
+class TestConfig:
+    def test_logical_smaller_than_physical(self):
+        config = FTLConfig(n_blocks=8, pages_per_block=4, overprovision=0.25)
+        assert config.logical_pages < config.physical_pages
+
+    def test_geometry_validation(self):
+        with pytest.raises(ConfigError):
+            FTLConfig(n_blocks=2)
+        with pytest.raises(ConfigError):
+            FTLConfig(overprovision=1.0)
+        with pytest.raises(ConfigError):
+            FTLConfig(gc_threshold_blocks=0)

@@ -1,0 +1,112 @@
+"""Tests for the behavioral SSD model (the §6.2 findings)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.flash.ssd_model import BehavioralSSD, SSDModelConfig
+
+
+def small_config(**overrides):
+    defaults = dict(capacity_blocks=10_000, seed=5)
+    defaults.update(overrides)
+    return SSDModelConfig(**defaults)
+
+
+def mean(values):
+    return sum(values) / len(values)
+
+
+class TestFinding1_ShortTermVarianceStableAverages:
+    def test_individual_latencies_vary(self):
+        ssd = BehavioralSSD(small_config())
+        reads = [ssd.access("r", i) for i in range(1000)]
+        assert len(set(reads)) > 100  # high per-I/O variance
+
+    def test_group_averages_are_stable(self):
+        ssd = BehavioralSSD(small_config())
+        # Pre-fill so the fill-level drift doesn't dominate.
+        for i in range(10_000):
+            ssd.access("w", i)
+        reads = [ssd.access("r", i % 10_000) for i in range(40_000)]
+        groups = BehavioralSSD.grouped_averages(reads, 10_000)
+        spread = (max(groups) - min(groups)) / mean(groups)
+        assert spread < 0.10  # group-to-group within 10%
+
+
+class TestFinding2_StableWriteLatency:
+    def test_write_mean_constant_start_to_finish(self):
+        ssd = BehavioralSSD(small_config())
+        early = [ssd.access("w", i % 10_000) for i in range(10_000)]
+        for i in range(30_000):
+            ssd.access("w", i % 10_000)
+        late = [ssd.access("w", i % 10_000) for i in range(10_000)]
+        assert mean(late) == pytest.approx(mean(early), rel=0.05)
+
+    def test_write_mean_near_nominal(self):
+        config = small_config()
+        ssd = BehavioralSSD(config)
+        writes = [ssd.access("w", i % 10_000) for i in range(20_000)]
+        assert mean(writes) == pytest.approx(config.base_write_ns, rel=0.05)
+
+
+class TestFinding3_ReadDegradation:
+    def test_reads_slow_down_as_device_fills(self):
+        ssd = BehavioralSSD(small_config())
+        empty_reads = [ssd.access("r", i) for i in range(5_000)]
+        for i in range(10_000):  # fill the device completely
+            ssd.access("w", i)
+        full_reads = [ssd.access("r", i) for i in range(5_000)]
+        assert mean(full_reads) > mean(empty_reads) * 1.3
+
+    def test_random_pattern_reads_slower_than_replay(self):
+        replay = BehavioralSSD(small_config())
+        random_ssd = BehavioralSSD(small_config(), random_pattern=True)
+        replay_reads = [replay.access("r", i) for i in range(5_000)]
+        random_reads = [random_ssd.access("r", i) for i in range(5_000)]
+        assert mean(random_reads) > mean(replay_reads) * 1.5
+
+    def test_fill_fraction_tracks_unique_writes(self):
+        ssd = BehavioralSSD(small_config())
+        for i in range(5_000):
+            ssd.access("w", i)
+        assert ssd.fill_fraction == pytest.approx(0.5)
+        for i in range(5_000):
+            ssd.access("w", i)  # same blocks again: no new fill
+        assert ssd.fill_fraction == pytest.approx(0.5)
+
+
+class TestMechanics:
+    def test_replay_returns_per_op_latencies(self):
+        ssd = BehavioralSSD(small_config())
+        ops = [("r", 1), ("w", 2), ("r", 3)]
+        latencies = ssd.replay(ops)
+        assert len(latencies) == 3
+        assert all(lat > 0 for lat in latencies)
+
+    def test_bad_op_rejected(self):
+        with pytest.raises(ConfigError):
+            BehavioralSSD(small_config()).access("x", 0)
+
+    def test_grouped_averages(self):
+        groups = BehavioralSSD.grouped_averages([1, 2, 3, 4, 5, 6], 2)
+        assert groups == [1.5, 3.5, 5.5]
+
+    def test_grouped_averages_bad_group(self):
+        with pytest.raises(ConfigError):
+            BehavioralSSD.grouped_averages([1], 0)
+
+    def test_deterministic_for_seed(self):
+        first = BehavioralSSD(small_config()).replay([("r", i) for i in range(100)])
+        second = BehavioralSSD(small_config()).replay([("r", i) for i in range(100)])
+        assert first == second
+
+    def test_zero_noise_is_deterministic_mean(self):
+        config = small_config(noise_sigma=0.0)
+        ssd = BehavioralSSD(config)
+        assert ssd.access("w", 0) == config.base_write_ns
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigError):
+            SSDModelConfig(capacity_blocks=0)
+        with pytest.raises(ConfigError):
+            SSDModelConfig(noise_sigma=-1)

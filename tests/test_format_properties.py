@@ -1,0 +1,64 @@
+"""Property-based round-trip tests for trace serialization."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traces.format import load_trace, save_trace
+from repro.traces.records import Trace, TraceOp, TraceRecord
+
+N_FILES = 4
+FILE_BLOCKS = [64, 1, 1000, 17]
+
+
+@st.composite
+def trace_records(draw):
+    file_id = draw(st.integers(min_value=0, max_value=N_FILES - 1))
+    size = FILE_BLOCKS[file_id]
+    offset = draw(st.integers(min_value=0, max_value=size - 1))
+    nblocks = draw(st.integers(min_value=1, max_value=size - offset))
+    return TraceRecord(
+        draw(st.sampled_from([TraceOp.READ, TraceOp.WRITE])),
+        draw(st.integers(min_value=0, max_value=7)),
+        draw(st.integers(min_value=0, max_value=15)),
+        file_id,
+        offset,
+        nblocks,
+    )
+
+
+@st.composite
+def traces(draw):
+    records = draw(st.lists(trace_records(), max_size=50))
+    warmup = draw(st.integers(min_value=0, max_value=len(records)))
+    keys = st.text(
+        alphabet=st.characters(whitelist_categories=("Ll", "Nd")), min_size=1, max_size=8
+    )
+    values = st.text(
+        alphabet=st.characters(blacklist_characters="\n\r", blacklist_categories=("Cs",)),
+        max_size=20,
+    )
+    metadata = draw(st.dictionaries(keys, values, max_size=4))
+    return Trace(records, FILE_BLOCKS, warmup_records=warmup, metadata=metadata)
+
+
+@settings(max_examples=60, deadline=None)
+@given(trace=traces(), binary=st.booleans())
+def test_round_trip_preserves_everything(tmp_path_factory, trace, binary):
+    path = tmp_path_factory.mktemp("rt") / "t.trace"
+    save_trace(trace, path, binary=binary)
+    loaded = load_trace(path)
+    assert loaded.records == trace.records
+    assert loaded.file_blocks == trace.file_blocks
+    assert loaded.warmup_records == trace.warmup_records
+    assert loaded.metadata == trace.metadata
+
+
+@settings(max_examples=30, deadline=None)
+@given(trace=traces())
+def test_text_and_binary_agree(tmp_path_factory, trace):
+    directory = tmp_path_factory.mktemp("agree")
+    text_path = directory / "a.trace"
+    bin_path = directory / "b.btrace"
+    save_trace(trace, text_path)
+    save_trace(trace, bin_path, binary=True)
+    assert load_trace(text_path).records == load_trace(bin_path).records

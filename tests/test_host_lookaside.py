@@ -1,0 +1,112 @@
+"""White-box tests of the lookaside (Mercury-like) architecture."""
+
+from repro._units import KB
+from repro.core.architectures import Architecture
+from repro.core.machine import System
+from repro.core.policies import WritebackPolicy
+
+from tests.helpers import (
+    FILER_WRITE_PATH_NS,
+    FLASH_HIT_READ_NS,
+    FLASH_WRITE_NS,
+    MISS_READ_NS,
+    RAM_HIT_READ_NS,
+    RAM_WRITE_NS,
+    tiny_config,
+)
+from tests.test_host_naive import timed
+
+
+def lookaside_config(**overrides):
+    return tiny_config(architecture=Architecture.LOOKASIDE, **overrides)
+
+
+class TestReadsMatchNaive:
+    """Reads are identical to the naive architecture."""
+
+    def test_cold_miss(self):
+        system = System(lookaside_config(), 1)
+        assert timed(system, system.hosts[0].read_block(0)) == MISS_READ_NS
+
+    def test_ram_hit(self):
+        system = System(lookaside_config(), 1)
+        host = system.hosts[0]
+        timed(system, host.read_block(0))
+        assert timed(system, host.read_block(0)) == RAM_HIT_READ_NS
+
+    def test_flash_hit(self):
+        system = System(lookaside_config(ram_bytes=8 * KB), 1)
+        host = system.hosts[0]
+        for block in (0, 1, 2):
+            timed(system, host.read_block(block))
+        assert timed(system, host.read_block(0)) == FLASH_HIT_READ_NS
+
+
+class TestWritePath:
+    def test_async_write_is_ram_speed(self):
+        system = System(lookaside_config(), 1)
+        assert timed(system, system.hosts[0].write_block(0)) == RAM_WRITE_NS
+
+    def test_sync_write_goes_to_filer_not_flash(self):
+        config = lookaside_config(ram_policy=WritebackPolicy.sync())
+        system = System(config, 1)
+        duration = timed(system, system.hosts[0].write_block(0))
+        # RAM write + filer round trip + the post-filer flash update.
+        assert duration == RAM_WRITE_NS + FILER_WRITE_PATH_NS + FLASH_WRITE_NS
+
+    def test_flash_updated_after_filer_write(self):
+        config = lookaside_config(ram_policy=WritebackPolicy.sync())
+        system = System(config, 1)
+        host = system.hosts[0]
+        timed(system, host.write_block(0))
+        assert 0 in host.flash
+        assert not host.flash.peek(0).dirty
+        assert system.filer.writes == 1
+
+    def test_flash_policy_is_irrelevant(self):
+        """The flash never holds dirty data, so the flash policy cannot
+        change the write path."""
+        durations = {}
+        for flash_policy in (WritebackPolicy.sync(), WritebackPolicy.none()):
+            config = lookaside_config(flash_policy=flash_policy)
+            system = System(config, 1)
+            durations[flash_policy.label] = timed(
+                system, system.hosts[0].write_block(0)
+            )
+        assert durations["s"] == durations["n"]
+
+
+class TestFlashNeverDirty:
+    def test_invariant_under_mixed_workload(self):
+        config = lookaside_config(
+            ram_bytes=8 * KB, flash_bytes=32 * KB,
+            ram_policy=WritebackPolicy.none(),  # worst case for dirtiness
+        )
+        system = System(config, 1)
+        host = system.hosts[0]
+
+        def workload():
+            for i in range(40):
+                if i % 3 == 0:
+                    yield from host.write_block(i % 10)
+                else:
+                    yield from host.read_block(i % 12)
+                assert host.flash.dirty_count == 0
+
+        system.sim.run_until_complete(workload())
+        assert host.flash.dirty_count == 0
+
+    def test_dirty_ram_eviction_writes_filer_then_flash(self):
+        config = lookaside_config(
+            ram_bytes=8 * KB, ram_policy=WritebackPolicy.none()
+        )
+        system = System(config, 1)
+        host = system.hosts[0]
+        timed(system, host.write_block(0))
+        timed(system, host.write_block(1))
+        # Third write evicts dirty block 0 -> filer write + flash update.
+        duration = timed(system, host.write_block(2))
+        assert duration == RAM_WRITE_NS + FILER_WRITE_PATH_NS + FLASH_WRITE_NS
+        assert system.filer.writes == 1
+        assert 0 in host.flash
+        assert host.flash.dirty_count == 0

@@ -1,0 +1,188 @@
+"""White-box tests of the exclusive (migration) architecture extension."""
+
+import pytest
+
+from repro._units import KB, MB
+from repro.core.architectures import Architecture
+from repro.core.machine import System
+from repro.core.policies import WritebackPolicy
+from repro.core.simulator import run_simulation
+
+from tests.helpers import (
+    FILER_WRITE_PATH_NS,
+    FLASH_READ_NS,
+    FLASH_WRITE_NS,
+    MISS_READ_NOFLASH_NS,
+    RAM_HIT_READ_NS,
+    RAM_WRITE_NS,
+    make_trace,
+    tiny_config,
+)
+from tests.test_host_naive import timed
+
+
+def migration_config(**overrides):
+    return tiny_config(architecture=Architecture.EXCLUSIVE, **overrides)
+
+
+class TestExclusivity:
+    def test_fill_lands_in_ram_only(self):
+        system = System(migration_config(), 1)
+        host = system.hosts[0]
+        timed(system, host.read_block(0))
+        assert 0 in host.ram
+        assert 0 not in host.flash
+
+    def test_ram_eviction_demotes_to_flash(self):
+        system = System(migration_config(ram_bytes=8 * KB), 1)  # 2 RAM blocks
+        host = system.hosts[0]
+        for block in (0, 1, 2):
+            timed(system, host.read_block(block))
+        assert 0 not in host.ram
+        assert 0 in host.flash
+
+    def test_flash_hit_promotes_back_to_ram(self):
+        system = System(migration_config(ram_bytes=8 * KB), 1)
+        host = system.hosts[0]
+        for block in (0, 1, 2):
+            timed(system, host.read_block(block))
+        timed(system, host.read_block(0))  # promote
+        assert 0 in host.ram
+        assert 0 not in host.flash  # exclusive: no duplicate
+
+    def test_block_never_in_both_tiers(self):
+        system = System(migration_config(ram_bytes=8 * KB, flash_bytes=32 * KB), 1)
+        host = system.hosts[0]
+
+        def workload():
+            for i in range(60):
+                if i % 3 == 0:
+                    yield from host.write_block(i % 12)
+                else:
+                    yield from host.read_block(i % 14)
+                ram_blocks = set(host.ram.blocks())
+                flash_blocks = set(host.flash.blocks())
+                assert not (ram_blocks & flash_blocks)
+
+        system.sim.run_until_complete(workload())
+
+
+class TestLatencies:
+    def test_miss_latency_is_noflash_path(self):
+        """Fills skip the flash, so a cold miss costs the no-flash path."""
+        system = System(migration_config(), 1)
+        assert timed(system, system.hosts[0].read_block(0)) == MISS_READ_NOFLASH_NS
+
+    def test_ram_hit(self):
+        system = System(migration_config(), 1)
+        host = system.hosts[0]
+        timed(system, host.read_block(0))
+        assert timed(system, host.read_block(0)) == RAM_HIT_READ_NS
+
+    def test_promotion_charges_flash_read_plus_ram_install(self):
+        system = System(migration_config(ram_bytes=8 * KB), 1)
+        host = system.hosts[0]
+        for block in (0, 1, 2):
+            timed(system, host.read_block(block))
+        # Promoting 0 costs the flash read and the RAM install; the
+        # displaced victim demotes to flash in the background.
+        duration = timed(system, host.read_block(0))
+        assert duration == FLASH_READ_NS + RAM_WRITE_NS
+
+    def test_write_is_ram_speed(self):
+        system = System(migration_config(), 1)
+        assert timed(system, system.hosts[0].write_block(0)) == RAM_WRITE_NS
+
+    def test_sync_policy_writes_to_filer(self):
+        config = migration_config(ram_policy=WritebackPolicy.sync())
+        system = System(config, 1)
+        duration = timed(system, system.hosts[0].write_block(0))
+        assert duration == RAM_WRITE_NS + FILER_WRITE_PATH_NS
+
+
+class TestDirtyMigration:
+    def test_dirty_state_travels_on_demotion(self):
+        config = migration_config(
+            ram_bytes=8 * KB, ram_policy=WritebackPolicy.none()
+        )
+        system = System(config, 1)
+        host = system.hosts[0]
+        timed(system, host.write_block(0))
+        timed(system, host.write_block(1))
+        timed(system, host.write_block(2))  # demotes dirty block 0
+        assert host.flash.peek(0).dirty
+
+    def test_dirty_state_travels_on_promotion(self):
+        config = migration_config(
+            ram_bytes=8 * KB,
+            ram_policy=WritebackPolicy.none(),
+            flash_policy=WritebackPolicy.none(),
+        )
+        system = System(config, 1)
+        host = system.hosts[0]
+        for block in (0, 1, 2):
+            timed(system, host.write_block(block))
+        timed(system, host.read_block(0))  # promote the dirty block
+        assert host.ram.peek(0).dirty
+        assert system.filer.writes == 0  # nothing was silently dropped
+
+    def test_dirty_flash_eviction_reaches_filer(self):
+        config = migration_config(
+            ram_bytes=4 * KB,
+            flash_bytes=8 * KB,
+            ram_policy=WritebackPolicy.none(),
+            flash_policy=WritebackPolicy.none(),
+        )
+        system = System(config, 1)
+        host = system.hosts[0]
+        for block in range(4):  # 1 RAM + 2 flash buffers: forces eviction
+            timed(system, host.write_block(block))
+        assert system.filer.writes >= 1
+
+    def test_write_supersedes_flash_copy(self):
+        system = System(migration_config(ram_bytes=8 * KB), 1)
+        host = system.hosts[0]
+        for block in (0, 1, 2):
+            timed(system, host.read_block(block))
+        assert 0 in host.flash
+        timed(system, host.write_block(0))
+        assert 0 in host.ram
+        assert 0 not in host.flash
+
+
+class TestEndToEnd:
+    def test_effective_capacity_beats_naive_on_overflow_ws(self):
+        """The paper's open question: exclusive placement gets unified's
+        effective capacity while keeping hot blocks in RAM."""
+        from repro.fsmodel.impressions import ImpressionsConfig
+        from repro.tracegen.config import TraceGenConfig
+        from repro.tracegen.generator import generate_trace
+
+        trace = generate_trace(
+            TraceGenConfig(
+                fs=ImpressionsConfig(total_bytes=64 * MB, max_file_bytes=4 * MB, seed=1),
+                working_set_bytes=9 * MB,
+                seed=11,
+            )
+        )
+        naive = run_simulation(trace, tiny_config(ram_bytes=1 * MB, flash_bytes=8 * MB))
+        exclusive = run_simulation(
+            trace, migration_config(ram_bytes=1 * MB, flash_bytes=8 * MB)
+        )
+        assert exclusive.read_latency_us <= naive.read_latency_us * 1.05
+
+    def test_invalidation_drops_either_tier(self):
+        system = System(migration_config(ram_bytes=8 * KB), 1)
+        host = system.hosts[0]
+        for block in (0, 1, 2):
+            timed(system, host.read_block(block))
+        host.drop_block(0)  # in flash
+        host.drop_block(2)  # in RAM
+        assert 0 not in host.flash
+        assert 2 not in host.ram
+
+    def test_replay_through_run_simulation(self):
+        trace = make_trace([("r", 0), ("w", 0), ("r", 1), ("r", 0)])
+        results = run_simulation(trace, migration_config())
+        assert results.read_latency.count == 3
+        assert results.write_latency.count == 1

@@ -1,0 +1,122 @@
+"""Tests for the network model."""
+
+import pytest
+
+from repro._units import BLOCK_SIZE
+from repro.engine.simulation import Simulator
+from repro.errors import ConfigError
+from repro.net.link import NetworkSegment, NetworkTiming
+from repro.net.packet import Packet, PacketKind
+
+
+class TestPacket:
+    def test_request_has_no_payload(self):
+        assert Packet.request().payload_bytes == 0
+
+    def test_data_block_carries_4k(self):
+        assert Packet.data_block().payload_bytes == BLOCK_SIZE
+
+    def test_ack_has_no_payload(self):
+        assert Packet.ack().payload_bytes == 0
+
+    def test_payload_bits(self):
+        assert Packet.data_block().payload_bits == 8 * BLOCK_SIZE
+
+    def test_non_data_payload_rejected(self):
+        with pytest.raises(ConfigError):
+            Packet(PacketKind.ACK, payload_bytes=10)
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ConfigError):
+            Packet(PacketKind.DATA, payload_bytes=-1)
+
+
+class TestTiming:
+    def test_header_only_packet_time(self):
+        timing = NetworkTiming.paper_default()
+        assert timing.packet_time_ns(Packet.request()) == 8_200
+
+    def test_data_packet_time(self):
+        timing = NetworkTiming.paper_default()
+        # base 8.2 us + 32768 bits at 1 ns/bit
+        assert timing.packet_time_ns(Packet.data_block()) == 8_200 + 32_768
+
+    def test_custom_per_bit(self):
+        timing = NetworkTiming(base_latency_ns=1_000, per_bit_ns=0.5)
+        assert timing.packet_time_ns(Packet.data_block()) == 1_000 + 16_384
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ConfigError):
+            NetworkTiming(base_latency_ns=-1)
+
+
+class TestSegment:
+    def test_single_transfer_time(self):
+        sim = Simulator()
+        segment = NetworkSegment(sim)
+
+        def proc():
+            yield from segment.transfer(Packet.data_block())
+
+        sim.run_until_complete(proc())
+        assert sim.now == 8_200 + 32_768
+
+    def test_one_packet_at_a_time_per_direction(self):
+        sim = Simulator()
+        segment = NetworkSegment(sim)
+
+        def sender():
+            yield from segment.transfer(Packet.request(), "up")
+
+        sim.spawn(sender())
+        sim.spawn(sender())
+        sim.run()
+        assert sim.now == 2 * 8_200  # serialized, not overlapped
+
+    def test_directions_are_independent(self):
+        sim = Simulator()
+        segment = NetworkSegment(sim)
+
+        def up():
+            yield from segment.transfer(Packet.request(), "up")
+
+        def down():
+            yield from segment.transfer(Packet.request(), "down")
+
+        sim.spawn(up())
+        sim.spawn(down())
+        sim.run()
+        assert sim.now == 8_200  # full duplex: both overlap
+
+    def test_unknown_direction_rejected(self):
+        sim = Simulator()
+        segment = NetworkSegment(sim)
+        with pytest.raises(ConfigError):
+            list(segment.transfer(Packet.request(), "sideways"))
+
+    def test_counters(self):
+        sim = Simulator()
+        segment = NetworkSegment(sim)
+
+        def proc():
+            yield from segment.transfer(Packet.data_block())
+            yield from segment.transfer(Packet.ack())
+
+        sim.run_until_complete(proc())
+        assert segment.packets_sent == 2
+        assert segment.payload_bytes_sent == BLOCK_SIZE
+        segment.reset_counters()
+        assert segment.packets_sent == 0
+
+    def test_utilization_when_one_direction_saturated(self):
+        sim = Simulator()
+        segment = NetworkSegment(sim)
+
+        def sender():
+            yield from segment.transfer(Packet.request(), "up")
+
+        for _ in range(3):
+            sim.spawn(sender())
+        sim.run()
+        # up is 100% busy, down idle; the reported mean is 50%.
+        assert segment.utilization() == pytest.approx(0.5)

@@ -1,0 +1,56 @@
+"""Tests for per-host result breakdowns."""
+
+import pytest
+
+from repro._units import MB
+from repro.core.simulator import run_simulation
+from repro.workloads import WorkloadSpec, data_center_mixed
+
+from tests.helpers import make_trace, tiny_config
+
+
+class TestPerHostBreakdown:
+    def test_single_host_matches_aggregate(self):
+        trace = make_trace([("r", 0), ("r", 0), ("w", 1)])
+        results = run_simulation(trace, tiny_config())
+        assert len(results.per_host) == 1
+        host = results.per_host[0]
+        assert host["read_blocks"] == results.read_latency.count
+        assert host["read_us"] == pytest.approx(results.read_latency_us)
+        assert host["write_us"] == pytest.approx(results.write_latency_us)
+
+    def test_two_hosts_partition_the_counts(self):
+        trace = make_trace([("r", 0, 0), ("r", 100, 1), ("r", 200, 1)])
+        results = run_simulation(trace, tiny_config())
+        assert len(results.per_host) == 2
+        assert results.per_host[0]["read_blocks"] == 1
+        assert results.per_host[1]["read_blocks"] == 2
+        total = sum(row["read_blocks"] for row in results.per_host)
+        assert total == results.read_latency.count
+
+    def test_warmup_excluded_per_host(self):
+        trace = make_trace([("r", 0, 0), ("r", 0, 0)], warmup=1)
+        results = run_simulation(trace, tiny_config())
+        assert results.per_host[0]["read_blocks"] == 1
+
+    def test_summary_lists_hosts_when_multi(self):
+        trace = make_trace([("r", 0, 0), ("r", 100, 1)])
+        results = run_simulation(trace, tiny_config())
+        assert "host 0:" in results.summary()
+        assert "host 1:" in results.summary()
+
+    def test_summary_omits_hosts_when_single(self):
+        trace = make_trace([("r", 0)])
+        results = run_simulation(trace, tiny_config())
+        assert "host 0:" not in results.summary()
+
+    def test_mixed_data_center_hosts_differ(self):
+        """The consolidation scenario: per-host latencies reflect each
+        host's workload (web vs render vs HPC), which the aggregate
+        mean conceals."""
+        trace = data_center_mixed(WorkloadSpec(volume_bytes=24 * MB, seed=7))
+        results = run_simulation(trace, tiny_config())
+        assert len(results.per_host) == 3
+        reads = [row["read_us"] for row in results.per_host if row["read_blocks"]]
+        assert len(reads) >= 2
+        assert max(reads) > 1.1 * min(reads)  # genuinely heterogeneous

@@ -1,0 +1,118 @@
+"""Tests for the reporting helpers (ASCII charts, markdown)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments.common import ExperimentResult
+from repro.report.ascii_chart import line_chart
+from repro.report.markdown import experiment_to_markdown, results_chart
+
+
+def sample_result():
+    result = ExperimentResult(
+        experiment="figX",
+        title="Demo",
+        columns=("ws_gb", "noflash_us", "flash_us", "label"),
+        notes="a note",
+    )
+    result.add_row(ws_gb=5.0, noflash_us=233.0, flash_us=226.0, label="a")
+    result.add_row(ws_gb=60.0, noflash_us=814.0, flash_us=274.0, label="b")
+    result.add_row(ws_gb=320.0, noflash_us=910.0, flash_us=537.0, label="c")
+    return result
+
+
+class TestLineChart:
+    def test_contains_markers_and_legend(self):
+        chart = line_chart({"one": [(0, 0), (1, 1)], "two": [(0, 1), (1, 0)]})
+        assert "*" in chart
+        assert "o" in chart
+        assert "* one" in chart
+        assert "o two" in chart
+
+    def test_extremes_land_on_edges(self):
+        chart = line_chart({"s": [(0, 0), (10, 100)]}, width=20, height=10)
+        rows = [line for line in chart.splitlines() if "|" in line]
+        # max y in the top plot row, min y in the bottom plot row
+        assert "*" in rows[0]
+        assert "*" in rows[-1]
+
+    def test_axis_ticks_present(self):
+        chart = line_chart({"s": [(5, 100), (320, 900)]})
+        assert "900" in chart
+        assert "100" in chart
+        assert "5.00" in chart
+        assert "320" in chart
+
+    def test_title_and_labels(self):
+        chart = line_chart(
+            {"s": [(0, 1), (1, 2)]}, title="My Title", x_label="GB", y_label="us"
+        )
+        assert "My Title" in chart
+        assert "[x: GB, y: us]" in chart
+
+    def test_flat_series_does_not_crash(self):
+        chart = line_chart({"flat": [(0, 5), (1, 5), (2, 5)]})
+        assert "*" in chart
+
+    def test_single_point(self):
+        chart = line_chart({"p": [(1, 1)]})
+        assert "*" in chart
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ReproError):
+            line_chart({})
+        with pytest.raises(ReproError):
+            line_chart({"s": []})
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ReproError):
+            line_chart({"s": [(0, 0)]}, width=4)
+
+    def test_many_series_cycle_markers(self):
+        series = {"s%d" % i: [(0, i), (1, i + 1)] for i in range(10)}
+        chart = line_chart(series)
+        assert "s9" in chart
+
+
+class TestMarkdown:
+    def test_table_structure(self):
+        text = experiment_to_markdown(sample_result())
+        assert text.startswith("## figX — Demo")
+        assert "| ws_gb | noflash_us | flash_us | label |" in text
+        assert "| 5.00 | 233.00 | 226.00 | a |" in text
+        assert "*a note*" in text
+
+    def test_row_count(self):
+        text = experiment_to_markdown(sample_result())
+        data_rows = [line for line in text.splitlines() if line.startswith("| 5") or line.startswith("| 6") or line.startswith("| 3")]
+        assert len(data_rows) == 3
+
+
+class TestResultsChart:
+    def test_defaults_to_numeric_columns(self):
+        chart = results_chart(sample_result(), "ws_gb")
+        assert "noflash_us" in chart
+        assert "flash_us" in chart
+        assert "label" not in chart.split("\n")[-1].split("[")[0].replace(
+            "x: ws_gb", ""
+        )
+
+    def test_explicit_columns(self):
+        chart = results_chart(sample_result(), "ws_gb", ["flash_us"])
+        assert "flash_us" in chart
+        assert "noflash_us" not in chart
+
+    def test_unknown_x_rejected(self):
+        with pytest.raises(ReproError):
+            results_chart(sample_result(), "nope")
+
+    def test_non_numeric_x_rejected(self):
+        with pytest.raises(ReproError):
+            results_chart(sample_result(), "label")
+
+    def test_real_experiment_renders(self):
+        from repro.experiments import figure4
+
+        result = figure4.run(scale=65536, ws_sweep=(5.0, 60.0))
+        chart = results_chart(result, "ws_gb")
+        assert "noflash_us" in chart

@@ -1,0 +1,144 @@
+"""Tests for restart/recovery modeling (the §7.8 gap the paper skipped)."""
+
+import pytest
+
+from repro._units import KB, MB, US
+from repro.core.architectures import Architecture
+from repro.core.machine import System
+from repro.core.restart import RestartSpec
+from repro.core.simulator import run_simulation
+from repro.errors import ConfigError
+from repro.fsmodel.impressions import ImpressionsConfig
+from repro.tracegen.config import TraceGenConfig
+from repro.tracegen.generator import generate_trace
+
+from tests.helpers import MISS_READ_NOFLASH_NS, make_trace, tiny_config
+from tests.test_host_naive import timed
+
+
+def small_trace():
+    return generate_trace(
+        TraceGenConfig(
+            fs=ImpressionsConfig(total_bytes=64 * MB, max_file_bytes=4 * MB, seed=1),
+            working_set_bytes=6 * MB,
+            seed=17,
+        )
+    )
+
+
+class TestRestartSpec:
+    def test_presets(self):
+        assert RestartSpec.crash_volatile().volatile_flash
+        assert not RestartSpec.recover_persistent().volatile_flash
+        assert RestartSpec.instant_recovery().scan_ns_per_block == 0
+
+    def test_negative_scan_rejected(self):
+        with pytest.raises(ConfigError):
+            RestartSpec(scan_ns_per_block=-1)
+
+
+class TestApplyRestartWhitebox:
+    def test_ram_always_lost(self):
+        system = System(tiny_config(), 1)
+        host = system.hosts[0]
+        timed(system, host.read_block(0))
+        host.apply_restart(volatile_flash=False, scan_ns_per_block=0)
+        assert 0 not in host.ram
+        assert 0 in host.flash  # persistent flash keeps contents
+
+    def test_volatile_flash_lost(self):
+        system = System(tiny_config(), 1)
+        host = system.hosts[0]
+        timed(system, host.read_block(0))
+        host.apply_restart(volatile_flash=True, scan_ns_per_block=0)
+        assert 0 not in host.flash
+
+    def test_recovery_window_blocks_flash_reads(self):
+        system = System(tiny_config(), 1)
+        host = system.hosts[0]
+        timed(system, host.read_block(0))
+        host.apply_restart(volatile_flash=False, scan_ns_per_block=10_000)
+        assert host.flash_online_at > system.sim.now
+        # During recovery, a read of the cached block goes to the filer
+        # and does not touch the flash.
+        duration = timed(system, host.read_block(0))
+        assert duration == MISS_READ_NOFLASH_NS
+
+    def test_flash_serves_again_after_recovery(self):
+        system = System(tiny_config(ram_bytes=4 * KB), 1)
+        host = system.hosts[0]
+        timed(system, host.read_block(0))
+        timed(system, host.read_block(1))  # push 0 out of 1-block RAM
+        host.apply_restart(volatile_flash=False, scan_ns_per_block=100)
+        recovery = host.flash_online_at - system.sim.now
+        assert recovery == 100 * len(host.flash)
+
+        def wait_then_read():
+            yield recovery
+            yield from host.read_block(0)
+
+        start = system.sim.now
+        system.sim.run_until_complete(wait_then_read())
+        # Flash hit after recovery: well under the filer's fast path.
+        assert system.sim.now - start - recovery < 100_000
+
+    def test_unified_rejects_restart(self):
+        system = System(tiny_config(architecture=Architecture.UNIFIED), 1)
+        with pytest.raises(NotImplementedError):
+            system.hosts[0].apply_restart(False, 0)
+
+    def test_migration_supports_restart(self):
+        system = System(tiny_config(architecture=Architecture.EXCLUSIVE), 1)
+        host = system.hosts[0]
+        timed(system, host.read_block(0))
+        host.apply_restart(volatile_flash=False, scan_ns_per_block=0)
+        assert 0 not in host.ram
+
+
+class TestEndToEnd:
+    def test_persistent_restart_beats_volatile_crash(self):
+        trace = small_trace()
+        config = tiny_config(ram_bytes=256 * KB, flash_bytes=8 * MB)
+        recovered = run_simulation(
+            trace, config, restart=RestartSpec.instant_recovery()
+        )
+        crashed = run_simulation(
+            trace, config, restart=RestartSpec.crash_volatile()
+        )
+        assert recovered.read_latency_us < crashed.read_latency_us
+
+    def test_recovery_scan_costs_something(self):
+        trace = small_trace()
+        config = tiny_config(ram_bytes=256 * KB, flash_bytes=8 * MB)
+        instant = run_simulation(
+            trace, config, restart=RestartSpec.instant_recovery()
+        )
+        slow_scan = run_simulation(
+            trace, config, restart=RestartSpec.recover_persistent(500 * US)
+        )
+        assert slow_scan.read_latency_us > instant.read_latency_us
+
+    def test_restart_equivalences(self):
+        """A volatile crash at the boundary ~ the paper's cold start."""
+        trace = small_trace()
+        config = tiny_config(ram_bytes=256 * KB, flash_bytes=8 * MB)
+        crashed = run_simulation(trace, config, restart=RestartSpec.crash_volatile())
+        cold = run_simulation(trace, config, cold_start=True)
+        # Same idea measured two ways; they agree within noise.
+        assert crashed.read_latency_us == pytest.approx(
+            cold.read_latency_us, rel=0.25
+        )
+
+    def test_dirty_data_diverts_to_filer_during_recovery(self):
+        trace = make_trace(
+            [("r", 0)] + [("w", i) for i in range(1, 40)], warmup=1
+        )
+        config = tiny_config(ram_bytes=16 * KB, flash_bytes=64 * KB)
+        results = run_simulation(
+            trace,
+            config,
+            restart=RestartSpec.recover_persistent(scan_ns_per_block=10**9),
+        )
+        # The flash never comes back within this short run, so every
+        # flushed write went to the filer instead.
+        assert results.filer_writes > 0

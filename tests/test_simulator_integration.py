@@ -1,0 +1,197 @@
+"""End-to-end integration tests: trace replay through run_simulation."""
+
+import pytest
+
+from repro._units import KB, MB
+from repro.core.architectures import Architecture
+from repro.core.machine import System
+from repro.core.policies import WritebackPolicy
+from repro.core.simulator import run_simulation
+from repro.fsmodel.impressions import ImpressionsConfig
+from repro.tracegen.config import TraceGenConfig
+from repro.tracegen.generator import generate_trace
+
+from tests.helpers import (
+    MISS_READ_NS,
+    RAM_HIT_READ_NS,
+    RAM_WRITE_NS,
+    make_trace,
+    tiny_config,
+)
+
+
+def small_trace(**overrides):
+    defaults = dict(
+        fs=ImpressionsConfig(total_bytes=64 * MB, max_file_bytes=4 * MB, seed=1),
+        working_set_bytes=6 * MB,
+        seed=11,
+    )
+    defaults.update(overrides)
+    return generate_trace(TraceGenConfig(**defaults))
+
+
+class TestMicroTraces:
+    def test_single_read_latency(self):
+        trace = make_trace([("r", 0)])
+        results = run_simulation(trace, tiny_config())
+        assert results.read_latency.count == 1
+        assert results.read_latency.mean_ns == MISS_READ_NS
+
+    def test_warmup_excluded_from_stats(self):
+        trace = make_trace([("r", 0), ("r", 0)], warmup=1)
+        results = run_simulation(trace, tiny_config())
+        # Only the second (RAM hit) read is measured.
+        assert results.read_latency.count == 1
+        assert results.read_latency.mean_ns == RAM_HIT_READ_NS
+
+    def test_write_latency(self):
+        trace = make_trace([("w", 5)])
+        results = run_simulation(trace, tiny_config())
+        assert results.write_latency.count == 1
+        assert results.write_latency.mean_ns == RAM_WRITE_NS
+
+    def test_multi_block_record_counts_per_block(self):
+        from repro.traces.records import Trace, TraceOp, TraceRecord
+
+        trace = Trace([TraceRecord(TraceOp.READ, 0, 0, 0, 0, 4)], [100])
+        results = run_simulation(trace, tiny_config())
+        assert results.read_latency.count == 4
+        assert results.read_request_latency.count == 1
+
+    def test_hit_rates_reported(self):
+        trace = make_trace([("r", 0), ("r", 0), ("r", 1)])
+        results = run_simulation(trace, tiny_config())
+        assert results.hit_rate("ram") == pytest.approx(1 / 3)
+        assert results.hit_rate("unified") is None
+
+    def test_cold_start_drops_warmup_records(self):
+        trace = make_trace([("r", 0), ("r", 0)], warmup=1)
+        warm = run_simulation(trace, tiny_config())
+        cold = run_simulation(trace, tiny_config(), cold_start=True)
+        assert warm.read_latency.mean_ns == RAM_HIT_READ_NS
+        assert cold.read_latency.mean_ns == MISS_READ_NS
+
+
+class TestHeadlineBehaviors:
+    """The paper's qualitative results on small synthetic traces."""
+
+    def test_flash_improves_read_latency(self):
+        trace = small_trace()
+        with_flash = run_simulation(trace, tiny_config(ram_bytes=256 * KB, flash_bytes=8 * MB))
+        without = run_simulation(trace, tiny_config(ram_bytes=256 * KB, flash_bytes=0))
+        assert with_flash.read_latency_us < without.read_latency_us * 0.8
+
+    def test_bigger_flash_is_better(self):
+        trace = small_trace()
+        small = run_simulation(trace, tiny_config(ram_bytes=256 * KB, flash_bytes=2 * MB))
+        large = run_simulation(trace, tiny_config(ram_bytes=256 * KB, flash_bytes=8 * MB))
+        assert large.read_latency_us < small.read_latency_us
+
+    def test_warm_cache_beats_cold(self):
+        trace = small_trace()
+        config = tiny_config(ram_bytes=256 * KB, flash_bytes=8 * MB)
+        warm = run_simulation(trace, config)
+        cold = run_simulation(trace, config, cold_start=True)
+        assert warm.read_latency_us < cold.read_latency_us
+
+    def test_writes_at_ram_speed_with_async_policy(self):
+        trace = small_trace(write_fraction=0.5)
+        results = run_simulation(trace, tiny_config())
+        assert results.write_latency_us == pytest.approx(0.4, rel=0.5)
+
+    def test_sync_policies_are_slow(self):
+        trace = small_trace(write_fraction=0.5)
+        fast_cfg = tiny_config()
+        slow_cfg = tiny_config(
+            ram_policy=WritebackPolicy.sync(), flash_policy=WritebackPolicy.sync()
+        )
+        fast = run_simulation(trace, fast_cfg)
+        slow = run_simulation(trace, slow_cfg)
+        assert slow.write_latency_us > fast.write_latency_us * 20
+
+    def test_unified_effective_capacity_helps_reads(self):
+        """With WS slightly over the flash size, unified's RAM+flash
+        capacity yields a better flash-tier hit rate."""
+        trace = small_trace(working_set_bytes=9 * MB)
+        naive = run_simulation(
+            trace, tiny_config(ram_bytes=1 * MB, flash_bytes=8 * MB)
+        )
+        unified = run_simulation(
+            trace,
+            tiny_config(
+                ram_bytes=1 * MB,
+                flash_bytes=8 * MB,
+                architecture=Architecture.UNIFIED,
+            ),
+        )
+        assert unified.read_latency_us <= naive.read_latency_us * 1.05
+
+
+class TestConsistencyIntegration:
+    def test_two_hosts_sharing_blocks_invalidate(self):
+        config = tiny_config()
+        system = System(config, 2)
+
+        def scenario():
+            yield from system.hosts[1].read_block(0)
+            yield from system.hosts[0].write_block(0)
+
+        system.sim.run_until_complete(scenario())
+        assert system.directory.writes_requiring_invalidation == 1
+        assert 0 not in system.hosts[1].ram
+        assert 0 not in system.hosts[1].flash
+
+    def test_invalidated_block_is_refetched(self):
+        config = tiny_config()
+        system = System(config, 2)
+        from tests.test_host_naive import timed
+
+        timed(system, system.hosts[1].read_block(0))
+        timed(system, system.hosts[0].write_block(0))
+        # Host 1 must go to the filer again.
+        assert timed(system, system.hosts[1].read_block(0)) == MISS_READ_NS
+
+    def test_trace_level_invalidation_counting(self):
+        trace = small_trace(n_hosts=2, shared_working_set=True, write_fraction=0.3)
+        results = run_simulation(trace, tiny_config(ram_bytes=512 * KB, flash_bytes=8 * MB))
+        assert results.block_writes > 0
+        assert 0.0 < results.invalidation_fraction <= 1.0
+
+    def test_shared_ws_invalidates_more_than_private(self):
+        shared = small_trace(n_hosts=2, shared_working_set=True, seed=3)
+        private = small_trace(n_hosts=2, shared_working_set=False, seed=3)
+        config = tiny_config(ram_bytes=512 * KB, flash_bytes=8 * MB)
+        shared_res = run_simulation(shared, config)
+        private_res = run_simulation(private, config)
+        assert (
+            shared_res.invalidation_fraction
+            > private_res.invalidation_fraction
+        )
+
+
+class TestResultsReporting:
+    def test_summary_is_multiline_text(self):
+        results = run_simulation(small_trace(), tiny_config())
+        text = results.summary()
+        assert "read latency" in text
+        assert "filer" in text
+
+    def test_as_dict_round_trips_to_json(self):
+        import json
+
+        results = run_simulation(small_trace(), tiny_config())
+        assert json.loads(json.dumps(results.as_dict()))
+
+    def test_filer_fast_rate_observed(self):
+        trace = small_trace()
+        results = run_simulation(trace, tiny_config())
+        assert results.filer_reads == results.filer_fast_reads + results.filer_slow_reads
+
+    def test_network_utilization_bounded(self):
+        results = run_simulation(small_trace(), tiny_config())
+        assert 0.0 <= results.network_utilization <= 1.0
+
+    def test_simulated_time_positive(self):
+        results = run_simulation(small_trace(), tiny_config())
+        assert results.simulated_ns > 0
+        assert 0 < results.measured_ns <= results.simulated_ns

@@ -1,0 +1,60 @@
+"""Tests for trace statistics."""
+
+import pytest
+
+from repro.traces.records import Trace, TraceOp, TraceRecord
+from repro.traces.stats import compute_stats
+
+
+def build_trace():
+    records = [
+        TraceRecord(TraceOp.READ, 0, 0, 0, 0, 4),   # blocks 0-3
+        TraceRecord(TraceOp.WRITE, 0, 1, 0, 0, 2),  # blocks 0-1 again
+        TraceRecord(TraceOp.READ, 1, 0, 0, 10, 2),  # blocks 10-11
+        TraceRecord(TraceOp.WRITE, 1, 1, 0, 0, 1),  # block 0 again
+    ]
+    return Trace(records, [100])
+
+
+class TestComputeStats:
+    def test_counts(self):
+        stats = compute_stats(build_trace())
+        assert stats.n_records == 4
+        assert stats.n_reads == 2
+        assert stats.n_writes == 2
+        assert stats.write_fraction == pytest.approx(0.5)
+
+    def test_block_volume(self):
+        stats = compute_stats(build_trace())
+        assert stats.total_blocks == 9
+        assert stats.unique_blocks == 6  # {0,1,2,3,10,11}
+        assert stats.total_bytes == 9 * 4096
+        assert stats.footprint_bytes == 6 * 4096
+
+    def test_io_sizes(self):
+        stats = compute_stats(build_trace())
+        assert stats.mean_io_blocks == pytest.approx(9 / 4)
+        assert stats.max_io_blocks == 4
+
+    def test_per_issuer_counts(self):
+        stats = compute_stats(build_trace())
+        assert stats.records_per_host == {0: 2, 1: 2}
+        assert stats.records_per_thread[(0, 0)] == 1
+        assert len(stats.records_per_thread) == 4
+
+    def test_concentration_reflects_popularity(self):
+        # Block 0 is accessed 3 times; with 6 unique blocks the top-20%
+        # level keeps 1 block, so concentration = 3/9.
+        stats = compute_stats(build_trace(), concentration_levels=(0.2,))
+        assert stats.concentration[0.2] == pytest.approx(3 / 9)
+
+    def test_empty_trace(self):
+        stats = compute_stats(Trace([], [10]))
+        assert stats.n_records == 0
+        assert stats.mean_io_blocks == 0.0
+        assert stats.concentration == {}
+
+    def test_summary_mentions_key_numbers(self):
+        text = compute_stats(build_trace()).summary()
+        assert "4 (2 reads, 2 writes" in text
+        assert "hosts:" in text

@@ -1,0 +1,116 @@
+"""Tests for trace manipulation tools."""
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.traces.records import Trace, TraceOp, TraceRecord
+from repro.traces.tools import merge_traces, remap_host, slice_records, subsample
+
+
+def simple_trace(n=6, file_blocks=100, host=0, warmup=0):
+    records = [
+        TraceRecord(TraceOp.READ, host, i % 2, 0, i, 1) for i in range(n)
+    ]
+    return Trace(records, [file_blocks], warmup_records=warmup)
+
+
+class TestMerge:
+    def test_hosts_assigned_per_input(self):
+        merged = merge_traces([simple_trace(), simple_trace(host=3)])
+        assert merged.hosts() == [0, 1]  # original hosts folded
+
+    def test_file_geometry_offset(self):
+        a = simple_trace(file_blocks=100)
+        b = simple_trace(file_blocks=50)
+        merged = merge_traces([a, b])
+        assert merged.file_blocks == [100, 50]
+        host1_records = [r for r in merged.records if r.host == 1]
+        assert all(r.file_id == 1 for r in host1_records)
+
+    def test_counts_preserved(self):
+        merged = merge_traces([simple_trace(4), simple_trace(8)])
+        assert len(merged) == 12
+        assert sum(1 for r in merged.records if r.host == 0) == 4
+
+    def test_interleaving_spreads_inputs(self):
+        merged = merge_traces([simple_trace(5), simple_trace(5)])
+        first_half_hosts = {r.host for r in merged.records[:4]}
+        assert first_half_hosts == {0, 1}  # not concatenated
+
+    def test_proportional_interleave(self):
+        merged = merge_traces([simple_trace(2), simple_trace(8)])
+        # The small input should not be exhausted immediately...
+        hosts = [r.host for r in merged.records]
+        assert 0 in hosts[2:]
+
+    def test_concatenation_mode(self):
+        merged = merge_traces([simple_trace(3), simple_trace(3)], interleave=False)
+        assert [r.host for r in merged.records] == [0, 0, 0, 1, 1, 1]
+
+    def test_warmup_summed(self):
+        merged = merge_traces([simple_trace(4, warmup=2), simple_trace(4, warmup=1)])
+        assert merged.warmup_records == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(TraceFormatError):
+            merge_traces([])
+
+    def test_merged_trace_replays(self):
+        from repro.core.simulator import run_simulation
+        from tests.helpers import tiny_config
+
+        merged = merge_traces([simple_trace(6), simple_trace(6)])
+        results = run_simulation(merged, tiny_config())
+        assert results.read_latency.count == 12
+
+
+class TestSlice:
+    def test_basic_slice(self):
+        sliced = slice_records(simple_trace(6), 2, 5)
+        assert len(sliced) == 3
+        assert sliced.records[0].offset == 2
+
+    def test_warmup_adjusts(self):
+        sliced = slice_records(simple_trace(6, warmup=4), 2, 6)
+        assert sliced.warmup_records == 2
+
+    def test_warmup_clamped_to_zero(self):
+        sliced = slice_records(simple_trace(6, warmup=1), 3, 6)
+        assert sliced.warmup_records == 0
+
+    def test_bad_range(self):
+        with pytest.raises(TraceFormatError):
+            slice_records(simple_trace(), 4, 2)
+
+
+class TestSubsample:
+    def test_keep_every_two(self):
+        thinned = subsample(simple_trace(6), 2)
+        assert len(thinned) == 3
+        assert [r.offset for r in thinned.records] == [0, 2, 4]
+
+    def test_warmup_thins_proportionally(self):
+        thinned = subsample(simple_trace(8, warmup=4), 2)
+        assert thinned.warmup_records == 2
+
+    def test_keep_every_one_is_identity(self):
+        trace = simple_trace(5, warmup=2)
+        thinned = subsample(trace, 1)
+        assert thinned.records == trace.records
+        assert thinned.warmup_records == 2
+
+    def test_bad_factor(self):
+        with pytest.raises(TraceFormatError):
+            subsample(simple_trace(), 0)
+
+
+class TestRemapHost:
+    def test_all_records_moved(self):
+        trace = merge_traces([simple_trace(3), simple_trace(3)])
+        folded = remap_host(trace, 0)
+        assert folded.hosts() == [0]
+        assert len(folded) == 6
+
+    def test_negative_rejected(self):
+        with pytest.raises(TraceFormatError):
+            remap_host(simple_trace(), -1)

@@ -1,0 +1,99 @@
+"""Tests for trace records and the Trace container."""
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.traces.records import Trace, TraceOp, TraceRecord
+
+
+def record(op="R", host=0, thread=0, file_id=0, offset=0, nblocks=1):
+    return TraceRecord(TraceOp(op), host, thread, file_id, offset, nblocks)
+
+
+class TestTraceRecord:
+    def test_is_write(self):
+        assert record("W").is_write
+        assert not record("R").is_write
+
+    def test_nbytes(self):
+        assert record(nblocks=3).nbytes == 3 * 4096
+
+    def test_zero_blocks_rejected(self):
+        with pytest.raises(TraceFormatError):
+            record(nblocks=0)
+
+    def test_negative_fields_rejected(self):
+        with pytest.raises(TraceFormatError):
+            TraceRecord(TraceOp.READ, -1, 0, 0, 0, 1)
+
+    def test_equality(self):
+        assert record() == record()
+        assert record() != record(offset=1)
+
+
+class TestTraceGeometry:
+    def test_global_block_flattening(self):
+        trace = Trace([], [10, 20, 30])
+        assert trace.global_block(0, 5) == 5
+        assert trace.global_block(1, 0) == 10
+        assert trace.global_block(2, 7) == 37
+        assert trace.total_file_blocks == 60
+
+    def test_record_blocks_range(self):
+        trace = Trace([record(file_id=1, offset=2, nblocks=3)], [10, 20])
+        blocks = trace.record_blocks(trace.records[0])
+        assert list(blocks) == [12, 13, 14]
+
+    def test_file_overrun_rejected(self):
+        with pytest.raises(TraceFormatError):
+            Trace([record(offset=8, nblocks=5)], [10])
+
+    def test_unknown_file_rejected(self):
+        with pytest.raises(TraceFormatError):
+            Trace([record(file_id=3)], [10])
+
+
+class TestTraceStructure:
+    def test_hosts_and_threads(self):
+        trace = Trace(
+            [
+                record(host=0, thread=0),
+                record(host=1, thread=2),
+                record(host=1, thread=0),
+            ],
+            [10],
+        )
+        assert trace.hosts() == [0, 1]
+        assert trace.threads_of(1) == [0, 2]
+
+    def test_split_by_issuer_keeps_order_and_indices(self):
+        records = [
+            record(host=0, thread=0, offset=0),
+            record(host=0, thread=1, offset=1),
+            record(host=0, thread=0, offset=2),
+        ]
+        trace = Trace(records, [10])
+        groups = trace.split_by_issuer()
+        assert set(groups) == {(0, 0), (0, 1)}
+        indices = [index for index, _rec in groups[(0, 0)]]
+        assert indices == [0, 2]
+
+    def test_warmup_bounds_validated(self):
+        with pytest.raises(TraceFormatError):
+            Trace([record()], [10], warmup_records=2)
+
+    def test_without_warmup_drops_prefix(self):
+        records = [record(offset=i) for i in range(4)]
+        trace = Trace(records, [10], warmup_records=2)
+        cold = trace.without_warmup()
+        assert len(cold) == 2
+        assert cold.warmup_records == 0
+        assert cold.records[0].offset == 2
+
+    def test_total_bytes(self):
+        trace = Trace([record(nblocks=2), record(nblocks=3)], [10])
+        assert trace.total_bytes == 5 * 4096
+
+    def test_iteration(self):
+        trace = Trace([record(), record(offset=1)], [10])
+        assert len(list(trace)) == 2

@@ -1,0 +1,84 @@
+"""Tests for repro._units."""
+
+import pytest
+
+from repro._units import (
+    BLOCK_SIZE,
+    GB,
+    KB,
+    MB,
+    MS,
+    NS,
+    SECOND,
+    TB,
+    US,
+    blocks_for_bytes,
+    format_bytes,
+    format_time,
+)
+
+
+class TestConstants:
+    def test_time_units_nest(self):
+        assert US == 1_000 * NS
+        assert MS == 1_000 * US
+        assert SECOND == 1_000 * MS
+
+    def test_size_units_nest(self):
+        assert MB == 1024 * KB
+        assert GB == 1024 * MB
+        assert TB == 1024 * GB
+
+    def test_block_size_is_4k(self):
+        assert BLOCK_SIZE == 4096
+
+
+class TestBlocksForBytes:
+    def test_zero(self):
+        assert blocks_for_bytes(0) == 0
+
+    def test_rounds_up(self):
+        assert blocks_for_bytes(1) == 1
+        assert blocks_for_bytes(4096) == 1
+        assert blocks_for_bytes(4097) == 2
+
+    def test_exact_multiple(self):
+        assert blocks_for_bytes(10 * BLOCK_SIZE) == 10
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            blocks_for_bytes(-1)
+
+
+class TestFormatBytes:
+    def test_bytes(self):
+        assert format_bytes(512) == "512 B"
+
+    def test_kb(self):
+        assert format_bytes(256 * KB) == "256.0 KB"
+
+    def test_gb(self):
+        assert format_bytes(64 * GB) == "64.0 GB"
+
+    def test_tb_does_not_overflow(self):
+        assert format_bytes(5000 * TB) == "5000.0 TB"
+
+    def test_negative(self):
+        assert format_bytes(-4096) == "-4.0 KB"
+
+
+class TestFormatTime:
+    def test_ns(self):
+        assert format_time(400) == "400 ns"
+
+    def test_us(self):
+        assert format_time(88_000) == "88.0 us"
+
+    def test_ms(self):
+        assert format_time(7_952_000) == "7.952 ms"
+
+    def test_seconds(self):
+        assert format_time(2 * SECOND) == "2.000 s"
+
+    def test_negative(self):
+        assert format_time(-400) == "-400 ns"

@@ -1,0 +1,211 @@
+"""Simulator validation, in the spirit of the paper's §6.
+
+The paper validated its simulator against NetApp's Mercury hardware
+("all or nearly all matched within 10%").  Without that hardware, we do
+the analogous internal validation: replay the same trace through the
+full event-driven simulator and through *independent, obviously-correct
+reference models* (a plain LRU replay for hit rates; closed-form
+arithmetic for latencies), and require agreement.
+"""
+
+from collections import OrderedDict
+
+import pytest
+
+from repro._units import MB
+from repro.core.simulator import run_simulation
+from repro.fsmodel.impressions import ImpressionsConfig
+from repro.tracegen.config import TraceGenConfig
+from repro.tracegen.generator import generate_trace
+
+from tests.helpers import (
+    FLASH_HIT_READ_NS,
+    MISS_READ_NS,
+    RAM_HIT_READ_NS,
+    RAM_WRITE_NS,
+    tiny_config,
+)
+
+
+def single_thread_trace(**overrides):
+    """A single-threaded trace: replay order is fully deterministic, so
+    reference models can be compared exactly."""
+    defaults = dict(
+        fs=ImpressionsConfig(total_bytes=64 * MB, max_file_bytes=4 * MB, seed=1),
+        working_set_bytes=4 * MB,
+        threads_per_host=1,
+        seed=21,
+    )
+    defaults.update(overrides)
+    return generate_trace(TraceGenConfig(**defaults))
+
+
+class ReferenceStack:
+    """An independent two-tier LRU model (naive architecture, reads only
+    tracked for hit accounting; writes dirty the RAM tier).
+
+    Deliberately written in the most straightforward style possible —
+    OrderedDicts and explicit ifs — to serve as the oracle.
+    """
+
+    def __init__(self, ram_blocks, flash_blocks):
+        self.ram_blocks = ram_blocks
+        self.flash_blocks = flash_blocks
+        self.ram = OrderedDict()
+        self.flash = OrderedDict()
+        self.ram_hits = self.ram_misses = 0
+        self.flash_hits = self.flash_misses = 0
+
+    def _touch(self, store, key):
+        store.move_to_end(key)
+
+    def _insert_ram(self, block):
+        if block in self.ram:
+            self._touch(self.ram, block)
+            return
+        while len(self.ram) >= self.ram_blocks:
+            self.ram.popitem(last=False)
+        self.ram[block] = None
+
+    def _insert_flash(self, block):
+        if block in self.flash:
+            self._touch(self.flash, block)
+            return
+        while len(self.flash) >= self.flash_blocks:
+            # skip blocks currently in RAM (the simulator pins them)
+            for candidate in self.flash:
+                if candidate not in self.ram:
+                    del self.flash[candidate]
+                    break
+            else:
+                self.flash.popitem(last=False)
+        self.flash[block] = None
+
+    def read(self, block):
+        if block in self.ram:
+            self.ram_hits += 1
+            self._touch(self.ram, block)
+            return "ram"
+        self.ram_misses += 1
+        if block in self.flash:
+            self.flash_hits += 1
+            self._touch(self.flash, block)
+            self._insert_ram(block)
+            return "flash"
+        self.flash_misses += 1
+        self._insert_flash(block)
+        self._insert_ram(block)
+        return "filer"
+
+    def write(self, block):
+        # Async write-through: lands in RAM, then (immediately, in the
+        # reference model) in flash.
+        self._insert_ram(block)
+        self._insert_flash(block)
+
+
+def replay_reference(trace, ram_blocks, flash_blocks):
+    stack = ReferenceStack(ram_blocks, flash_blocks)
+    levels = []
+    for index, record in enumerate(trace.records):
+        measured = index >= trace.warmup_records
+        for block in trace.record_blocks(record):
+            if record.is_write:
+                stack.write(block)
+                if measured:
+                    levels.append("write")
+            else:
+                level = stack.read(block)
+                if measured:
+                    levels.append(level)
+    return stack, levels
+
+
+class TestHitRateValidation:
+    def test_single_thread_hit_rates_match_reference_exactly(self):
+        trace = single_thread_trace(write_fraction=0.0)
+        config = tiny_config(ram_bytes=1 * MB, flash_bytes=8 * MB)
+        results = run_simulation(trace, config)
+
+        stack, _levels = replay_reference(trace, 256, 2048)
+        # Compare measured-phase hit rates.  The simulator resets its
+        # counters at the warmup boundary; rebuild the same numbers from
+        # the reference model by replaying in two phases.
+        warm_stack = ReferenceStack(256, 2048)
+        for record in trace.records[: trace.warmup_records]:
+            for block in trace.record_blocks(record):
+                warm_stack.read(block)
+        warm_stack.ram_hits = warm_stack.ram_misses = 0
+        warm_stack.flash_hits = warm_stack.flash_misses = 0
+        for record in trace.records[trace.warmup_records :]:
+            for block in trace.record_blocks(record):
+                warm_stack.read(block)
+
+        sim_ram = results.tier_stats["ram"]
+        assert sim_ram["hits"] == warm_stack.ram_hits
+        assert sim_ram["misses"] == warm_stack.ram_misses
+        sim_flash = results.tier_stats["flash"]
+        assert sim_flash["hits"] == warm_stack.flash_hits
+        assert sim_flash["misses"] == warm_stack.flash_misses
+
+
+class TestLatencyValidation:
+    def test_read_latency_matches_closed_form(self):
+        """With a deterministic filer and one thread there is no
+        queueing, so the mean read latency must equal the hit-level mix
+        exactly."""
+        trace = single_thread_trace(write_fraction=0.0)
+        config = tiny_config(ram_bytes=1 * MB, flash_bytes=8 * MB)
+        results = run_simulation(trace, config)
+
+        _stack, levels = replay_reference(trace, 256, 2048)
+        expected_total = 0
+        for level in levels:
+            expected_total += {
+                "ram": RAM_HIT_READ_NS,
+                "flash": FLASH_HIT_READ_NS,
+                "filer": MISS_READ_NS,
+            }[level]
+        expected_mean = expected_total / len(levels)
+        assert results.read_latency.mean_ns == pytest.approx(expected_mean, rel=1e-9)
+
+    def test_write_latency_exact(self):
+        trace = single_thread_trace(write_fraction=1.0)
+        config = tiny_config(ram_bytes=1 * MB, flash_bytes=8 * MB)
+        results = run_simulation(trace, config)
+        assert results.write_latency.mean_ns == RAM_WRITE_NS
+
+
+class TestStochasticModelValidation:
+    def test_filer_fast_rate_within_tolerance(self):
+        """The paper's Table 1 sets a 90% fast-read rate; the observed
+        rate over a full run must match within a few percent (the §6.1
+        'within 10%' spirit)."""
+        from tests.helpers import deterministic_timing
+
+        trace = single_thread_trace(write_fraction=0.0, working_set_bytes=16 * MB)
+        config = tiny_config(
+            ram_bytes=256 * 1024,
+            flash_bytes=2 * MB,
+            timing=deterministic_timing(fast_read_rate=0.9),
+        )
+        results = run_simulation(trace, config)
+        observed = results.filer_fast_reads / results.filer_reads
+        assert observed == pytest.approx(0.9, abs=0.03)
+
+    def test_multithreaded_run_close_to_single_thread_hit_rates(self):
+        """Thread interleaving perturbs LRU order slightly; hit rates
+        must stay within 10% of the single-threaded replay (the paper's
+        validation bar)."""
+        base = dict(
+            fs=ImpressionsConfig(total_bytes=64 * MB, max_file_bytes=4 * MB, seed=1),
+            working_set_bytes=4 * MB,
+            seed=21,
+            write_fraction=0.0,
+        )
+        one = generate_trace(TraceGenConfig(threads_per_host=1, **base))
+        eight = generate_trace(TraceGenConfig(threads_per_host=8, **base))
+        config = tiny_config(ram_bytes=1 * MB, flash_bytes=8 * MB)
+        rate_one = run_simulation(one, config).hit_rate("flash")
+        rate_eight = run_simulation(eight, config).hit_rate("flash")
+        assert rate_eight == pytest.approx(rate_one, rel=0.10)

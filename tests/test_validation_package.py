@@ -1,0 +1,120 @@
+"""Tests for the repro.validation package (the §6 harness as a library)."""
+
+import pytest
+
+from repro._units import MB
+from repro.core.architectures import Architecture
+from repro.fsmodel.impressions import ImpressionsConfig
+from repro.tracegen.config import TraceGenConfig
+from repro.tracegen.generator import generate_trace
+from repro.validation import ValidationReport, cross_check, replay_reference
+
+from tests.helpers import tiny_config
+
+
+def make_trace(threads=1, write_fraction=0.3, ws_mb=4):
+    return generate_trace(
+        TraceGenConfig(
+            fs=ImpressionsConfig(total_bytes=64 * MB, max_file_bytes=4 * MB, seed=1),
+            working_set_bytes=ws_mb * MB,
+            threads_per_host=threads,
+            write_fraction=write_fraction,
+            seed=33,
+        )
+    )
+
+
+class TestReferenceReplay:
+    def test_counts_cover_measured_blocks(self):
+        trace = make_trace()
+        config = tiny_config()
+        reference = replay_reference(trace, config)
+        measured = trace.records[trace.warmup_records :]
+        expected_reads = sum(r.nblocks for r in measured if not r.is_write)
+        expected_writes = sum(r.nblocks for r in measured if r.is_write)
+        assert reference.read_blocks == expected_reads
+        assert reference.write_blocks == expected_writes
+        assert len(reference.read_levels) == expected_reads
+
+    def test_hit_rates_bounded(self):
+        reference = replay_reference(make_trace(), tiny_config())
+        assert 0.0 <= reference.ram_hit_rate <= 1.0
+        assert 0.0 <= reference.flash_hit_rate <= 1.0
+
+    def test_expected_latency_positive(self):
+        config = tiny_config()
+        reference = replay_reference(make_trace(), config)
+        assert reference.expected_read_mean_ns(config) > 0
+
+    def test_no_flash_config(self):
+        config = tiny_config(flash_bytes=0)
+        reference = replay_reference(make_trace(), config)
+        assert reference.flash_hits == 0
+        assert reference.expected_read_mean_ns(config) > 0
+
+
+class TestCrossCheck:
+    def test_read_only_single_thread_agrees_exactly(self):
+        """No writes, one thread: deterministic order, both models apply
+        the same LRU rules — agreement should be essentially exact."""
+        report = cross_check(
+            make_trace(threads=1, write_fraction=0.0), tiny_config()
+        )
+        assert report.passed, report.summary()
+        assert report.metrics["ram_hit_rate"]["difference"] < 0.01
+        assert report.metrics["flash_hit_rate"]["difference"] < 0.01
+        assert report.metrics["read_latency_ns"]["difference"] < 0.01
+
+    def test_read_only_multi_thread_within_ten_percent(self):
+        """Interleaving perturbs LRU order; the paper's 10% bar holds."""
+        report = cross_check(
+            make_trace(threads=8, write_fraction=0.0), tiny_config()
+        )
+        assert report.passed, report.summary()
+
+    def test_writes_diverge_boundedly(self):
+        """Background flushes land in the flash later than the
+        reference's synchronous inserts, so write-carrying runs drift —
+        but boundedly (documented in cross_check)."""
+        report = cross_check(
+            make_trace(threads=1, write_fraction=0.3),
+            tiny_config(),
+            tolerance=0.15,
+        )
+        assert report.passed, report.summary()
+
+    def test_no_flash_run_validates(self):
+        report = cross_check(
+            make_trace(threads=1, write_fraction=0.0), tiny_config(flash_bytes=0)
+        )
+        assert report.passed, report.summary()
+        assert "flash_hit_rate" not in report.metrics
+
+    def test_normalizes_architecture(self):
+        """cross_check always validates the naive reference scope, even
+        when handed another architecture's config."""
+        config = tiny_config(architecture=Architecture.UNIFIED)
+        report = cross_check(make_trace(threads=1, write_fraction=0.0), config)
+        assert report.passed, report.summary()
+
+    def test_summary_format(self):
+        report = cross_check(make_trace(threads=1, write_fraction=0.0), tiny_config())
+        text = report.summary()
+        assert "PASSED" in text
+        assert "ram_hit_rate" in text
+
+
+class TestReportMechanics:
+    def test_rate_vs_relative_difference(self):
+        report = ValidationReport(tolerance=0.10)
+        report.add("rate", 0.50, 0.45, rate=True)   # diff 0.05 -> pass
+        report.add("value", 110.0, 100.0)           # diff 10% -> pass
+        assert report.passed
+        report.add("bad", 200.0, 100.0)             # diff 100% -> fail
+        assert not report.passed
+        assert report.failures() == ["bad"]
+
+    def test_zero_reference_safe(self):
+        report = ValidationReport()
+        report.add("zero", 0.0, 0.0)
+        assert report.passed

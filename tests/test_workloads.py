@@ -1,0 +1,144 @@
+"""Tests for the motivating-scenario workload generators."""
+
+import pytest
+
+from repro._units import MB
+from repro.errors import ConfigError
+from repro.core.simulator import run_simulation
+from repro.traces.stats import compute_stats
+from repro.workloads import (
+    WorkloadSpec,
+    data_center_mixed,
+    render_farm,
+    scientific_compute,
+    web_app_server,
+)
+
+from tests.helpers import tiny_config
+
+SPEC = WorkloadSpec(volume_bytes=8 * MB, seed=5)
+
+
+@pytest.fixture(scope="module")
+def web():
+    return web_app_server(SPEC)
+
+
+@pytest.fixture(scope="module")
+def render():
+    return render_farm(SPEC)
+
+
+@pytest.fixture(scope="module")
+def hpc():
+    return scientific_compute(SPEC)
+
+
+class TestCommonContract:
+    @pytest.mark.parametrize("factory", [web_app_server, render_farm, scientific_compute])
+    def test_volume_near_target(self, factory):
+        trace = factory(SPEC)
+        stats = compute_stats(trace)
+        target = 8 * MB // 4096
+        assert stats.total_blocks >= target
+        assert stats.total_blocks < target * 1.6  # bursts may overshoot
+
+    @pytest.mark.parametrize("factory", [web_app_server, render_farm, scientific_compute])
+    def test_warmup_half(self, factory):
+        trace = factory(SPEC)
+        warmup_blocks = sum(r.nblocks for r in trace.records[: trace.warmup_records])
+        stats = compute_stats(trace)
+        assert warmup_blocks == pytest.approx(stats.total_blocks / 2, rel=0.2)
+
+    @pytest.mark.parametrize("factory", [web_app_server, render_farm, scientific_compute])
+    def test_deterministic(self, factory):
+        assert factory(SPEC).records == factory(SPEC).records
+
+    @pytest.mark.parametrize("factory", [web_app_server, render_farm, scientific_compute])
+    def test_replays_through_simulator(self, factory):
+        results = run_simulation(factory(SPEC), tiny_config())
+        assert results.read_latency.count + results.write_latency.count > 0
+
+    def test_spec_validation(self):
+        with pytest.raises(ConfigError):
+            WorkloadSpec(volume_bytes=0)
+        with pytest.raises(ConfigError):
+            WorkloadSpec(threads=0)
+
+
+class TestWebAppServer:
+    def test_read_mostly(self, web):
+        stats = compute_stats(web)
+        assert stats.write_fraction < 0.2
+
+    def test_small_ios(self, web):
+        stats = compute_stats(web)
+        assert stats.mean_io_blocks < 4
+
+    def test_popularity_skew(self, web):
+        stats = compute_stats(web)
+        # Hot objects dominate well beyond a uniform workload, where
+        # the top 20% of blocks would take ~20% of the accesses.
+        assert stats.concentration[0.2] > 0.3
+
+
+class TestRenderFarm:
+    def test_large_sequential_reads(self, render):
+        reads = [r for r in render.records if not r.is_write]
+        mean_read = sum(r.nblocks for r in reads) / len(reads)
+        assert mean_read > 8  # streaming chunks, not random 4K
+
+    def test_sequentiality_within_assets(self, render):
+        """Consecutive reads on the same (thread, file) advance forward."""
+        last = {}
+        forward = total = 0
+        for record in render.records:
+            if record.is_write:
+                continue
+            key = (record.thread, record.file_id)
+            if key in last and record.offset == last[key]:
+                forward += 1
+            total += 1
+            last[key] = record.offset + record.nblocks
+        assert forward / total > 0.7
+
+    def test_writes_are_frames(self, render):
+        writes = [r for r in render.records if r.is_write]
+        assert writes, "render farm must emit frames"
+        frame_blocks = (256 * 1024) // 4096
+        assert all(w.nblocks == frame_blocks for w in writes)
+
+
+class TestScientificCompute:
+    def test_checkpoint_bursts(self, hpc):
+        """Writes arrive in dense runs, not uniformly mixed."""
+        ops = ["W" if r.is_write else "R" for r in hpc.records]
+        runs = []
+        current = 0
+        for op in ops:
+            if op == "W":
+                current += 1
+            elif current:
+                runs.append(current)
+                current = 0
+        if current:
+            runs.append(current)
+        assert runs, "expected checkpoint writes"
+        assert max(runs) > 10  # a burst, not scattered single writes
+
+    def test_checkpoints_target_checkpoint_file(self, hpc):
+        writes = [r for r in hpc.records if r.is_write]
+        assert all(w.file_id == 1 for w in writes)
+
+
+class TestDataCenterMixed:
+    def test_three_hosts(self):
+        trace = data_center_mixed(SPEC)
+        assert trace.hosts() == [0, 1, 2]
+
+    def test_replays_with_consistency_tracking(self):
+        trace = data_center_mixed(SPEC)
+        results = run_simulation(trace, tiny_config())
+        # Disjoint file regions: nothing shared, nothing invalidated.
+        assert results.writes_requiring_invalidation == 0
+        assert results.block_writes > 0
