@@ -10,7 +10,7 @@ import pytest
 
 from repro.experiments import figure10
 
-from conftest import FAST, run_experiment
+from conftest import run_experiment
 
 
 def test_figure10_persistence(benchmark):

@@ -10,7 +10,7 @@ from repro.core.simulator import run_simulation
 from repro.experiments import figure7
 from repro.experiments.common import baseline_config, baseline_trace
 
-from conftest import FAST, run_experiment
+from conftest import run_experiment
 
 
 def test_figure7_ram_sized_workload(benchmark):

@@ -4,7 +4,9 @@ Every benchmark regenerates one of the paper's tables/figures at scaled
 geometry (see ``repro.experiments.common``), prints the series, saves it
 under ``benchmarks/results/``, and asserts the paper's qualitative
 shape.  Set ``REPRO_BENCH_FULL=1`` for the full sweeps (several minutes)
-instead of the reduced default ones.
+instead of the reduced default ones.  Set ``REPRO_BENCH_WORKERS=N`` to
+fan each experiment's sweep points across N worker processes (see
+``repro.sweep``; 0 = all cores).
 """
 
 from __future__ import annotations
@@ -16,6 +18,13 @@ import pytest
 
 #: Full sweeps when REPRO_BENCH_FULL=1; reduced (fast) sweeps otherwise.
 FAST = os.environ.get("REPRO_BENCH_FULL", "0") != "1"
+
+#: Worker processes per experiment sweep (None = the repro.sweep default).
+WORKERS = (
+    int(os.environ["REPRO_BENCH_WORKERS"])
+    if os.environ.get("REPRO_BENCH_WORKERS", "").strip()
+    else None
+)
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -40,6 +49,8 @@ def save_result(result) -> None:
 def run_experiment(benchmark, run_fn, **kwargs):
     """Run one experiment exactly once under pytest-benchmark timing."""
     kwargs.setdefault("fast", FAST)
+    if WORKERS is not None:
+        kwargs.setdefault("workers", WORKERS)
     result = benchmark.pedantic(lambda: run_fn(**kwargs), rounds=1, iterations=1)
     print()
     print(result.format_table())

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Measure the parallel sweep speedup on figure2's grid.
+
+Runs the figure2 experiment serially (``workers=1``) and in parallel
+(``--workers``, default 4) and prints both wall times, the speedup, and
+whether the two runs produced identical tables — the acceptance check
+for ``repro.sweep``'s process-pool execution path.
+
+The speedup is only meaningful on a multi-core machine: with a single
+CPU the pool adds pickling overhead and the script reports (honestly)
+a speedup near or below 1.  CI runs this on a multi-core runner and
+asserts >= the ``--min-speedup`` bound there.
+
+Run:  PYTHONPATH=src python benchmarks/sweep_speedup.py [--workers 4]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+
+def measure(workers: int, scale: int, fast: bool) -> tuple:
+    from repro.experiments import figure2
+
+    started = time.perf_counter()
+    result = figure2.run(scale=scale, fast=fast, workers=workers)
+    return time.perf_counter() - started, result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument(
+        "--scale",
+        type=int,
+        default=int(os.environ.get("REPRO_SCALE_DIVISOR", "4096")),
+        help="geometry divisor (smaller = more work per point)",
+    )
+    parser.add_argument("--full", action="store_true", help="full (non-fast) grid")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="exit nonzero unless parallel/serial speedup meets this bound",
+    )
+    args = parser.parse_args(argv)
+
+    cores = os.cpu_count() or 1
+    print("cores available: %d; sweep workers: %d" % (cores, args.workers))
+
+    serial_s, serial_result = measure(1, args.scale, fast=not args.full)
+    parallel_s, parallel_result = measure(args.workers, args.scale, fast=not args.full)
+
+    identical = serial_result.rows == parallel_result.rows
+    speedup = serial_s / parallel_s if parallel_s else float("inf")
+    print("serial   (workers=1): %6.2f s" % serial_s)
+    print("parallel (workers=%d): %6.2f s" % (args.workers, parallel_s))
+    print("speedup: %.2fx   results identical: %s" % (speedup, identical))
+    if cores == 1:
+        print(
+            "note: single-core machine — the pool can only add overhead "
+            "here; run on >= %d cores for a meaningful speedup" % args.workers
+        )
+
+    if not identical:
+        print("FAIL: parallel results differ from serial", file=sys.stderr)
+        return 1
+    if args.min_speedup is not None and speedup < args.min_speedup:
+        print(
+            "FAIL: speedup %.2fx below required %.2fx"
+            % (speedup, args.min_speedup),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

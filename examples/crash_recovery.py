@@ -9,8 +9,6 @@ while the cold-start penalty of *losing* the cache is large.
 Run:  python examples/crash_recovery.py
 """
 
-from dataclasses import replace
-
 from repro import MB, SimConfig, run_simulation
 from repro.fsmodel import ImpressionsConfig
 from repro.tracegen import TraceGenConfig, generate_trace
@@ -28,7 +26,7 @@ def build_workload():
 def main() -> None:
     trace = build_workload()
     base = SimConfig(ram_bytes=1 * MB, flash_bytes=8 * MB)
-    persistent = replace(base, persistent_flash=True)
+    persistent = base.with_overrides(persistent_flash=True)
 
     plain_warm = run_simulation(trace, base)
     persist_warm = run_simulation(trace, persistent)

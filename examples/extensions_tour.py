@@ -13,8 +13,6 @@ workload:
 Run:  python examples/extensions_tour.py
 """
 
-from dataclasses import replace
-
 from repro import MB, Architecture, RestartSpec, SimConfig, WritebackPolicy, run_simulation
 from repro.fsmodel import ImpressionsConfig
 from repro.tracegen import TraceGenConfig, generate_trace
@@ -78,7 +76,7 @@ def ftl_cost(trace) -> None:
     base = SimConfig(ram_bytes=1 * MB, flash_bytes=8 * MB)
     for name, config in (
         ("free FTL (paper)", base),
-        ("page-mapped FTL", replace(base, ftl_model=True)),
+        ("page-mapped FTL", base.with_overrides(ftl_model=True)),
     ):
         results = run_simulation(trace, config)
         amplification = results.flash_write_amplification or 1.0

@@ -30,6 +30,7 @@ surface:
 * :mod:`repro.traces`      — trace records and serialization
 * :mod:`repro.tracegen`    — synthetic trace generator
 * :mod:`repro.core`        — the client cache stack and simulation driver
+* :mod:`repro.sweep`       — parallel batch execution of simulation points
 * :mod:`repro.experiments` — per-figure/table reproduction harness
 """
 
@@ -59,7 +60,15 @@ from repro.core import (
 from repro.tracegen import TraceGenConfig, generate_trace
 from repro.traces import Trace, TraceOp, TraceRecord
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+from repro.sweep import (  # noqa: E402  (needs __version__ for cache keys)
+    PointReport,
+    SweepOutcome,
+    SweepPoint,
+    run_sweep,
+    run_sweep_points,
+)
 
 __all__ = [
     "NS",
@@ -81,6 +90,11 @@ __all__ = [
     "WritebackPolicy",
     "SimulationResults",
     "run_simulation",
+    "PointReport",
+    "SweepOutcome",
+    "SweepPoint",
+    "run_sweep",
+    "run_sweep_points",
     "TraceGenConfig",
     "generate_trace",
     "Trace",

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
 
 from repro._units import GB, NS, blocks_for_bytes, format_bytes
 from repro.core.architectures import Architecture
@@ -164,6 +163,25 @@ class SimConfig:
 
     def with_timing(self, timing: TimingModel) -> "SimConfig":
         return replace(self, timing=timing)
+
+    def with_overrides(self, **overrides: object) -> "SimConfig":
+        """A copy with the named fields replaced, validated.
+
+        The sweep-friendly variant constructor: unknown field names
+        raise :class:`~repro.errors.ConfigError` (instead of
+        ``dataclasses.replace``'s ``TypeError``) and the copy re-runs
+        the full ``__post_init__`` consistency validation, so a sweep
+        over generated override dictionaries fails loudly at the bad
+        point rather than simulating a config it never meant to build.
+        """
+        valid = self.__dataclass_fields__
+        unknown = [name for name in overrides if name not in valid]
+        if unknown:
+            raise ConfigError(
+                "unknown SimConfig field(s) %s; valid fields: %s"
+                % (", ".join(sorted(unknown)), ", ".join(sorted(valid)))
+            )
+        return replace(self, **overrides)
 
     def describe(self) -> str:
         """One-line description for experiment logs."""

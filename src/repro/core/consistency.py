@@ -16,7 +16,7 @@ invalidations (Figures 11 and 12).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Set
+from typing import Callable, Dict, Optional, Set
 
 
 class ConsistencyDirectory:

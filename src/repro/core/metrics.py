@@ -13,7 +13,7 @@ without storing samples).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro._units import US, format_time
 

@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-from repro._units import SECOND, US
+from repro._units import SECOND
 from repro.core.metrics import LatencyStat, TimelineStat
 
 

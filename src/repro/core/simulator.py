@@ -14,12 +14,20 @@ from repro.traces.records import Trace
 def run_simulation(
     trace: Trace,
     config: SimConfig,
+    *,
     n_hosts: Optional[int] = None,
     cold_start: bool = False,
     restart: Optional[RestartSpec] = None,
     timeline_bucket_ns: Optional[int] = None,
 ) -> SimulationResults:
     """Replay ``trace`` on a system built from ``config``.
+
+    The options are keyword-only: sweep code builds these calls from
+    dictionaries of overrides (see :mod:`repro.sweep`), and a keyword
+    API keeps a reordered option from silently becoming a host count.
+
+    For batches of independent points, use :func:`repro.sweep.run_sweep`
+    — it fans configurations across CPU cores and caches results.
 
     ``n_hosts`` defaults to the number of hosts appearing in the trace.
     ``cold_start=True`` removes the warmup phase instead of replaying

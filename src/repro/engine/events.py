@@ -9,7 +9,7 @@ in every waiting process.
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List
 
 from repro.errors import SimulationError
 

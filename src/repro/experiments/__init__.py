@@ -1,14 +1,34 @@
 """Experiment harness: one module per table/figure of the paper.
 
-Every ``figureN`` module exposes ``run(scale=..., fast=...) -> ExperimentResult``
-that regenerates the corresponding figure's series (at a scaled-down
-geometry — see :mod:`repro.experiments.common`), and the benchmarks in
-``benchmarks/`` wrap those runs for ``pytest --benchmark-only``.
+Every experiment module exposes the shared keyword-only entry point
+``run(*, scale=DEFAULT_SCALE, fast=False, workers=None, ...) ->
+ExperimentResult`` that regenerates the corresponding figure's series
+(at a scaled-down geometry — see :mod:`repro.experiments.common`), and
+the benchmarks in ``benchmarks/`` wrap those runs for
+``pytest --benchmark-only``.  ``workers`` fans the experiment's sweep
+points across CPU cores via :mod:`repro.sweep`.
+
+Experiments are addressed through a typed registry rather than ad-hoc
+``importlib`` lookups::
+
+    from repro import experiments
+    spec = experiments.get("figure4")          # ConfigError if unknown
+    result = spec.run(fast=True, workers=4)
+    experiments.available()                    # every name, in order
+    experiments.available(kind="extension")    # just the extensions
 
 The CLI ``repro-experiments`` runs any experiment by name and prints
 its table.
 """
 
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from types import ModuleType
+from typing import Callable, Optional, Tuple
+
+from repro.errors import ConfigError
 from repro.experiments.common import (
     DEFAULT_SCALE,
     ExperimentResult,
@@ -20,7 +40,96 @@ from repro.experiments.common import (
 __all__ = [
     "DEFAULT_SCALE",
     "ExperimentResult",
+    "ExperimentSpec",
+    "available",
     "baseline_config",
     "baseline_trace",
+    "get",
     "scaled_gb",
 ]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One runnable experiment: its name, family, and entry point."""
+
+    name: str
+    #: "paper" for Table 1 / Figures 1-12, "extension" for this repo's
+    #: beyond-the-paper studies
+    kind: str
+
+    def load(self) -> ModuleType:
+        """Import and return the experiment's module."""
+        return importlib.import_module("repro.experiments.%s" % self.name)
+
+    @property
+    def run(self) -> Callable[..., ExperimentResult]:
+        """The module's ``run(*, scale, fast, workers, ...)`` callable."""
+        return self.load().run
+
+
+#: The paper's tables/figures, in presentation order.
+_PAPER_NAMES: Tuple[str, ...] = (
+    "table1",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "figure11",
+    "figure12",
+)
+
+#: Extensions beyond the paper (see DESIGN.md §7).
+_EXTENSION_NAMES: Tuple[str, ...] = (
+    "placement",
+    "recovery",
+    "recovery_timeline",
+    "multihost",
+    "extended_policies",
+    "scenarios",
+    "tail_latency",
+    "sensitivity",
+    "section74",
+    "consistency_traffic",
+    "ablations",
+)
+
+_REGISTRY = {
+    name: ExperimentSpec(name=name, kind=kind)
+    for names, kind in ((_PAPER_NAMES, "paper"), (_EXTENSION_NAMES, "extension"))
+    for name in names
+}
+
+
+def available(kind: Optional[str] = None) -> Tuple[str, ...]:
+    """Registered experiment names, optionally one family only
+    (``kind="paper"`` or ``kind="extension"``)."""
+    if kind is not None and kind not in ("paper", "extension"):
+        raise ConfigError("unknown experiment kind %r (paper or extension)" % kind)
+    return tuple(
+        spec.name
+        for spec in _REGISTRY.values()
+        if kind is None or spec.kind == kind
+    )
+
+
+def get(name: str) -> ExperimentSpec:
+    """Look up one experiment by name.
+
+    Raises :class:`~repro.errors.ConfigError` naming every valid
+    experiment when ``name`` is unknown — the error the CLI shows
+    verbatim.
+    """
+    spec = _REGISTRY.get(name)
+    if spec is None:
+        raise ConfigError(
+            "unknown experiment %r (choose from: %s)"
+            % (name, ", ".join(available()))
+        )
+    return spec

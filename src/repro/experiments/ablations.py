@@ -12,25 +12,29 @@ quantify how much the headline conclusions depend on them:
   caching-specialized FTL future work.  The FTL-backed device model
   charges garbage-collection relocations and erases to the cache's
   writes.
+
+Each ablation is runnable on its own; :func:`run` stacks all three into
+one table for the experiment registry.
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import Optional, Sequence
 
-from repro.core.simulator import run_simulation
 from repro.experiments.common import (
     DEFAULT_SCALE,
     ExperimentResult,
     baseline_config,
     baseline_trace,
 )
+from repro.sweep import SweepPoint, run_sweep, run_sweep_points
 
 
 def eviction_policy(
+    *,
     scale: int = DEFAULT_SCALE,
     fast: bool = False,
+    workers: Optional[int] = None,
     policies: Sequence[str] = ("lru", "fifo", "clock", "slru"),
 ) -> ExperimentResult:
     """LRU vs. FIFO vs. CLOCK vs. SLRU on both baseline working sets."""
@@ -43,12 +47,20 @@ def eviction_policy(
             "on that: CLOCK tracks LRU closely, FIFO gives up some hits."
         ),
     )
+    working_sets = ((60.0, "60"), (80.0, "80"))
+    points = [
+        SweepPoint(
+            config=baseline_config(scale=scale).with_overrides(eviction_policy=policy),
+            trace=baseline_trace(ws_gb=ws_gb, scale=scale),
+        )
+        for policy in policies
+        for ws_gb, _label in working_sets
+    ]
+    results = iter(run_sweep_points(points, workers=workers).results)
     for policy in policies:
         row = {"policy": policy}
-        for ws_gb, label in ((60.0, "60"), (80.0, "80")):
-            trace = baseline_trace(ws_gb=ws_gb, scale=scale)
-            config = replace(baseline_config(scale=scale), eviction_policy=policy)
-            res = run_simulation(trace, config)
+        for _ws_gb, label in working_sets:
+            res = next(results)
             row["read%s_us" % label] = res.read_latency_us
             row["flash_hit%s" % label] = res.hit_rate("flash")
         result.add_row(**row)
@@ -56,8 +68,10 @@ def eviction_policy(
 
 
 def flash_parallelism(
+    *,
     scale: int = DEFAULT_SCALE,
     fast: bool = False,
+    workers: Optional[int] = None,
     levels: Sequence[int] = (0, 8, 2, 1),
 ) -> ExperimentResult:
     """How much does bounded device parallelism change the picture?"""
@@ -71,9 +85,11 @@ def flash_parallelism(
         ),
     )
     trace = baseline_trace(ws_gb=60.0, scale=scale)
-    for level in levels:
-        config = replace(baseline_config(scale=scale), flash_parallelism=level)
-        res = run_simulation(trace, config)
+    configs = [
+        baseline_config(scale=scale).with_overrides(flash_parallelism=level)
+        for level in levels
+    ]
+    for level, res in zip(levels, run_sweep(trace, configs, workers=workers)):
         result.add_row(
             parallelism="unlimited" if level == 0 else str(level),
             read_us=res.read_latency_us,
@@ -83,8 +99,10 @@ def flash_parallelism(
 
 
 def ftl_cost(
+    *,
     scale: int = DEFAULT_SCALE,
     fast: bool = False,
+    workers: Optional[int] = None,
     overprovisions: Sequence[Optional[float]] = (None, 0.07, 0.20),
 ) -> ExperimentResult:
     """The cost of not getting the FTL for free (§8 future work).
@@ -103,18 +121,20 @@ def ftl_cost(
         ),
     )
     trace = baseline_trace(ws_gb=60.0, scale=scale)
+    labels = []
+    configs = []
     for overprovision in overprovisions:
         if overprovision is None:
-            config = baseline_config(scale=scale)
-            label = "free (paper)"
+            configs.append(baseline_config(scale=scale))
+            labels.append("free (paper)")
         else:
-            config = replace(
-                baseline_config(scale=scale),
-                ftl_model=True,
-                ftl_overprovision=overprovision,
+            configs.append(
+                baseline_config(scale=scale).with_overrides(
+                    ftl_model=True, ftl_overprovision=overprovision
+                )
             )
-            label = "modeled op=%.0f%%" % (100 * overprovision)
-        res = run_simulation(trace, config)
+            labels.append("modeled op=%.0f%%" % (100 * overprovision))
+    for label, res in zip(labels, run_sweep(trace, configs, workers=workers)):
         result.add_row(
             ftl=label,
             read_us=res.read_latency_us,
@@ -125,4 +145,39 @@ def ftl_cost(
                 else 1.0
             ),
         )
+    return result
+
+
+def run(
+    *, scale: int = DEFAULT_SCALE, fast: bool = False, workers: Optional[int] = None
+) -> ExperimentResult:
+    """All three ablations stacked into one table.
+
+    Sub-tables keep their own column names; cells a sub-table does not
+    define render empty.
+    """
+    parts = (
+        eviction_policy(scale=scale, fast=fast, workers=workers),
+        flash_parallelism(scale=scale, fast=fast, workers=workers),
+        ftl_cost(scale=scale, fast=fast, workers=workers),
+    )
+    columns = ["ablation", "setting"]
+    for part in parts:
+        for col in part.columns[1:]:
+            if col not in columns:
+                columns.append(col)
+    result = ExperimentResult(
+        experiment="ablations",
+        title="Design-choice ablations (eviction / parallelism / FTL)",
+        columns=tuple(columns),
+        notes="; ".join(part.notes for part in parts if part.notes),
+    )
+    for part in parts:
+        key = part.columns[0]
+        for row in part.rows:
+            merged = {"ablation": part.experiment, "setting": row[key]}
+            merged.update(
+                (col, row[col]) for col in part.columns[1:] if col in row
+            )
+            result.add_row(**merged)
     return result

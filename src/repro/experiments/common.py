@@ -21,11 +21,11 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from repro._units import GB, MB, TB
 from repro.core.config import SimConfig
-from repro.core.policies import PolicyKind, WritebackPolicy
+from repro.core.policies import WritebackPolicy
 from repro.errors import ConfigError
 from repro.fsmodel.files import FileSystemModel
 from repro.fsmodel.impressions import ImpressionsConfig, generate_filesystem

@@ -13,24 +13,25 @@ the paper's count-only simplification hid anything material.
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import Optional, Sequence
 
-from repro.core.simulator import run_simulation
 from repro.experiments.common import (
     DEFAULT_SCALE,
     ExperimentResult,
     baseline_config,
     baseline_trace,
 )
+from repro.sweep import SweepPoint, run_sweep_points
 
 FULL_GRID = ((2, 0.30), (2, 0.60), (4, 0.30), (4, 0.60), (8, 0.30))
 FAST_GRID = ((2, 0.30), (4, 0.60))
 
 
 def run(
+    *,
     scale: int = DEFAULT_SCALE,
     fast: bool = False,
+    workers: Optional[int] = None,
     grid: Optional[Sequence] = None,
     ws_gb: float = 60.0,
 ) -> ExperimentResult:
@@ -55,7 +56,8 @@ def run(
         ),
     )
     counted = baseline_config(scale=scale)
-    modeled = replace(baseline_config(scale=scale), model_invalidation_traffic=True)
+    modeled = counted.with_overrides(model_invalidation_traffic=True)
+    sweep_points = []
     for n_hosts, write_fraction in points:
         trace = baseline_trace(
             ws_gb=ws_gb,
@@ -64,8 +66,12 @@ def run(
             shared_working_set=True,
             scale=scale,
         )
-        base = run_simulation(trace, counted)
-        with_traffic = run_simulation(trace, modeled)
+        sweep_points.append(SweepPoint(config=counted, trace=trace))
+        sweep_points.append(SweepPoint(config=modeled, trace=trace))
+    results = iter(run_sweep_points(sweep_points, workers=workers).results)
+    for n_hosts, write_fraction in points:
+        base = next(results)
+        with_traffic = next(results)
         overhead = (
             100.0 * (with_traffic.read_latency_us / base.read_latency_us - 1.0)
             if base.read_latency_us

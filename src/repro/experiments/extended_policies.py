@@ -17,7 +17,6 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.core.policies import WritebackPolicy
-from repro.core.simulator import run_simulation
 from repro.experiments.common import (
     DEFAULT_SCALE,
     ExperimentResult,
@@ -25,14 +24,17 @@ from repro.experiments.common import (
     baseline_trace,
     scaled_policy,
 )
+from repro.sweep import run_sweep
 
 ALL_POLICIES = ("s", "a", "p1", "p5", "t1", "t5", "d1", "d5", "n")
 FAST_POLICIES = ("s", "a", "p1", "t1", "d1", "n")
 
 
 def run(
+    *,
     scale: int = DEFAULT_SCALE,
     fast: bool = False,
+    workers: Optional[int] = None,
     policies: Optional[Sequence[str]] = None,
     ws_gb: float = 80.0,
 ) -> ExperimentResult:
@@ -50,11 +52,12 @@ def run(
             "under pressure) stand out."
         ),
     )
+    configs = []
     for label in labels:
         policy = scaled_policy(WritebackPolicy.parse(label), scale)
         config = baseline_config(scale=scale)
-        config = config.with_policies(policy, config.flash_policy)
-        res = run_simulation(trace, config)
+        configs.append(config.with_policies(policy, config.flash_policy))
+    for label, res in zip(labels, run_sweep(trace, configs, workers=workers)):
         ram_stats = res.tier_stats.get("ram", {})
         result.add_row(
             ram_policy=label,

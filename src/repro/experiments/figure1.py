@@ -15,7 +15,7 @@ RAM cache).
 
 from __future__ import annotations
 
-from typing import Iterator, List, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 from repro._units import US
 from repro.engine.rng import RngStreams
@@ -39,8 +39,16 @@ def cache_workload(
         yield op, block
 
 
-def run(scale: int = 1024, fast: bool = False) -> ExperimentResult:
-    """Regenerate Figure 1's two series (plus the random-I/O contrast)."""
+def run(
+    *, scale: int = 1024, fast: bool = False, workers: Optional[int] = None
+) -> ExperimentResult:
+    """Regenerate Figure 1's two series (plus the random-I/O contrast).
+
+    This experiment drives the behavioral SSD model directly (one
+    stateful device, no independent simulation points), so ``workers``
+    is accepted for harness uniformity but has nothing to fan out.
+    """
+    del workers
     # Scale the 58 GB device down; keep the 60/58 working-set ratio.
     device_blocks = max(2048, (58 * 1024 * 256) // scale)
     working_blocks = int(device_blocks * 60 / 58)

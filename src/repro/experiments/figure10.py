@@ -14,10 +14,8 @@ fits (or mostly fits) in flash.
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import Optional, Sequence
 
-from repro.core.simulator import run_simulation
 from repro.experiments.common import (
     DEFAULT_SCALE,
     ExperimentResult,
@@ -25,11 +23,14 @@ from repro.experiments.common import (
     baseline_trace,
 )
 from repro.experiments.figure3 import FAST_WS_SWEEP, FULL_WS_SWEEP
+from repro.sweep import SweepPoint, run_sweep, run_sweep_points
 
 
 def run(
+    *,
     scale: int = DEFAULT_SCALE,
     fast: bool = False,
+    workers: Optional[int] = None,
     ws_sweep: Optional[Sequence[float]] = None,
 ) -> ExperimentResult:
     sweep = ws_sweep or (FAST_WS_SWEEP if fast else FULL_WS_SWEEP)
@@ -45,26 +46,34 @@ def run(
         ),
     )
     noflash = baseline_config(flash_gb=0.0, scale=scale)
-    flash_persistent = replace(baseline_config(scale=scale), persistent_flash=True)
+    flash_persistent = baseline_config(scale=scale).with_overrides(
+        persistent_flash=True
+    )
+    points = []
     for ws_gb in sweep:
         trace = baseline_trace(ws_gb=ws_gb, scale=scale)
+        points.append(SweepPoint(config=noflash, trace=trace))
+        points.append(SweepPoint(config=flash_persistent, trace=trace, cold_start=True))
+        points.append(SweepPoint(config=flash_persistent, trace=trace))
+    results = iter(run_sweep_points(points, workers=workers).results)
+    for ws_gb in sweep:
         result.add_row(
             ws_gb=ws_gb,
-            noflash_warm_us=run_simulation(trace, noflash).read_latency_us,
-            flash_cold_us=run_simulation(
-                trace, flash_persistent, cold_start=True
-            ).read_latency_us,
-            flash_warm_us=run_simulation(trace, flash_persistent).read_latency_us,
+            noflash_warm_us=next(results).read_latency_us,
+            flash_cold_us=next(results).read_latency_us,
+            flash_warm_us=next(results).read_latency_us,
         )
     return result
 
 
-def persistence_cost(scale: int = DEFAULT_SCALE, ws_gb: float = 60.0):
+def persistence_cost(
+    *, scale: int = DEFAULT_SCALE, ws_gb: float = 60.0, workers: Optional[int] = None
+):
     """The §7.8 cost check: warmed runs with and without the doubled
     flash write latency; returns (plain, persistent) results."""
     trace = baseline_trace(ws_gb=ws_gb, scale=scale)
-    plain = run_simulation(trace, baseline_config(scale=scale))
-    persistent = run_simulation(
-        trace, replace(baseline_config(scale=scale), persistent_flash=True)
+    base = baseline_config(scale=scale)
+    plain, persistent = run_sweep(
+        trace, [base, base.with_overrides(persistent_flash=True)], workers=workers
     )
     return plain, persistent

@@ -16,7 +16,6 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.core.simulator import run_simulation
 from repro.experiments.common import (
     DEFAULT_SCALE,
     ExperimentResult,
@@ -24,11 +23,14 @@ from repro.experiments.common import (
     baseline_trace,
 )
 from repro.experiments.figure8 import FAST_WRITE_SWEEP, FULL_WRITE_SWEEP
+from repro.sweep import SweepPoint, run_sweep_points
 
 
 def run(
+    *,
     scale: int = DEFAULT_SCALE,
     fast: bool = False,
+    workers: Optional[int] = None,
     write_sweep: Optional[Sequence[float]] = None,
 ) -> ExperimentResult:
     # 0% writes cannot require invalidations; start the sweep at 10%.
@@ -60,8 +62,9 @@ def run(
         "noflash": baseline_config(flash_gb=0.0, scale=scale),
         "flash": baseline_config(flash_gb=64.0, scale=scale),
     }
+    cells = []
+    points = []
     for write_fraction in sweep:
-        row = {"write_pct": round(write_fraction * 100)}
         for ws_gb, ws_label in ((80.0, "80"), (60.0, "60")):
             trace = baseline_trace(
                 ws_gb=ws_gb,
@@ -71,10 +74,19 @@ def run(
                 scale=scale,
             )
             for cfg_label, config in configs.items():
-                res = run_simulation(trace, config)
-                row["inval_%s%s_pct" % (cfg_label, ws_label)] = (
-                    100.0 * res.invalidation_fraction
-                )
-                row["read_%s%s_us" % (cfg_label, ws_label)] = res.read_latency_us
-        result.add_row(**row)
+                cells.append((write_fraction, "%s%s" % (cfg_label, ws_label)))
+                points.append(SweepPoint(config=config, trace=trace))
+    rows = {
+        write_fraction: {"write_pct": round(write_fraction * 100)}
+        for write_fraction in sweep
+    }
+    for (write_fraction, suffix), res in zip(
+        cells, run_sweep_points(points, workers=workers).results
+    ):
+        rows[write_fraction]["inval_%s_pct" % suffix] = (
+            100.0 * res.invalidation_fraction
+        )
+        rows[write_fraction]["read_%s_us" % suffix] = res.read_latency_us
+    for write_fraction in sweep:
+        result.add_row(**rows[write_fraction])
     return result

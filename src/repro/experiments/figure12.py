@@ -15,7 +15,6 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.core.simulator import run_simulation
 from repro.experiments.common import (
     DEFAULT_SCALE,
     ExperimentResult,
@@ -23,11 +22,14 @@ from repro.experiments.common import (
     baseline_trace,
 )
 from repro.experiments.figure3 import FAST_WS_SWEEP, FULL_WS_SWEEP
+from repro.sweep import SweepPoint, run_sweep_points
 
 
 def run(
+    *,
     scale: int = DEFAULT_SCALE,
     fast: bool = False,
+    workers: Optional[int] = None,
     ws_sweep: Optional[Sequence[float]] = None,
 ) -> ExperimentResult:
     sweep = ws_sweep or (FAST_WS_SWEEP if fast else FULL_WS_SWEEP)
@@ -52,13 +54,21 @@ def run(
         "noflash": baseline_config(flash_gb=0.0, scale=scale),
         "flash": baseline_config(flash_gb=64.0, scale=scale),
     }
-    for ws_gb in sweep:
-        trace = baseline_trace(
-            ws_gb=ws_gb, n_hosts=2, shared_working_set=True, scale=scale
+    points = [
+        SweepPoint(
+            config=config,
+            trace=baseline_trace(
+                ws_gb=ws_gb, n_hosts=2, shared_working_set=True, scale=scale
+            ),
         )
+        for ws_gb in sweep
+        for config in configs.values()
+    ]
+    results = iter(run_sweep_points(points, workers=workers).results)
+    for ws_gb in sweep:
         row = {"ws_gb": ws_gb}
-        for cfg_label, config in configs.items():
-            res = run_simulation(trace, config)
+        for cfg_label in configs:
+            res = next(results)
             row["inval_%s_pct" % cfg_label] = 100.0 * res.invalidation_fraction
             row["read_%s_us" % cfg_label] = res.read_latency_us
         result.add_row(**row)

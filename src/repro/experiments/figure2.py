@@ -13,11 +13,10 @@ Headline results to reproduce (§7.1):
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.core.architectures import Architecture
 from repro.core.policies import WritebackPolicy
-from repro.core.simulator import run_simulation
 from repro.experiments.common import (
     DEFAULT_SCALE,
     ExperimentResult,
@@ -25,6 +24,7 @@ from repro.experiments.common import (
     baseline_trace,
     scaled_policy,
 )
+from repro.sweep import run_sweep
 
 
 def policy_grid(fast: bool) -> List[WritebackPolicy]:
@@ -41,7 +41,11 @@ def policy_grid(fast: bool) -> List[WritebackPolicy]:
 
 
 def run(
-    scale: int = DEFAULT_SCALE, fast: bool = False, ws_gb: float = 80.0
+    *,
+    scale: int = DEFAULT_SCALE,
+    fast: bool = False,
+    workers: Optional[int] = None,
+    ws_gb: float = 80.0,
 ) -> ExperimentResult:
     trace = baseline_trace(ws_gb=ws_gb, scale=scale)
     policies = policy_grid(fast)
@@ -56,20 +60,28 @@ def run(
     )
     # The paper's three architectures (EXCLUSIVE is this repo's
     # extension and is covered by the placement experiment).
-    for arch in (Architecture.NAIVE, Architecture.LOOKASIDE, Architecture.UNIFIED):
-        for ram_policy in policies:
-            for flash_policy in policies:
-                config = baseline_config(scale=scale).with_architecture(arch)
-                config = config.with_policies(
-                    scaled_policy(ram_policy, scale),
-                    scaled_policy(flash_policy, scale),
-                )
-                res = run_simulation(trace, config)
-                result.add_row(
-                    arch=str(arch),
-                    ram_policy=ram_policy.label,
-                    flash_policy=flash_policy.label,
-                    read_us=res.read_latency_us,
-                    write_us=res.write_latency_us,
-                )
+    grid = [
+        (arch, ram_policy, flash_policy)
+        for arch in (Architecture.NAIVE, Architecture.LOOKASIDE, Architecture.UNIFIED)
+        for ram_policy in policies
+        for flash_policy in policies
+    ]
+    configs = [
+        baseline_config(scale=scale)
+        .with_architecture(arch)
+        .with_policies(
+            scaled_policy(ram_policy, scale), scaled_policy(flash_policy, scale)
+        )
+        for arch, ram_policy, flash_policy in grid
+    ]
+    for (arch, ram_policy, flash_policy), res in zip(
+        grid, run_sweep(trace, configs, workers=workers)
+    ):
+        result.add_row(
+            arch=str(arch),
+            ram_policy=ram_policy.label,
+            flash_policy=flash_policy.label,
+            read_us=res.read_latency_us,
+            write_us=res.write_latency_us,
+        )
     return result

@@ -18,7 +18,6 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.core.architectures import Architecture
-from repro.core.simulator import run_simulation
 from repro.experiments.common import (
     DEFAULT_SCALE,
     ExperimentResult,
@@ -26,6 +25,7 @@ from repro.experiments.common import (
     baseline_trace,
 )
 from repro.flash.timing import FlashTiming
+from repro.sweep import SweepPoint, run_sweep_points
 
 #: Working-set sweep (GB at paper scale), §7.2's 5–640 GB range.
 FULL_WS_SWEEP = (5.0, 20.0, 40.0, 60.0, 80.0, 120.0, 200.0, 320.0, 640.0)
@@ -38,8 +38,10 @@ def ram_speed_flash() -> FlashTiming:
 
 
 def run(
+    *,
     scale: int = DEFAULT_SCALE,
     fast: bool = False,
+    workers: Optional[int] = None,
     ws_sweep: Optional[Sequence[float]] = None,
 ) -> ExperimentResult:
     sweep = ws_sweep or (FAST_WS_SWEEP if fast else FULL_WS_SWEEP)
@@ -63,12 +65,19 @@ def run(
     unified_ramspeed = unified_ramspeed.with_timing(
         unified_ramspeed.timing.with_flash(ram_speed_flash())
     )
-    for ws_gb in sweep:
-        trace = baseline_trace(ws_gb=ws_gb, scale=scale)
+    curves = (naive_real, naive_ramspeed, unified_ramspeed)
+    points = [
+        SweepPoint(config=config, trace=baseline_trace(ws_gb=ws_gb, scale=scale))
+        for ws_gb in sweep
+        for config in curves
+    ]
+    outcome = run_sweep_points(points, workers=workers)
+    for index, ws_gb in enumerate(sweep):
+        per_curve = outcome.results[index * len(curves) : (index + 1) * len(curves)]
         result.add_row(
             ws_gb=ws_gb,
-            naive_flash_us=run_simulation(trace, naive_real).read_latency_us,
-            naive_ramspeed_us=run_simulation(trace, naive_ramspeed).read_latency_us,
-            unified_56_ramspeed_us=run_simulation(trace, unified_ramspeed).read_latency_us,
+            naive_flash_us=per_curve[0].read_latency_us,
+            naive_ramspeed_us=per_curve[1].read_latency_us,
+            unified_56_ramspeed_us=per_curve[2].read_latency_us,
         )
     return result

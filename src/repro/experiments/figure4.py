@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.core.simulator import run_simulation
 from repro.experiments.common import (
     DEFAULT_SCALE,
     ExperimentResult,
@@ -18,13 +17,16 @@ from repro.experiments.common import (
     baseline_trace,
 )
 from repro.experiments.figure3 import FAST_WS_SWEEP, FULL_WS_SWEEP
+from repro.sweep import SweepPoint, run_sweep_points
 
 FLASH_SIZES_GB = (0.0, 32.0, 64.0, 128.0)
 
 
 def run(
+    *,
     scale: int = DEFAULT_SCALE,
     fast: bool = False,
+    workers: Optional[int] = None,
     ws_sweep: Optional[Sequence[float]] = None,
 ) -> ExperimentResult:
     sweep = ws_sweep or (FAST_WS_SWEEP if fast else FULL_WS_SWEEP)
@@ -44,10 +46,15 @@ def run(
         "flash64_us": baseline_config(flash_gb=64.0, scale=scale),
         "flash128_us": baseline_config(flash_gb=128.0, scale=scale),
     }
+    points = [
+        SweepPoint(config=config, trace=baseline_trace(ws_gb=ws_gb, scale=scale))
+        for ws_gb in sweep
+        for config in configs.values()
+    ]
+    results = iter(run_sweep_points(points, workers=workers).results)
     for ws_gb in sweep:
-        trace = baseline_trace(ws_gb=ws_gb, scale=scale)
         row = {"ws_gb": ws_gb}
-        for key, config in configs.items():
-            row[key] = run_simulation(trace, config).read_latency_us
+        for key in configs:
+            row[key] = next(results).read_latency_us
         result.add_row(**row)
     return result

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.core.simulator import run_simulation
 from repro.experiments.common import (
     DEFAULT_SCALE,
     ExperimentResult,
@@ -19,13 +18,16 @@ from repro.experiments.common import (
     baseline_trace,
 )
 from repro.experiments.figure3 import FAST_WS_SWEEP, FULL_WS_SWEEP
+from repro.sweep import SweepPoint, run_sweep_points
 
 PREFETCH_RATES = (0.80, 0.95)
 
 
 def run(
+    *,
     scale: int = DEFAULT_SCALE,
     fast: bool = False,
+    workers: Optional[int] = None,
     ws_sweep: Optional[Sequence[float]] = None,
 ) -> ExperimentResult:
     sweep = ws_sweep or (FAST_WS_SWEEP if fast else FULL_WS_SWEEP)
@@ -45,14 +47,21 @@ def run(
             "but not RAM."
         ),
     )
+    curves = []
+    for rate in PREFETCH_RATES:
+        for flash_gb, label in ((0.0, "noflash"), (64.0, "flash64")):
+            config = baseline_config(flash_gb=flash_gb, scale=scale)
+            config = config.with_timing(config.timing.with_prefetch_rate(rate))
+            curves.append(("%s_p%d_us" % (label, round(rate * 100)), config))
+    points = [
+        SweepPoint(config=config, trace=baseline_trace(ws_gb=ws_gb, scale=scale))
+        for ws_gb in sweep
+        for _key, config in curves
+    ]
+    results = iter(run_sweep_points(points, workers=workers).results)
     for ws_gb in sweep:
-        trace = baseline_trace(ws_gb=ws_gb, scale=scale)
         row = {"ws_gb": ws_gb}
-        for rate in PREFETCH_RATES:
-            for flash_gb, label in ((0.0, "noflash"), (64.0, "flash64")):
-                config = baseline_config(flash_gb=flash_gb, scale=scale)
-                config = config.with_timing(config.timing.with_prefetch_rate(rate))
-                key = "%s_p%d_us" % (label, round(rate * 100))
-                row[key] = run_simulation(trace, config).read_latency_us
+        for key, _config in curves:
+            row[key] = next(results).read_latency_us
         result.add_row(**row)
     return result

@@ -25,7 +25,6 @@ from typing import Optional, Sequence
 
 from repro._units import BLOCK_SIZE, GB, KB, MB, format_bytes
 from repro.core.policies import WritebackPolicy
-from repro.core.simulator import run_simulation
 from repro.experiments.common import (
     DEFAULT_SCALE,
     ExperimentResult,
@@ -33,6 +32,7 @@ from repro.experiments.common import (
     baseline_trace,
     scaled_policy,
 )
+from repro.sweep import run_sweep
 
 #: RAM sweep at paper scale (the figure's x axis: 0, 64 KB ... 8 GB).
 FULL_RAM_SWEEP = (
@@ -51,8 +51,10 @@ FAST_RAM_SWEEP = (0, 256 * KB, 16 * MB, 1 * GB, 8 * GB)
 
 
 def run(
+    *,
     scale: int = DEFAULT_SCALE,
     fast: bool = False,
+    workers: Optional[int] = None,
     ws_gb: float = 60.0,
     ram_sweep_paper_bytes: Optional[Sequence[int]] = None,
 ) -> ExperimentResult:
@@ -80,23 +82,30 @@ def run(
             "to absorb dirty blocks between syncer runs."
         ),
     )
-    for paper_bytes in sweep:
-        if paper_bytes == 0:
-            ram_bytes = 0
-        else:
-            ram_bytes = max(BLOCK_SIZE, paper_bytes // scale)
+    policies = (
+        (WritebackPolicy.periodic(1), "p1"),
+        (WritebackPolicy.asynchronous(), "a"),
+    )
+    ram_sizes = [
+        0 if paper_bytes == 0 else max(BLOCK_SIZE, paper_bytes // scale)
+        for paper_bytes in sweep
+    ]
+    configs = []
+    for ram_bytes in ram_sizes:
+        for policy, _label in policies:
+            config = baseline_config(scale=scale)
+            config = config.with_sizes(ram_bytes, config.flash_bytes)
+            configs.append(
+                config.with_policies(scaled_policy(policy, scale), config.flash_policy)
+            )
+    results = iter(run_sweep(trace, configs, workers=workers))
+    for paper_bytes, ram_bytes in zip(sweep, ram_sizes):
         row = {
             "ram_paper_equiv": format_bytes(paper_bytes),
             "ram_blocks": ram_bytes // BLOCK_SIZE,
         }
-        for policy, label in (
-            (WritebackPolicy.periodic(1), "p1"),
-            (WritebackPolicy.asynchronous(), "a"),
-        ):
-            config = baseline_config(scale=scale)
-            config = config.with_sizes(ram_bytes, config.flash_bytes)
-            config = config.with_policies(scaled_policy(policy, scale), config.flash_policy)
-            res = run_simulation(trace, config)
+        for _policy, label in policies:
+            res = next(results)
             row["read_%s_us" % label] = res.read_latency_us
             row["write_%s_us" % label] = res.write_latency_us
         result.add_row(**row)

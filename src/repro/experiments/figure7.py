@@ -16,13 +16,16 @@ from repro.experiments.common import DEFAULT_SCALE, ExperimentResult
 
 
 def run(
+    *,
     scale: int = DEFAULT_SCALE,
     fast: bool = False,
+    workers: Optional[int] = None,
     ram_sweep_paper_bytes: Optional[Sequence[int]] = None,
 ) -> ExperimentResult:
     result = figure6.run(
         scale=scale,
         fast=fast,
+        workers=workers,
         ws_gb=5.0,
         ram_sweep_paper_bytes=ram_sweep_paper_bytes,
     )

@@ -12,21 +12,23 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.core.simulator import run_simulation
 from repro.experiments.common import (
     DEFAULT_SCALE,
     ExperimentResult,
     baseline_config,
     baseline_trace,
 )
+from repro.sweep import SweepPoint, run_sweep_points
 
 FULL_WRITE_SWEEP = (0.0, 0.10, 0.20, 0.30, 0.40, 0.50, 0.60, 0.70, 0.80, 0.90)
 FAST_WRITE_SWEEP = (0.0, 0.30, 0.60, 0.90)
 
 
 def run(
+    *,
     scale: int = DEFAULT_SCALE,
     fast: bool = False,
+    workers: Optional[int] = None,
     write_sweep: Optional[Sequence[float]] = None,
 ) -> ExperimentResult:
     sweep = write_sweep or (FAST_WRITE_SWEEP if fast else FULL_WRITE_SWEEP)
@@ -46,13 +48,20 @@ def run(
         ),
     )
     config = baseline_config(scale=scale)
+    ws_labels = ((60.0, "60"), (80.0, "80"))
+    points = [
+        SweepPoint(
+            config=config,
+            trace=baseline_trace(ws_gb=ws_gb, write_fraction=write_fraction, scale=scale),
+        )
+        for write_fraction in sweep
+        for ws_gb, _label in ws_labels
+    ]
+    results = iter(run_sweep_points(points, workers=workers).results)
     for write_fraction in sweep:
         row = {"write_pct": round(write_fraction * 100)}
-        for ws_gb, label in ((60.0, "60"), (80.0, "80")):
-            trace = baseline_trace(
-                ws_gb=ws_gb, write_fraction=write_fraction, scale=scale
-            )
-            res = run_simulation(trace, config)
+        for _ws_gb, label in ws_labels:
+            res = next(results)
             # An all-write trace has no read samples (and vice versa).
             row["read%s_us" % label] = res.read_latency_us
             row["write%s_us" % label] = res.write_latency_us

@@ -15,7 +15,6 @@ from typing import Optional, Sequence
 
 from repro._units import US
 from repro.core.architectures import Architecture
-from repro.core.simulator import run_simulation
 from repro.experiments.common import (
     DEFAULT_SCALE,
     ExperimentResult,
@@ -23,14 +22,17 @@ from repro.experiments.common import (
     baseline_trace,
 )
 from repro.flash.timing import FlashTiming
+from repro.sweep import SweepPoint, run_sweep_points
 
 FULL_READ_US_SWEEP = (1, 11, 22, 44, 66, 88, 100)
 FAST_READ_US_SWEEP = (1, 44, 88)
 
 
 def run(
+    *,
     scale: int = DEFAULT_SCALE,
     fast: bool = False,
+    workers: Optional[int] = None,
     read_us_sweep: Optional[Sequence[int]] = None,
 ) -> ExperimentResult:
     sweep = read_us_sweep or (FAST_READ_US_SWEEP if fast else FULL_READ_US_SWEEP)
@@ -55,18 +57,22 @@ def run(
         "60": baseline_trace(ws_gb=60.0, scale=scale),
         "80": baseline_trace(ws_gb=80.0, scale=scale),
     }
+    archs = (Architecture.NAIVE, Architecture.LOOKASIDE, Architecture.UNIFIED)
+    cells = []
+    points = []
     for read_us in sweep:
         timing = FlashTiming.scaled_read(read_us * US)
-        row = {"flash_read_us": read_us}
         for ws_label, trace in traces.items():
-            for arch in (
-                Architecture.NAIVE,
-                Architecture.LOOKASIDE,
-                Architecture.UNIFIED,
-            ):
+            for arch in archs:
                 config = baseline_config(scale=scale).with_architecture(arch)
                 config = config.with_timing(config.timing.with_flash(timing))
-                res = run_simulation(trace, config)
-                row["%s%s_us" % (arch.value, ws_label)] = res.read_latency_us
-        result.add_row(**row)
+                cells.append((read_us, "%s%s_us" % (arch.value, ws_label)))
+                points.append(SweepPoint(config=config, trace=trace))
+    rows = {read_us: {"flash_read_us": read_us} for read_us in sweep}
+    for (read_us, key), res in zip(
+        cells, run_sweep_points(points, workers=workers).results
+    ):
+        rows[read_us][key] = res.read_latency_us
+    for read_us in sweep:
+        result.add_row(**rows[read_us])
     return result

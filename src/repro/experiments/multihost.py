@@ -13,21 +13,23 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.core.simulator import run_simulation
 from repro.experiments.common import (
     DEFAULT_SCALE,
     ExperimentResult,
     baseline_config,
     baseline_trace,
 )
+from repro.sweep import SweepPoint, run_sweep_points
 
 FULL_HOSTS = (1, 2, 3, 4, 6, 8)
 FAST_HOSTS = (1, 2, 4)
 
 
 def run(
+    *,
     scale: int = DEFAULT_SCALE,
     fast: bool = False,
+    workers: Optional[int] = None,
     host_sweep: Optional[Sequence[int]] = None,
     ws_gb: float = 60.0,
 ) -> ExperimentResult:
@@ -51,11 +53,17 @@ def run(
         ),
     )
     config = baseline_config(scale=scale)
-    for n_hosts in sweep:
-        trace = baseline_trace(
-            ws_gb=ws_gb, n_hosts=n_hosts, shared_working_set=True, scale=scale
+    points = [
+        SweepPoint(
+            config=config,
+            trace=baseline_trace(
+                ws_gb=ws_gb, n_hosts=n_hosts, shared_working_set=True, scale=scale
+            ),
         )
-        res = run_simulation(trace, config)
+        for n_hosts in sweep
+    ]
+    outcome = run_sweep_points(points, workers=workers)
+    for n_hosts, res in zip(sweep, outcome.results):
         result.add_row(
             hosts=n_hosts,
             inval_pct=100.0 * res.invalidation_fraction,

@@ -19,7 +19,6 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.core.architectures import Architecture
-from repro.core.simulator import run_simulation
 from repro.experiments.common import (
     DEFAULT_SCALE,
     ExperimentResult,
@@ -27,11 +26,14 @@ from repro.experiments.common import (
     baseline_trace,
 )
 from repro.experiments.figure3 import FAST_WS_SWEEP, FULL_WS_SWEEP
+from repro.sweep import SweepPoint, run_sweep_points
 
 
 def run(
+    *,
     scale: int = DEFAULT_SCALE,
     fast: bool = False,
+    workers: Optional[int] = None,
     ws_sweep: Optional[Sequence[float]] = None,
 ) -> ExperimentResult:
     sweep = ws_sweep or (FAST_WS_SWEEP if fast else FULL_WS_SWEEP)
@@ -56,12 +58,20 @@ def run(
             "(flash writes)."
         ),
     )
+    archs = (Architecture.NAIVE, Architecture.UNIFIED, Architecture.EXCLUSIVE)
+    points = [
+        SweepPoint(
+            config=baseline_config(scale=scale).with_architecture(arch),
+            trace=baseline_trace(ws_gb=ws_gb, scale=scale),
+        )
+        for ws_gb in sweep
+        for arch in archs
+    ]
+    results = iter(run_sweep_points(points, workers=workers).results)
     for ws_gb in sweep:
-        trace = baseline_trace(ws_gb=ws_gb, scale=scale)
         row = {"ws_gb": ws_gb}
-        for arch in (Architecture.NAIVE, Architecture.UNIFIED, Architecture.EXCLUSIVE):
-            config = baseline_config(scale=scale).with_architecture(arch)
-            res = run_simulation(trace, config)
+        for arch in archs:
+            res = next(results)
             row["%s_read_us" % arch.value] = res.read_latency_us
             row["%s_write_us" % arch.value] = res.write_latency_us
             if arch in (Architecture.NAIVE, Architecture.EXCLUSIVE):

@@ -25,21 +25,23 @@ from typing import Optional, Sequence
 
 from repro._units import US
 from repro.core.restart import RestartSpec
-from repro.core.simulator import run_simulation
 from repro.experiments.common import (
     DEFAULT_SCALE,
     ExperimentResult,
     baseline_config,
     baseline_trace,
 )
+from repro.sweep import SweepPoint, run_sweep_points
 
 FULL_SCAN_US = (0, 1, 10, 50, 200, 1000)
 FAST_SCAN_US = (0, 10, 200)
 
 
 def run(
+    *,
     scale: int = DEFAULT_SCALE,
     fast: bool = False,
+    workers: Optional[int] = None,
     scan_us_sweep: Optional[Sequence[int]] = None,
     ws_gb: float = 60.0,
 ) -> ExperimentResult:
@@ -56,18 +58,22 @@ def run(
         ),
     )
 
-    volatile = run_simulation(trace, config, restart=RestartSpec.crash_volatile())
-    result.add_row(
-        restart="volatile crash",
-        read_us=volatile.read_latency_us,
-        write_us=volatile.write_latency_us,
-        filer_reads=volatile.filer_reads,
+    points = [
+        SweepPoint(config=config, trace=trace, restart=RestartSpec.crash_volatile())
+    ]
+    points.extend(
+        SweepPoint(
+            config=config,
+            trace=trace,
+            restart=RestartSpec.recover_persistent(scan_ns_per_block=scan_us * US),
+        )
+        for scan_us in sweep
     )
-    for scan_us in sweep:
-        spec = RestartSpec.recover_persistent(scan_ns_per_block=scan_us * US)
-        res = run_simulation(trace, config, restart=spec)
+    outcome = run_sweep_points(points, workers=workers)
+    labels = ["volatile crash"] + ["persistent scan=%dus" % scan_us for scan_us in sweep]
+    for label, res in zip(labels, outcome.results):
         result.add_row(
-            restart="persistent scan=%dus" % scan_us,
+            restart=label,
             read_us=res.read_latency_us,
             write_us=res.write_latency_us,
             filer_reads=res.filer_reads,

@@ -14,18 +14,20 @@ from typing import Optional
 
 from repro._units import MS, US
 from repro.core.restart import RestartSpec
-from repro.core.simulator import run_simulation
 from repro.experiments.common import (
     DEFAULT_SCALE,
     ExperimentResult,
     baseline_config,
     baseline_trace,
 )
+from repro.sweep import SweepPoint, run_sweep_points
 
 
 def run(
+    *,
     scale: int = DEFAULT_SCALE,
     fast: bool = False,
+    workers: Optional[int] = None,
     ws_gb: float = 60.0,
     scan_us_per_block: int = 20,
     bucket_ms: Optional[float] = None,
@@ -37,21 +39,23 @@ def run(
         bucket_ms = 40.0 if fast else 20.0
     bucket_ns = int(bucket_ms * MS)
 
-    runs = {
-        "cold": run_simulation(
-            trace,
-            config,
+    points = [
+        SweepPoint(
+            config=config,
+            trace=trace,
             restart=RestartSpec.crash_volatile(),
             timeline_bucket_ns=bucket_ns,
         ),
-        "recovering": run_simulation(
-            trace,
-            config,
+        SweepPoint(
+            config=config,
+            trace=trace,
             restart=RestartSpec.recover_persistent(scan_us_per_block * US),
             timeline_bucket_ns=bucket_ns,
         ),
-        "warm": run_simulation(trace, config, timeline_bucket_ns=bucket_ns),
-    }
+        SweepPoint(config=config, trace=trace, timeline_bucket_ns=bucket_ns),
+    ]
+    outcome = run_sweep_points(points, workers=workers)
+    runs = dict(zip(("cold", "recovering", "warm"), outcome.results))
 
     result = ExperimentResult(
         experiment="recovery_timeline",

@@ -15,8 +15,8 @@ from __future__ import annotations
 from typing import Optional
 
 from repro._units import MB
-from repro.core.simulator import run_simulation
 from repro.experiments.common import DEFAULT_SCALE, ExperimentResult, baseline_config
+from repro.sweep import SweepPoint, run_sweep_points
 from repro.workloads import (
     WorkloadSpec,
     data_center_mixed,
@@ -27,8 +27,10 @@ from repro.workloads import (
 
 
 def run(
+    *,
     scale: int = DEFAULT_SCALE,
     fast: bool = False,
+    workers: Optional[int] = None,
     volume_mb: Optional[int] = None,
 ) -> ExperimentResult:
     if volume_mb is None:
@@ -59,9 +61,15 @@ def run(
     )
     with_flash = baseline_config(scale=scale)
     without = baseline_config(flash_gb=0.0, scale=scale)
-    for name, trace in scenarios.items():
-        flash_res = run_simulation(trace, with_flash)
-        plain_res = run_simulation(trace, without)
+    points = [
+        SweepPoint(config=config, trace=trace)
+        for trace in scenarios.values()
+        for config in (with_flash, without)
+    ]
+    results = iter(run_sweep_points(points, workers=workers).results)
+    for name in scenarios:
+        flash_res = next(results)
+        plain_res = next(results)
         hit_rate = flash_res.hit_rate("flash") or 0.0
         result.add_row(
             scenario=name,

@@ -17,21 +17,23 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.core.simulator import run_simulation
 from repro.experiments.common import (
     DEFAULT_SCALE,
     ExperimentResult,
     baseline_config,
     baseline_trace,
 )
+from repro.sweep import SweepPoint, run_sweep_points
 
 FULL_FLASH_SWEEP = (8.0, 16.0, 32.0, 48.0, 64.0, 96.0, 128.0, 192.0)
 FAST_FLASH_SWEEP = (8.0, 32.0, 64.0, 128.0)
 
 
 def run(
+    *,
     scale: int = DEFAULT_SCALE,
     fast: bool = False,
+    workers: Optional[int] = None,
     flash_sweep_gb: Optional[Sequence[float]] = None,
 ) -> ExperimentResult:
     sweep = flash_sweep_gb or (FAST_FLASH_SWEEP if fast else FULL_FLASH_SWEEP)
@@ -57,11 +59,18 @@ def run(
         "60": baseline_trace(ws_gb=60.0, scale=scale),
         "80": baseline_trace(ws_gb=80.0, scale=scale),
     }
+    points = [
+        SweepPoint(
+            config=baseline_config(flash_gb=flash_gb, scale=scale), trace=trace
+        )
+        for flash_gb in sweep
+        for trace in traces.values()
+    ]
+    results = iter(run_sweep_points(points, workers=workers).results)
     for flash_gb in sweep:
         row = {"flash_gb": flash_gb}
-        for label, trace in traces.items():
-            config = baseline_config(flash_gb=flash_gb, scale=scale)
-            res = run_simulation(trace, config)
+        for label in traces:
+            res = next(results)
             hit_rate = res.hit_rate("flash") or 0.0
             row["read%s_us" % label] = res.read_latency_us
             row["hit%s_pct" % label] = 100.0 * hit_rate

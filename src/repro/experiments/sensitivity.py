@@ -12,8 +12,6 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro._units import GB
-from repro.core.simulator import run_simulation
 from repro.experiments.common import (
     DEFAULT_SCALE,
     ExperimentResult,
@@ -22,6 +20,7 @@ from repro.experiments.common import (
     shared_fs_model,
 )
 from repro.fsmodel.impressions import ImpressionsConfig
+from repro.sweep import SweepPoint, run_sweep_points
 from repro.tracegen.config import TraceGenConfig
 from repro.tracegen.generator import generate_trace
 
@@ -32,8 +31,10 @@ FAST_THREAD_COUNTS = (2, 16)
 
 
 def run(
+    *,
     scale: int = DEFAULT_SCALE,
     fast: bool = False,
+    workers: Optional[int] = None,
     ws_fractions: Optional[Sequence[float]] = None,
     thread_counts: Optional[Sequence[int]] = None,
     ws_gb: float = 60.0,
@@ -61,30 +62,35 @@ def run(
     )
     with_flash = baseline_config(scale=scale)
     without = baseline_config(flash_gb=0.0, scale=scale)
-    for fraction in fractions:
-        for n_threads in threads:
-            trace = generate_trace(
-                TraceGenConfig(
-                    fs=ImpressionsConfig(total_bytes=model.total_bytes),
-                    working_set_bytes=scaled_gb(ws_gb, scale),
-                    threads_per_host=n_threads,
-                    ws_fraction=fraction,
-                    seed=42,
-                ),
-                model=model,
-            )
-            flash_res = run_simulation(trace, with_flash)
-            plain_res = run_simulation(trace, without)
-            result.add_row(
+    cells = [(fraction, n_threads) for fraction in fractions for n_threads in threads]
+    sweep_points = []
+    for fraction, n_threads in cells:
+        trace = generate_trace(
+            TraceGenConfig(
+                fs=ImpressionsConfig(total_bytes=model.total_bytes),
+                working_set_bytes=scaled_gb(ws_gb, scale),
+                threads_per_host=n_threads,
                 ws_fraction=fraction,
-                threads=n_threads,
-                flash_read_us=flash_res.read_latency_us,
-                noflash_read_us=plain_res.read_latency_us,
-                flash_win=(
-                    plain_res.read_latency_us / flash_res.read_latency_us
-                    if flash_res.read_latency_us
-                    else 0.0
-                ),
-                flash_write_us=flash_res.write_latency_us,
-            )
+                seed=42,
+            ),
+            model=model,
+        )
+        sweep_points.append(SweepPoint(config=with_flash, trace=trace))
+        sweep_points.append(SweepPoint(config=without, trace=trace))
+    results = iter(run_sweep_points(sweep_points, workers=workers).results)
+    for fraction, n_threads in cells:
+        flash_res = next(results)
+        plain_res = next(results)
+        result.add_row(
+            ws_fraction=fraction,
+            threads=n_threads,
+            flash_read_us=flash_res.read_latency_us,
+            noflash_read_us=plain_res.read_latency_us,
+            flash_win=(
+                plain_res.read_latency_us / flash_res.read_latency_us
+                if flash_res.read_latency_us
+                else 0.0
+            ),
+            flash_write_us=flash_res.write_latency_us,
+        )
     return result

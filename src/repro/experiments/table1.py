@@ -7,12 +7,17 @@ value to the paper's numbers.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.core.config import TimingModel
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import DEFAULT_SCALE, ExperimentResult
 
 
-def run(scale: int = 0, fast: bool = False) -> ExperimentResult:
-    """Render Table 1 (scale/fast accepted for harness uniformity)."""
+def run(
+    *, scale: int = DEFAULT_SCALE, fast: bool = False, workers: Optional[int] = None
+) -> ExperimentResult:
+    """Render Table 1 (all options accepted for harness uniformity)."""
+    del scale, fast, workers
     timing = TimingModel.paper_default()
     result = ExperimentResult(
         experiment="table1",

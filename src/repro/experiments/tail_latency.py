@@ -15,20 +15,22 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.core.simulator import run_simulation
 from repro.experiments.common import (
     DEFAULT_SCALE,
     ExperimentResult,
     baseline_config,
     baseline_trace,
 )
+from repro.sweep import run_sweep
 
 FLASH_SIZES_GB = (0.0, 16.0, 32.0, 64.0, 128.0)
 
 
 def run(
+    *,
     scale: int = DEFAULT_SCALE,
     fast: bool = False,
+    workers: Optional[int] = None,
     flash_sizes_gb: Optional[Sequence[float]] = None,
     ws_gb: float = 60.0,
 ) -> ExperimentResult:
@@ -46,9 +48,8 @@ def run(
             "cache fixes."
         ),
     )
-    for flash_gb in sizes:
-        config = baseline_config(flash_gb=flash_gb, scale=scale)
-        res = run_simulation(trace, config)
+    configs = [baseline_config(flash_gb=flash_gb, scale=scale) for flash_gb in sizes]
+    for flash_gb, res in zip(sizes, run_sweep(trace, configs, workers=workers)):
         hit_rate = res.hit_rate("flash")
         result.add_row(
             flash_gb=flash_gb,

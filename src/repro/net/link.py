@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, Optional
 
-from repro._units import NS, US
+from repro._units import NS
 from repro.engine.resources import Resource
 from repro.engine.simulation import Simulator
 from repro.errors import ConfigError

@@ -1,0 +1,569 @@
+"""Parallel sweep engine: run many independent simulation points at once.
+
+The paper is a design-space study — 7x7 policy grids, size sweeps,
+sensitivity scans — and every one of its figures is a *batch* of
+independent ``(trace, config)`` simulation points.  This module turns
+that batch into a first-class object:
+
+* :func:`run_sweep` — the common case: one trace, many configurations::
+
+      from repro import SimConfig, run_sweep
+      results = run_sweep(trace, configs, workers=4)
+
+* :func:`run_sweep_points` — the general engine: heterogeneous
+  :class:`SweepPoint`\\ s (each with its own trace and per-run options
+  such as ``cold_start`` or ``restart``), returning a
+  :class:`SweepOutcome` with per-point wall-time reports.
+
+**Execution model.**  Points fan out over a process pool
+(``concurrent.futures.ProcessPoolExecutor``).  Tasks are spawn-safe:
+what crosses the process boundary is a *picklable* ``SimConfig`` plus a
+**trace path**, never a live simulator object — in-memory traces are
+spooled to disk once per unique trace and workers memoize loads by
+path.  Every simulation point is fully deterministic given its inputs
+(per-run seeds live in ``SimConfig`` / the trace), so parallel and
+serial execution produce bit-identical results; outputs are merged back
+in submission order.
+
+Execution falls back to in-process serial replay when ``workers <= 1``,
+when there is at most one uncached point, or when the platform cannot
+provide a process pool at all.
+
+**Result caching.**  With ``cache_dir`` set (or the
+``REPRO_SWEEP_CACHE`` environment variable), each point's
+:class:`~repro.core.results.SimulationResults` is memoized on disk
+under a content fingerprint of ``(trace, config, per-run options,
+package version)``.  A repeated sweep — the normal workflow while
+iterating on an experiment's reporting — touches zero simulations.
+
+**Progress.**  ``progress`` receives one :class:`PointReport` per
+finished point (cache hits included), carrying the point's label,
+wall-clock seconds, simulated nanoseconds, and whether it was served
+from cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import struct
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.config import SimConfig
+from repro.core.restart import RestartSpec
+from repro.core.results import SimulationResults
+from repro.core.simulator import run_simulation
+from repro.errors import ConfigError
+from repro.traces.records import Trace
+
+__all__ = [
+    "SweepPoint",
+    "PointReport",
+    "SweepOutcome",
+    "run_sweep",
+    "run_sweep_points",
+    "default_workers",
+    "set_default_workers",
+    "default_cache_dir",
+    "set_default_cache_dir",
+]
+
+TraceLike = Union[Trace, str, Path]
+
+#: Environment knobs (both overridable per call and via the setters).
+WORKERS_ENV = "REPRO_SWEEP_WORKERS"
+CACHE_ENV = "REPRO_SWEEP_CACHE"
+
+_default_workers: Optional[int] = None
+_default_cache_dir: Optional[Path] = None
+
+
+# --------------------------------------------------------------------------
+# Public data types
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class SweepPoint:
+    """One independent simulation point of a sweep.
+
+    ``trace`` may be an in-memory :class:`Trace` or a path to a saved
+    trace file (text, binary, or pickle spool).  The remaining fields
+    mirror :func:`repro.run_simulation`'s keyword-only options.
+    """
+
+    config: SimConfig
+    trace: TraceLike
+    n_hosts: Optional[int] = None
+    cold_start: bool = False
+    restart: Optional[RestartSpec] = None
+    timeline_bucket_ns: Optional[int] = None
+    #: free-form tag carried into this point's :class:`PointReport`
+    label: str = ""
+
+    def run_options(self) -> Dict[str, object]:
+        """The non-default per-run keyword options of this point."""
+        options: Dict[str, object] = {}
+        if self.n_hosts is not None:
+            options["n_hosts"] = self.n_hosts
+        if self.cold_start:
+            options["cold_start"] = True
+        if self.restart is not None:
+            options["restart"] = self.restart
+        if self.timeline_bucket_ns is not None:
+            options["timeline_bucket_ns"] = self.timeline_bucket_ns
+        return options
+
+
+@dataclass(frozen=True)
+class PointReport:
+    """Per-point execution metrics, delivered to ``progress`` callbacks."""
+
+    #: submission-order index of the point
+    index: int
+    #: points finished so far (including this one) / total points
+    completed: int
+    total: int
+    #: the point's ``label`` (or the config description when unset)
+    label: str
+    #: True when the result came from the on-disk cache
+    cached: bool
+    #: wall-clock seconds spent simulating (0.0 for cache hits)
+    wall_seconds: float
+    #: simulated nanoseconds covered by the run
+    simulated_ns: int
+
+
+@dataclass
+class SweepOutcome:
+    """Everything a sweep produced: results plus per-point reports.
+
+    ``results`` and ``reports`` are both in submission order, so
+    ``zip(points, outcome.results)`` pairs every point with its result
+    regardless of the order points finished in.
+    """
+
+    results: List[SimulationResults] = field(default_factory=list)
+    reports: List[PointReport] = field(default_factory=list)
+
+    @property
+    def cached_points(self) -> int:
+        return sum(1 for report in self.reports if report.cached)
+
+    @property
+    def simulated_points(self) -> int:
+        return sum(1 for report in self.reports if not report.cached)
+
+    @property
+    def wall_seconds(self) -> float:
+        """Total simulation wall-time across points (sum, not elapsed)."""
+        return sum(report.wall_seconds for report in self.reports)
+
+
+# --------------------------------------------------------------------------
+# Defaults (wired to the CLI's --workers/--cache flags)
+# --------------------------------------------------------------------------
+
+
+def default_workers() -> int:
+    """The worker count used when ``workers=None``: the value set via
+    :func:`set_default_workers`, else ``REPRO_SWEEP_WORKERS``, else 1
+    (serial)."""
+    if _default_workers is not None:
+        return _default_workers
+    env = os.environ.get(WORKERS_ENV, "").strip()
+    if env:
+        try:
+            return _normalize_workers(int(env))
+        except ValueError:
+            raise ConfigError("%s must be an integer, got %r" % (WORKERS_ENV, env))
+    return 1
+
+
+def set_default_workers(workers: Optional[int]) -> None:
+    """Set the process-wide default worker count (``None`` resets)."""
+    global _default_workers
+    _default_workers = None if workers is None else _normalize_workers(workers)
+
+
+def default_cache_dir() -> Optional[Path]:
+    """The cache directory used when ``cache_dir=None``: the value set
+    via :func:`set_default_cache_dir`, else ``REPRO_SWEEP_CACHE``, else
+    no caching."""
+    if _default_cache_dir is not None:
+        return _default_cache_dir
+    env = os.environ.get(CACHE_ENV, "").strip()
+    return Path(env) if env else None
+
+
+def set_default_cache_dir(cache_dir: Union[None, str, Path]) -> None:
+    """Set the process-wide default result cache directory (``None``
+    resets to the environment/default behavior)."""
+    global _default_cache_dir
+    _default_cache_dir = None if cache_dir is None else Path(cache_dir)
+
+
+def _normalize_workers(workers: int) -> int:
+    """0 means "all cores"; negative counts are a configuration error."""
+    if workers < 0:
+        raise ConfigError("workers must be >= 0, got %d" % workers)
+    if workers == 0:
+        return os.cpu_count() or 1
+    return workers
+
+
+# --------------------------------------------------------------------------
+# Fingerprinting
+# --------------------------------------------------------------------------
+
+_RECORD_PACK = struct.Struct("<BIIQQI")
+
+
+def trace_fingerprint(trace: Trace) -> str:
+    """A stable content hash of a trace (records, geometry, warmup).
+
+    Memoized on the trace object: experiment sweeps reuse one trace
+    across dozens of points, and hashing a large trace repeatedly would
+    rival the simulation cost.
+    """
+    cached = trace.__dict__.get("_sweep_fingerprint")
+    if cached is not None:
+        return cached
+    digest = hashlib.sha256()
+    digest.update(b"repro-trace-v1")
+    digest.update(repr(sorted(trace.metadata.items())).encode("utf-8"))
+    digest.update(struct.pack("<QQ", len(trace.records), trace.warmup_records))
+    digest.update(struct.pack("<%dQ" % len(trace.file_blocks), *trace.file_blocks)
+                  if trace.file_blocks else b"")
+    pack = _RECORD_PACK.pack
+    for record in trace.records:
+        digest.update(
+            pack(
+                record.is_write,
+                record.host,
+                record.thread,
+                record.file_id,
+                record.offset,
+                record.nblocks,
+            )
+        )
+    fingerprint = digest.hexdigest()
+    trace.__dict__["_sweep_fingerprint"] = fingerprint
+    return fingerprint
+
+
+def _point_fingerprint(trace_print: str, point: SweepPoint) -> str:
+    """Cache key of one point: trace content + config + run options.
+
+    The config and options are hashed through their pickle serialization
+    — deterministic for the frozen dataclasses involved — and salted
+    with the package version so result-format changes invalidate stale
+    caches instead of unpickling into the wrong shape.
+    """
+    from repro import __version__  # local import: repro re-exports this module
+
+    payload = pickle.dumps(
+        (__version__, trace_print, point.config, sorted(point.run_options().items())),
+        protocol=4,
+    )
+    return hashlib.sha256(payload).hexdigest()
+
+
+# --------------------------------------------------------------------------
+# Worker side
+# --------------------------------------------------------------------------
+
+#: Per-worker memo of loaded traces, keyed by spool path.  Sweeps ship
+#: at most a handful of distinct traces, so a tiny cap suffices.
+_WORKER_TRACE_CACHE: Dict[str, Trace] = {}
+_WORKER_TRACE_CACHE_MAX = 8
+
+
+def _load_trace_path(path: str) -> Trace:
+    """Load a trace for simulation, memoized per worker process."""
+    trace = _WORKER_TRACE_CACHE.get(path)
+    if trace is None:
+        if path.endswith(".pkl"):
+            with open(path, "rb") as handle:
+                trace = pickle.load(handle)
+        else:
+            from repro.traces.format import load_trace
+
+            trace = load_trace(path)
+        if len(_WORKER_TRACE_CACHE) >= _WORKER_TRACE_CACHE_MAX:
+            _WORKER_TRACE_CACHE.pop(next(iter(_WORKER_TRACE_CACHE)))
+        _WORKER_TRACE_CACHE[path] = trace
+    return trace
+
+
+def _run_point_task(
+    task: Tuple[int, str, SimConfig, Tuple[Tuple[str, object], ...]],
+) -> Tuple[int, SimulationResults, float]:
+    """Execute one spooled point (the function a pool worker runs)."""
+    index, trace_path, config, options = task
+    trace = _load_trace_path(trace_path)
+    started = time.perf_counter()
+    results = run_simulation(trace, config, **dict(options))
+    return index, results, time.perf_counter() - started
+
+
+# --------------------------------------------------------------------------
+# The engine
+# --------------------------------------------------------------------------
+
+
+ProgressFn = Callable[[PointReport], None]
+
+
+def run_sweep_points(
+    points: Sequence[SweepPoint],
+    *,
+    workers: Optional[int] = None,
+    cache_dir: Union[None, str, Path] = None,
+    progress: Optional[ProgressFn] = None,
+) -> SweepOutcome:
+    """Run a batch of heterogeneous sweep points; see the module docs.
+
+    Returns a :class:`SweepOutcome` whose ``results`` are in submission
+    order and identical to running each point serially.
+    """
+    points = list(points)
+    n_workers = _normalize_workers(workers) if workers is not None else default_workers()
+    cache_path = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+    if cache_path is not None and cache_path.exists() and not cache_path.is_dir():
+        raise ConfigError("cache path %s exists and is not a directory" % cache_path)
+
+    results: List[Optional[SimulationResults]] = [None] * len(points)
+    reports: List[Optional[PointReport]] = [None] * len(points)
+    completed = 0
+
+    def finish(
+        index: int, result: SimulationResults, cached: bool, wall: float
+    ) -> None:
+        nonlocal completed
+        completed += 1
+        report = PointReport(
+            index=index,
+            completed=completed,
+            total=len(points),
+            label=points[index].label or result.config_description,
+            cached=cached,
+            wall_seconds=wall,
+            simulated_ns=result.simulated_ns,
+        )
+        results[index] = result
+        reports[index] = report
+        if progress is not None:
+            progress(report)
+
+    # --- serve what the cache already has -----------------------------
+    pending: List[Tuple[int, str]] = []  # (index, cache key)
+    for index, point in enumerate(points):
+        key = ""
+        if cache_path is not None:
+            trace_print = (
+                trace_fingerprint(point.trace)
+                if isinstance(point.trace, Trace)
+                else _file_fingerprint(Path(point.trace))
+            )
+            key = _point_fingerprint(trace_print, point)
+            cached_result = _cache_load(cache_path, key)
+            if cached_result is not None:
+                finish(index, cached_result, cached=True, wall=0.0)
+                continue
+        pending.append((index, key))
+
+    # --- execute the misses -------------------------------------------
+    if pending:
+        if n_workers > 1 and len(pending) > 1:
+            executed = _execute_parallel(points, pending, n_workers, cache_path)
+        else:
+            executed = _execute_serial(points, pending)
+        for (index, key), (result, wall) in zip(pending, executed):
+            if cache_path is not None:
+                _cache_store(cache_path, key, result)
+            finish(index, result, cached=False, wall=wall)
+
+    return SweepOutcome(results=list(results), reports=list(reports))
+
+
+def run_sweep(
+    trace: TraceLike,
+    configs: Sequence[SimConfig],
+    *,
+    workers: Optional[int] = None,
+    cache_dir: Union[None, str, Path] = None,
+    progress: Optional[ProgressFn] = None,
+) -> List[SimulationResults]:
+    """Replay ``trace`` under every config, fanning out across cores.
+
+    The batch counterpart of :func:`repro.run_simulation`: results come
+    back in ``configs`` order and are bit-identical to a serial loop —
+    each point's determinism lives in its own per-run RNG streams, so
+    execution order cannot leak between points.
+
+    ``workers``: process count (``None`` = the module default, normally
+    1 = in-process; ``0`` = all cores).  ``cache_dir`` memoizes results
+    on disk keyed by ``(trace, config, options)`` content.  ``progress``
+    receives a :class:`PointReport` per finished point.
+    """
+    outcome = run_sweep_points(
+        [SweepPoint(config=config, trace=trace) for config in configs],
+        workers=workers,
+        cache_dir=cache_dir,
+        progress=progress,
+    )
+    return outcome.results
+
+
+def _execute_serial(
+    points: Sequence[SweepPoint], pending: Sequence[Tuple[int, str]]
+) -> List[Tuple[SimulationResults, float]]:
+    """In-process execution: the fallback and the ``workers<=1`` path."""
+    executed: List[Tuple[SimulationResults, float]] = []
+    for index, _key in pending:
+        point = points[index]
+        trace = point.trace
+        if not isinstance(trace, Trace):
+            trace = _load_trace_path(str(trace))
+        started = time.perf_counter()
+        result = run_simulation(trace, point.config, **point.run_options())
+        executed.append((result, time.perf_counter() - started))
+    return executed
+
+
+def _execute_parallel(
+    points: Sequence[SweepPoint],
+    pending: Sequence[Tuple[int, str]],
+    n_workers: int,
+    cache_path: Optional[Path],
+) -> List[Tuple[SimulationResults, float]]:
+    """Fan pending points over a process pool; fall back to serial when
+    the platform can't give us one (no fork/spawn, sandboxed, ...)."""
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+    except ImportError:  # pragma: no cover - exotic platforms only
+        return _execute_serial(points, pending)
+
+    spool_dir, created_spool = _spool_directory(cache_path)
+    try:
+        tasks = []
+        for position, (index, _key) in enumerate(pending):
+            point = points[index]
+            trace_path = _spool_trace(point.trace, spool_dir)
+            tasks.append(
+                (position, trace_path, point.config, tuple(sorted(point.run_options().items())))
+            )
+        try:
+            pool = ProcessPoolExecutor(max_workers=min(n_workers, len(pending)))
+        except (OSError, ValueError, NotImplementedError):
+            # The platform lacks working process support; degrade quietly.
+            return _execute_serial(points, pending)
+        executed: List[Optional[Tuple[SimulationResults, float]]] = [None] * len(pending)
+        with pool:
+            for position, result, wall in pool.map(
+                _run_point_task, tasks, chunksize=_chunksize(len(pending), n_workers)
+            ):
+                executed[position] = (result, wall)
+        return [entry for entry in executed if entry is not None]
+    finally:
+        if created_spool:
+            import shutil
+
+            shutil.rmtree(spool_dir, ignore_errors=True)
+
+
+def _chunksize(n_tasks: int, n_workers: int) -> int:
+    """Batch tasks to amortize IPC without starving the pool's tail."""
+    return max(1, n_tasks // (n_workers * 4))
+
+
+# --------------------------------------------------------------------------
+# Trace spooling (what actually crosses the process boundary is a path)
+# --------------------------------------------------------------------------
+
+
+def _spool_directory(cache_path: Optional[Path]) -> Tuple[Path, bool]:
+    """Where to spool in-memory traces: inside the result cache when one
+    is configured (so spools are reused across runs), else a fresh
+    temporary directory removed after the sweep."""
+    if cache_path is not None:
+        spool = cache_path / "traces"
+        spool.mkdir(parents=True, exist_ok=True)
+        return spool, False
+    return Path(tempfile.mkdtemp(prefix="repro-sweep-")), True
+
+
+def _spool_trace(trace: TraceLike, spool_dir: Path) -> str:
+    """Materialize a trace as a file and return its path.
+
+    Pickle is used rather than the text/binary trace formats because the
+    spool must be a *lossless* image of the in-memory object — bit-equal
+    parallel/serial results depend on workers replaying exactly what the
+    caller built.
+    """
+    if not isinstance(trace, Trace):
+        return str(trace)
+    path = spool_dir / ("%s.pkl" % trace_fingerprint(trace))
+    if not path.exists():
+        _atomic_write(path, pickle.dumps(trace, protocol=4))
+    return str(path)
+
+
+# --------------------------------------------------------------------------
+# On-disk result cache
+# --------------------------------------------------------------------------
+
+
+def _cache_entry(cache_path: Path, key: str) -> Path:
+    return cache_path / ("%s.result.pkl" % key)
+
+
+def _cache_load(cache_path: Path, key: str) -> Optional[SimulationResults]:
+    entry = _cache_entry(cache_path, key)
+    try:
+        with open(entry, "rb") as handle:
+            return pickle.load(handle)
+    except FileNotFoundError:
+        return None
+    except (OSError, pickle.PickleError, EOFError, AttributeError):
+        # A torn or stale entry is a miss, not an error.
+        return None
+
+
+def _cache_store(cache_path: Path, key: str, result: SimulationResults) -> None:
+    cache_path.mkdir(parents=True, exist_ok=True)
+    _atomic_write(_cache_entry(cache_path, key), pickle.dumps(result, protocol=4))
+
+
+def _atomic_write(path: Path, payload: bytes) -> None:
+    """Write-then-rename so concurrent sweeps never see torn entries."""
+    handle = tempfile.NamedTemporaryFile(
+        dir=str(path.parent), prefix=path.name, suffix=".tmp", delete=False
+    )
+    try:
+        handle.write(payload)
+        handle.close()
+        os.replace(handle.name, path)
+    except BaseException:
+        handle.close()
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+        raise
+
+
+def _file_fingerprint(path: Path) -> str:
+    """Content hash of an on-disk trace file (for cache keying)."""
+    digest = hashlib.sha256()
+    digest.update(b"repro-trace-file-v1")
+    with open(path, "rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()

@@ -2,13 +2,12 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Dict, List
 
 from repro.core.config import SimConfig
 from repro.core.policies import WritebackPolicy
 from repro.core.simulator import run_simulation
-from repro.filer.timing import FilerTiming
 from repro.traces.records import Trace
 from repro.validation.reference import replay_reference
 
@@ -90,15 +89,11 @@ def cross_check(
     """
     from repro.core.architectures import Architecture
 
-    normalized = replace(
-        config,
+    normalized = config.with_overrides(
         architecture=Architecture.NAIVE,
         ram_policy=WritebackPolicy.asynchronous(),
         flash_policy=WritebackPolicy.asynchronous(),
-        timing=replace(
-            config.timing,
-            filer=replace(config.timing.filer, fast_read_rate=1.0),
-        ),
+        timing=config.timing.with_prefetch_rate(1.0),
     )
     simulated = run_simulation(trace, normalized)
     reference = replay_reference(trace, normalized)

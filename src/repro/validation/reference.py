@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import List
 
 from repro.core.config import SimConfig
 from repro.traces.records import Trace

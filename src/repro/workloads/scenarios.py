@@ -9,7 +9,7 @@ paper's trace model, so any scenario drops into any experiment.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 from repro._units import KB, MB, blocks_for_bytes
 from repro.engine.rng import RngStreams

@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import List, Sequence, Tuple, Union
 
-from repro._units import KB, MB
+from repro._units import MB
 from repro.core.config import SimConfig, TimingModel
 from repro.core.policies import WritebackPolicy
 from repro.filer.timing import FilerTiming

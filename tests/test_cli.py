@@ -76,8 +76,12 @@ class TestExperimentsRunner:
 
     def test_unknown_experiment(self, capsys):
         status = runner.main(["figure99"])
-        assert status == 1
-        assert "unknown experiment" in capsys.readouterr().err
+        assert status == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+        # The error names every valid choice.
+        for name in runner.EXPERIMENTS:
+            assert name in err
 
     def test_experiment_list_is_complete(self):
         assert len(runner.PAPER_EXPERIMENTS) == 13  # table1 + figures 1..12
@@ -92,6 +96,7 @@ class TestExperimentsRunner:
             "sensitivity",
             "section74",
             "consistency_traffic",
+            "ablations",
         }
 
     def test_chart_flag(self, capsys):
@@ -106,13 +111,73 @@ class TestExperimentsRunner:
         monkeypatch.setattr(
             runner,
             "run_one",
-            lambda name, scale, fast, chart=False: ("ran %s" % name, None),
+            lambda name, scale, fast, chart=False, workers=None: (
+                "ran %s" % name,
+                None,
+            ),
         )
         status = runner.main(["extensions"])
         assert status == 0
         out = capsys.readouterr().out
         for name in runner.EXTENSION_EXPERIMENTS:
             assert "ran %s" % name in out
+
+    def test_workers_flag_forwarded(self, capsys, monkeypatch):
+        seen = {}
+
+        def fake_run_one(name, scale, fast, chart=False, workers=None):
+            seen[name] = workers
+            return "ran %s" % name, None
+
+        monkeypatch.setattr(runner, "run_one", fake_run_one)
+        status = runner.main(["table1", "--workers", "3"])
+        assert status == 0
+        assert seen == {"table1": 3}
+
+    def test_cache_flag_sets_default_dir(self, tmp_path, capsys, monkeypatch):
+        from repro import sweep
+
+        monkeypatch.setattr(
+            runner,
+            "run_one",
+            lambda name, scale, fast, chart=False, workers=None: ("ok", None),
+        )
+        cache_dir = tmp_path / "sweep-cache"
+        previous = sweep.default_cache_dir()
+        try:
+            status = runner.main(["table1", "--cache", str(cache_dir)])
+            assert status == 0
+            assert str(sweep.default_cache_dir()) == str(cache_dir)
+        finally:
+            sweep.set_default_cache_dir(previous)
+
+
+class TestExperimentRegistry:
+    def test_get_known(self):
+        from repro import experiments
+
+        spec = experiments.get("figure4")
+        assert spec.name == "figure4"
+        assert spec.kind == "paper"
+        assert callable(spec.run)
+
+    def test_get_unknown_raises_config_error(self):
+        from repro import experiments
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="figure4"):
+            experiments.get("nope")
+
+    def test_available_kinds(self):
+        from repro import experiments
+
+        everything = experiments.available()
+        paper = experiments.available(kind="paper")
+        extensions = experiments.available(kind="extension")
+        assert set(paper).isdisjoint(extensions)
+        assert set(everything) == set(paper) | set(extensions)
+        with pytest.raises(Exception):
+            experiments.available(kind="bogus")
 
     def test_report_flag(self, tmp_path, capsys):
         report = tmp_path / "report.md"

@@ -101,7 +101,6 @@ class TestExtendedPolicies:
             WritebackPolicy(PolicyKind.DELAYED)
 
     def test_behavior_trickle_flushes_eventually(self):
-        from repro._units import KB
         from repro.core.machine import System
         from tests.helpers import tiny_config
         from tests.test_host_naive import timed

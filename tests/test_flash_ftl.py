@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import ConfigError, SimulationError
+from repro.errors import ConfigError
 from repro.flash.ftl import FTLConfig, PageMappedFTL
 
 

@@ -2,13 +2,12 @@
 
 import pytest
 
-from repro._units import KB, MB
+from repro._units import KB
 from repro.core.machine import System
 from repro.core.simulator import run_simulation
 from repro.engine.simulation import Simulator
 from repro.errors import ConfigError
 from repro.flash.ftl_device import FTLFlashDevice
-from repro.flash.timing import FlashTiming
 
 from tests.helpers import make_trace, tiny_config
 from tests.test_host_naive import timed

@@ -1,7 +1,5 @@
 """White-box tests of the exclusive (migration) architecture extension."""
 
-import pytest
-
 from repro._units import KB, MB
 from repro.core.architectures import Architecture
 from repro.core.machine import System
@@ -11,7 +9,6 @@ from repro.core.simulator import run_simulation
 from tests.helpers import (
     FILER_WRITE_PATH_NS,
     FLASH_READ_NS,
-    FLASH_WRITE_NS,
     MISS_READ_NOFLASH_NS,
     RAM_HIT_READ_NS,
     RAM_WRITE_NS,

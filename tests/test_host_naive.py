@@ -5,7 +5,6 @@ timing (prefetch rate 1.0 so every filer read is fast), asserting exact
 nanosecond latencies for every hit level and policy behavior.
 """
 
-import pytest
 
 from repro._units import KB
 from repro.core.machine import System

@@ -2,11 +2,10 @@
 
 import pytest
 
-from repro._units import KB, MB
 from repro.core.architectures import Architecture
 from repro.core.machine import System, _stores_of
 from repro.core.simulator import run_simulation
-from repro.traces.records import Trace, TraceOp, TraceRecord
+from repro.traces.records import Trace
 
 from tests.helpers import make_trace, tiny_config
 

@@ -17,7 +17,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro._units import KB
-from repro.cache.block import Medium
 from repro.core.architectures import Architecture
 from repro.core.machine import System
 from repro.core.policies import WritebackPolicy

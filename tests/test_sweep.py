@@ -1,0 +1,239 @@
+"""Tests for the parallel sweep engine (``repro.sweep``)."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro import sweep
+from repro._units import MB
+from repro.core.architectures import Architecture
+from repro.core.config import SimConfig
+from repro.core.simulator import run_simulation
+from repro.errors import ConfigError
+from repro.fsmodel.impressions import ImpressionsConfig
+from repro.sweep import (
+    SweepPoint,
+    run_sweep,
+    run_sweep_points,
+    trace_fingerprint,
+)
+from repro.tracegen.config import TraceGenConfig
+from repro.tracegen.generator import generate_trace
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    config = TraceGenConfig(
+        fs=ImpressionsConfig(total_bytes=48 * MB, max_file_bytes=4 * MB),
+        working_set_bytes=4 * MB,
+        seed=7,
+    )
+    return generate_trace(config)
+
+
+def small_grid():
+    """A miniature figure2-style grid: architectures x flash sizes."""
+    return [
+        SimConfig(ram_bytes=1 * MB, flash_bytes=flash_mb * MB, architecture=arch)
+        for arch in (Architecture.NAIVE, Architecture.UNIFIED)
+        for flash_mb in (2, 8)
+    ]
+
+
+class TestSerialParallelEquality:
+    def test_parallel_matches_serial_exactly(self, small_trace):
+        configs = small_grid()
+        serial = run_sweep(small_trace, configs, workers=1)
+        parallel = run_sweep(small_trace, configs, workers=2)
+        assert len(serial) == len(parallel) == len(configs)
+        for expected, actual in zip(serial, parallel):
+            assert expected.as_dict() == actual.as_dict()
+            assert expected.simulated_ns == actual.simulated_ns
+
+    def test_sweep_matches_direct_run_simulation(self, small_trace):
+        configs = small_grid()
+        swept = run_sweep(small_trace, configs, workers=2)
+        for config, result in zip(configs, swept):
+            direct = run_simulation(small_trace, config)
+            assert direct.as_dict() == result.as_dict()
+
+    def test_point_options_forwarded(self, small_trace):
+        config = small_grid()[0]
+        point = SweepPoint(config=config, trace=small_trace, cold_start=True)
+        outcome = run_sweep_points([point], workers=1)
+        direct = run_simulation(small_trace, config, cold_start=True)
+        assert outcome.results[0].as_dict() == direct.as_dict()
+
+
+class TestResultCache:
+    def test_second_run_touches_zero_simulations(
+        self, small_trace, tmp_path, monkeypatch
+    ):
+        configs = small_grid()
+        calls = {"n": 0}
+        real = sweep.run_simulation
+
+        def counting(trace, config, **kwargs):
+            calls["n"] += 1
+            return real(trace, config, **kwargs)
+
+        monkeypatch.setattr(sweep, "run_simulation", counting)
+        cache = tmp_path / "cache"
+
+        first = run_sweep(small_trace, configs, workers=1, cache_dir=cache)
+        assert calls["n"] == len(configs)
+
+        second = run_sweep(small_trace, configs, workers=1, cache_dir=cache)
+        assert calls["n"] == len(configs)  # all served from disk
+        for a, b in zip(first, second):
+            assert a.as_dict() == b.as_dict()
+
+    def test_cache_distinguishes_configs_and_options(
+        self, small_trace, tmp_path
+    ):
+        config = small_grid()[0]
+        cache = tmp_path / "cache"
+        warm = run_sweep_points(
+            [SweepPoint(config=config, trace=small_trace)], cache_dir=cache
+        )
+        cold = run_sweep_points(
+            [SweepPoint(config=config, trace=small_trace, cold_start=True)],
+            cache_dir=cache,
+        )
+        assert cold.reports[0].cached is False
+        assert (
+            cold.results[0].read_latency_us != warm.results[0].read_latency_us
+            or cold.results[0].as_dict() != warm.results[0].as_dict()
+        )
+
+    def test_torn_cache_entry_is_a_miss(self, small_trace, tmp_path):
+        config = small_grid()[0]
+        cache = tmp_path / "cache"
+        run_sweep(small_trace, [config], cache_dir=cache)
+        for entry in cache.glob("*.result.pkl"):
+            entry.write_bytes(b"torn")
+        outcome = run_sweep_points(
+            [SweepPoint(config=config, trace=small_trace)], cache_dir=cache
+        )
+        assert outcome.reports[0].cached is False
+
+    def test_progress_reports_cache_hits(self, small_trace, tmp_path):
+        configs = small_grid()
+        cache = tmp_path / "cache"
+        run_sweep(small_trace, configs, cache_dir=cache)
+        reports = []
+        run_sweep(small_trace, configs, cache_dir=cache, progress=reports.append)
+        assert len(reports) == len(configs)
+        assert all(report.cached for report in reports)
+        assert all(report.wall_seconds == 0.0 for report in reports)
+
+
+class TestFallbackAndDefaults:
+    def test_workers_1_never_builds_a_pool(self, small_trace, monkeypatch):
+        import concurrent.futures as futures
+
+        def explode(*args, **kwargs):
+            raise AssertionError("workers=1 must stay in-process")
+
+        monkeypatch.setattr(futures, "ProcessPoolExecutor", explode)
+        results = run_sweep(small_trace, small_grid(), workers=1)
+        assert len(results) == len(small_grid())
+
+    def test_pool_creation_failure_falls_back_to_serial(
+        self, small_trace, monkeypatch
+    ):
+        class Broken:
+            def __init__(self, *args, **kwargs):
+                raise OSError("no process support")
+
+        import concurrent.futures as futures
+
+        monkeypatch.setattr(futures, "ProcessPoolExecutor", Broken)
+        parallel = run_sweep(small_trace, small_grid(), workers=4)
+        serial = run_sweep(small_trace, small_grid(), workers=1)
+        for a, b in zip(parallel, serial):
+            assert a.as_dict() == b.as_dict()
+
+    def test_negative_workers_rejected(self, small_trace):
+        with pytest.raises(ConfigError):
+            run_sweep(small_trace, small_grid(), workers=-1)
+
+    def test_default_workers_setter(self):
+        try:
+            sweep.set_default_workers(3)
+            assert sweep.default_workers() == 3
+            sweep.set_default_workers(0)  # 0 = all cores
+            assert sweep.default_workers() >= 1
+        finally:
+            sweep.set_default_workers(None)
+
+    def test_workers_env_var(self, monkeypatch):
+        monkeypatch.setenv(sweep.WORKERS_ENV, "5")
+        assert sweep.default_workers() == 5
+        monkeypatch.setenv(sweep.WORKERS_ENV, "banana")
+        with pytest.raises(ConfigError):
+            sweep.default_workers()
+
+
+class TestProgress:
+    def test_one_report_per_point_in_any_mode(self, small_trace):
+        configs = small_grid()
+        for workers in (1, 2):
+            reports = []
+            run_sweep(small_trace, configs, workers=workers, progress=reports.append)
+            assert len(reports) == len(configs)
+            assert sorted(report.index for report in reports) == list(
+                range(len(configs))
+            )
+            assert [report.completed for report in reports] == list(
+                range(1, len(configs) + 1)
+            )
+            assert all(report.total == len(configs) for report in reports)
+            assert all(report.simulated_ns > 0 for report in reports)
+
+    def test_labels_carried_through(self, small_trace):
+        config = small_grid()[0]
+        reports = []
+        run_sweep_points(
+            [SweepPoint(config=config, trace=small_trace, label="pt-a")],
+            progress=reports.append,
+        )
+        assert reports[0].label == "pt-a"
+
+
+class TestFingerprints:
+    def test_trace_fingerprint_stable_across_pickle(self, small_trace):
+        clone = pickle.loads(pickle.dumps(small_trace))
+        clone.__dict__.pop("_sweep_fingerprint", None)
+        assert trace_fingerprint(clone) == trace_fingerprint(small_trace)
+
+    def test_different_traces_differ(self, small_trace):
+        other = generate_trace(
+            TraceGenConfig(
+                fs=ImpressionsConfig(total_bytes=48 * MB, max_file_bytes=4 * MB),
+                working_set_bytes=4 * MB,
+                seed=8,
+            )
+        )
+        assert trace_fingerprint(other) != trace_fingerprint(small_trace)
+
+
+class TestWithOverrides:
+    def test_returns_modified_copy(self):
+        base = SimConfig(ram_bytes=1 * MB, flash_bytes=4 * MB)
+        changed = base.with_overrides(persistent_flash=True)
+        assert changed.persistent_flash is True
+        assert base.persistent_flash is False
+        assert changed.ram_bytes == base.ram_bytes
+
+    def test_unknown_field_raises_config_error(self):
+        base = SimConfig(ram_bytes=1 * MB, flash_bytes=4 * MB)
+        with pytest.raises(ConfigError, match="no_such_field"):
+            base.with_overrides(no_such_field=1)
+
+    def test_validation_still_runs(self):
+        base = SimConfig(ram_bytes=1 * MB, flash_bytes=4 * MB)
+        with pytest.raises(ConfigError):
+            base.with_overrides(ram_bytes=-1)

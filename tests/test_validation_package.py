@@ -1,6 +1,5 @@
 """Tests for the repro.validation package (the §6 harness as a library)."""
 
-import pytest
 
 from repro._units import MB
 from repro.core.architectures import Architecture
