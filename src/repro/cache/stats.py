@@ -16,6 +16,7 @@ class CacheStats:
     """Hit/miss/eviction counters for one :class:`~repro.cache.store.BlockStore`."""
 
     __slots__ = (
+        "lookups",
         "hits",
         "misses",
         "insertions",
@@ -26,6 +27,7 @@ class CacheStats:
     )
 
     def __init__(self) -> None:
+        self.lookups = 0
         self.hits = 0
         self.misses = 0
         self.insertions = 0
@@ -36,6 +38,7 @@ class CacheStats:
 
     def reset_for_measurement(self) -> None:
         """Zero all counters (called at the warmup/measurement boundary)."""
+        self.lookups = 0
         self.hits = 0
         self.misses = 0
         self.insertions = 0
@@ -60,6 +63,7 @@ class CacheStats:
     def as_dict(self) -> Dict[str, float]:
         """Flatten to a plain dict for reporting."""
         return {
+            "lookups": self.lookups,
             "hits": self.hits,
             "misses": self.misses,
             "hit_rate": self.hit_rate,

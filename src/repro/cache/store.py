@@ -44,6 +44,11 @@ class BlockStore:
         self.name = name
         self._entries: Dict[int, BlockEntry] = {}
         self._dirty: Set[int] = set()
+        # Lifetime occupancy accounting, never reset at the warmup
+        # boundary (unlike ``stats``): the invariant checkers verify
+        # insertions - departures == occupancy over the store's life.
+        self.lifetime_insertions = 0
+        self.lifetime_departures = 0
         if isinstance(policy, str):
             policy = make_policy(policy, capacity_blocks)
         self._policy = policy
@@ -64,6 +69,7 @@ class BlockStore:
         order, modeling a reference.
         """
         entry = self._entries.get(block)
+        self.stats.lookups += 1
         if entry is None:
             self.stats.misses += 1
             return None
@@ -110,6 +116,7 @@ class BlockStore:
         if dirty:
             self._dirty.add(block)
         self.stats.insertions += 1
+        self.lifetime_insertions += 1
         return entry
 
     def pop_victim(
@@ -118,16 +125,23 @@ class BlockStore:
         """Remove and return the eviction victim.
 
         Pinned entries are always skipped; ``skip`` adds further
-        exclusions.  If *every* entry is excluded, pinning is overridden
-        (evicting a pinned entry beats deadlock) and the raw policy
-        victim is taken; ``None`` is returned only for an empty store.
+        exclusions.  When every entry is excluded the exclusions are
+        relaxed in order of severity — ``skip`` first (it is advisory),
+        pinning only after *all* unpinned entries are exhausted
+        (evicting a pinned entry beats deadlock, but it is strictly the
+        last resort).  ``None`` is returned only for an empty store.
         """
+        def pinned(key: int) -> bool:
+            return self._entries[key].pinned
+
         def excluded(key: int) -> bool:
-            if self._entries[key].pinned:
-                return True
-            return skip is not None and skip(key)
+            return pinned(key) or (skip is not None and skip(key))
 
         victim = self._policy.victim(excluded)
+        if victim is None and skip is not None:
+            # Every unpinned entry was skip-excluded: prefer overriding
+            # the skip filter over evicting a pinned entry.
+            victim = self._policy.victim(pinned)
         if victim is None:
             victim = self._policy.victim(skip)
             if victim is None:
@@ -153,6 +167,7 @@ class BlockStore:
         entry = self._entries.pop(block)
         self._policy.remove(block)
         self._dirty.discard(block)
+        self.lifetime_departures += 1
         return entry
 
     def clear(self) -> None:
@@ -168,8 +183,11 @@ class BlockStore:
         self._dirty.add(block)
 
     def mark_clean(self, block: int) -> None:
+        """Mark a block clean, counting a writeback only on the
+        dirty-to-clean transition (a redundant pass over an already
+        clean block wrote nothing back)."""
         entry = self._entries.get(block)
-        if entry is None:
+        if entry is None or not entry.dirty:
             return
         entry.dirty = False
         self._dirty.discard(block)

@@ -95,6 +95,11 @@ class SimConfig:
     model_invalidation_traffic: bool = False
     #: eviction policy name for all stores ("lru" is the paper's choice)
     eviction_policy: str = "lru"
+    #: run the :mod:`repro.invariants` sanitizer during replay (also
+    #: enabled by REPRO_CHECK_INVARIANTS=1 or the CLI's ``--check``)
+    check_invariants: bool = False
+    #: trace records between interval checks when the sanitizer is on
+    invariant_check_interval: int = 256
     #: master seed for the simulator's stochastic choices (filer prefetch)
     seed: int = 7
     #: replay warmup records but exclude them from statistics (the
@@ -112,6 +117,8 @@ class SimConfig:
             raise ConfigError("flash parallelism must be >= 0")
         if not 0.0 <= self.ftl_overprovision < 1.0:
             raise ConfigError("FTL overprovision must be in [0, 1)")
+        if self.invariant_check_interval < 1:
+            raise ConfigError("invariant check interval must be >= 1")
         if self.ftl_model and self.flash_parallelism > 0:
             raise ConfigError("the FTL model serializes internally; "
                               "flash_parallelism must be 0 with ftl_model")

@@ -22,6 +22,7 @@ from repro.engine.simulation import Simulator
 from repro.filer.server import Filer
 from repro.flash.device import FlashDevice
 from repro.flash.ftl_device import FTLFlashDevice
+from repro.invariants import build_suite, resolve_enabled
 from repro.net.link import NetworkSegment
 from repro.traces.records import Trace, TraceRecord
 
@@ -33,6 +34,10 @@ class System:
     reboots every host's caches at the warmup/measurement boundary, so
     the measured phase runs against freshly-lost RAM and a lost or
     recovering flash cache.
+
+    ``check_invariants`` attaches the :mod:`repro.invariants` sanitizer
+    to the replay; ``None`` defers to ``config.check_invariants`` and
+    the ``REPRO_CHECK_INVARIANTS`` environment variable.
     """
 
     def __init__(
@@ -41,6 +46,7 @@ class System:
         n_hosts: int,
         restart: Optional["RestartSpec"] = None,
         timeline_bucket_ns: Optional[int] = None,
+        check_invariants: Optional[bool] = None,
     ) -> None:
         if n_hosts < 1:
             n_hosts = 1
@@ -107,6 +113,9 @@ class System:
         self._blocks_until_measurement = 0
         self._active_threads = 0
         self._measurement_started_at: Optional[int] = None
+        self.check_invariants = resolve_enabled(check_invariants, config)
+        self.invariants = build_suite(self) if self.check_invariants else None
+        self._records_since_check = 0
 
     def _send_invalidation_message(self, _writer_host: int, victim_host: int) -> None:
         """Occupy the victim's filer→host wire with one notification
@@ -131,6 +140,13 @@ class System:
     # to the paper's "half of the volume is warmup" boundary.
 
     def _record_completed(self, record: TraceRecord) -> None:
+        if self.invariants is not None:
+            # Record boundaries are safe check points: every simulation
+            # process (this thread included) is suspended at a yield.
+            self._records_since_check += 1
+            if self._records_since_check >= self.config.invariant_check_interval:
+                self._records_since_check = 0
+                self.invariants.check()
         if self._measurement_started_at is not None:
             return
         self._blocks_until_measurement -= record.nblocks
@@ -182,6 +198,8 @@ class System:
             host.keep_running = lambda: self._active_threads > 0
             host.start_syncers()
         self.sim.run()
+        if self.invariants is not None:
+            self.invariants.final()
 
     def _thread_process(
         self,

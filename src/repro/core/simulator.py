@@ -19,6 +19,7 @@ def run_simulation(
     cold_start: bool = False,
     restart: Optional[RestartSpec] = None,
     timeline_bucket_ns: Optional[int] = None,
+    check_invariants: Optional[bool] = None,
 ) -> SimulationResults:
     """Replay ``trace`` on a system built from ``config``.
 
@@ -44,6 +45,13 @@ def run_simulation(
     ``timeline_bucket_ns`` additionally collects a read-latency
     *timeline* (mean per time bucket since the measurement boundary),
     exposed as ``results.read_timeline``.
+
+    ``check_invariants`` runs the :mod:`repro.invariants` sanitizer
+    during the replay, raising
+    :class:`~repro.errors.InvariantViolation` the moment the
+    simulation's internal accounting drifts.  ``None`` (the default)
+    defers to ``config.check_invariants`` and the
+    ``REPRO_CHECK_INVARIANTS`` environment variable.
     """
     if cold_start:
         trace = trace.without_warmup()
@@ -51,7 +59,11 @@ def run_simulation(
         hosts_in_trace = trace.hosts()
         n_hosts = (max(hosts_in_trace) + 1) if hosts_in_trace else 1
     system = System(
-        config, n_hosts, restart=restart, timeline_bucket_ns=timeline_bucket_ns
+        config,
+        n_hosts,
+        restart=restart,
+        timeline_bucket_ns=timeline_bucket_ns,
+        check_invariants=check_invariants,
     )
     system.replay(trace)
 

@@ -36,13 +36,15 @@ class Process:
     to join.
     """
 
-    __slots__ = ("_sim", "_gen", "completion", "name")
+    __slots__ = ("_sim", "_gen", "completion", "name", "_blocked")
 
     def __init__(self, sim: "Simulator", gen: ProcessGenerator, name: str = "") -> None:
         self._sim = sim
         self._gen = gen
         self.completion = Completion()
         self.name = name or getattr(gen, "__name__", "process")
+        #: waiting on an unfired Completion (kernel leak accounting)
+        self._blocked = False
 
     @property
     def finished(self) -> bool:
@@ -51,6 +53,9 @@ class Process:
 
     def _resume_soon(self, value: Any) -> None:
         """Schedule this process to resume at the current simulated time."""
+        if self._blocked:
+            self._blocked = False
+            self._sim.blocked_processes -= 1
         self._sim._schedule_resume(self, value)
 
     def _step(self, send_value: Any) -> None:
@@ -66,6 +71,12 @@ class Process:
                 return
             self._sim._schedule_resume_at(self._sim.now + command, self)
         elif isinstance(command, Completion):
+            if not command.fired:
+                # Track waiters on unfired completions: a non-zero count
+                # once the event queue drains means a process leaked
+                # (deadlocked on a completion nobody will fire).
+                self._blocked = True
+                self._sim.blocked_processes += 1
             command._subscribe(self)
         else:
             self._gen.throw(
@@ -88,6 +99,9 @@ class Simulator:
         self._heap: List[Tuple[int, int, Process, Any]] = []
         self._seq: int = 0
         self._running = False
+        #: processes currently suspended on an unfired Completion; when
+        #: the heap drains this must be zero or waiters leaked.
+        self.blocked_processes: int = 0
 
     # --- scheduling -------------------------------------------------
 

@@ -11,13 +11,19 @@ Model: the device is ``n_blocks`` erase blocks of ``pages_per_block``
 4 KB pages.  Host writes append to an open block; when free blocks run
 low, a greedy garbage collector picks the erase block with the fewest
 valid pages (ties broken by lowest erase count, a cheap form of wear
-leveling), relocates its valid pages, and erases it.
+leveling), relocates its valid pages, and erases it.  Collection loops
+until the free-block threshold is restored (or no victim can yield net
+space), and runs both before and after the host append: before, so a
+drained free list is refilled from the garbage the host's own
+invalidation just created; after, so the device returns to its
+steady-state reserve between writes.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Deque, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.errors import ConfigError, SimulationError
 
@@ -70,7 +76,11 @@ class PageMappedFTL:
         self.config = config
         ppb = config.pages_per_block
         self._blocks = [_EraseBlock(i, ppb) for i in range(config.n_blocks)]
-        self._free: List[int] = list(range(config.n_blocks - 1, 0, -1))
+        # Free erase blocks: a deque ordered oldest-reclaimed first (pop
+        # from the right, reclaimed blocks enter on the left) plus a
+        # mirror set for O(1) membership tests in the GC candidate scan.
+        self._free: Deque[int] = deque(range(config.n_blocks - 1, 0, -1))
+        self._free_set: Set[int] = set(self._free)
         self._open: _EraseBlock = self._blocks[0]
         # logical page -> (erase block index, page index)
         self._map: Dict[int, Tuple[int, int]] = {}
@@ -92,9 +102,19 @@ class PageMappedFTL:
         self._check_lpn(lpn)
         self.host_writes += 1
         self._invalidate(lpn)
+        # Collect before appending: the invalidation above may have
+        # created the only reclaimable garbage, and the append below
+        # must never find the free list drained.
+        if len(self._free) < self.config.gc_threshold_blocks:
+            self._collect()
         self._append(lpn)
         if len(self._free) < self.config.gc_threshold_blocks:
             self._collect()
+
+    @property
+    def free_blocks(self) -> int:
+        """Erase blocks currently on the free list."""
+        return len(self._free)
 
     def trim(self, lpn: int) -> None:
         """Discard a logical page (cache eviction maps naturally to TRIM)."""
@@ -153,20 +173,56 @@ class PageMappedFTL:
             raise SimulationError(
                 "FTL out of free blocks; host wrote past logical capacity"
             )
-        self._open = self._blocks[self._free.pop()]
+        index = self._free.pop()
+        self._free_set.discard(index)
+        self._open = self._blocks[index]
         return self._open
 
     def _collect(self) -> None:
-        """Greedy GC: reclaim the block with the fewest valid pages."""
-        self.gc_runs += 1
-        candidates = [
-            blk
-            for blk in self._blocks
-            if blk is not self._open and blk.index not in self._free and blk.next_free > 0
-        ]
+        """Greedy GC: reclaim blocks until the free threshold is restored.
+
+        A single reclaim pass is not enough — relocating a victim's
+        valid pages consumes open-block space, and under high valid-page
+        occupancy one pass can leave the free list *smaller* than it
+        started.  The loop keeps reclaiming until the threshold holds or
+        no victim can yield net space (every candidate fully valid); the
+        pass count is bounded by the geometry since each pass erases one
+        block.
+        """
+        threshold = self.config.gc_threshold_blocks
+        for _pass in range(self.config.n_blocks):
+            if len(self._free) >= threshold:
+                return
+            if not self._collect_one():
+                return
+
+    def _gc_candidates(self) -> Iterable[_EraseBlock]:
+        """Erase blocks eligible for reclamation.
+
+        A *full* open block is eligible too: no further appends can land
+        in it, so it is closed in all but name — and when all remaining
+        garbage sits there (the compaction endgame), reclaiming it is
+        the only move that frees space.
+        """
+        ppb = self.config.pages_per_block
+        for blk in self._blocks:
+            if blk.index in self._free_set or blk.next_free == 0:
+                continue
+            if blk is self._open and blk.next_free < ppb:
+                continue
+            yield blk
+
+    def _collect_one(self) -> bool:
+        """Reclaim the best victim; False when no victim can gain space."""
+        candidates = list(self._gc_candidates())
         if not candidates:
-            return
+            return False
         victim = min(candidates, key=lambda blk: (blk.valid, blk.erase_count))
+        if victim.valid >= self.config.pages_per_block:
+            # Relocating a fully-valid block consumes exactly the space
+            # it frees; collection cannot make progress.
+            return False
+        self.gc_runs += 1
         survivors = [lpn for lpn in victim.pages if lpn is not None]
         # Erase first so the victim itself is available as relocation
         # space — this guarantees GC always has room to make progress.
@@ -175,6 +231,10 @@ class PageMappedFTL:
         victim.valid = 0
         victim.erase_count += 1
         self.erases += 1
-        self._free.insert(0, victim.index)
+        if victim is not self._open:
+            self._free.appendleft(victim.index)
+            self._free_set.add(victim.index)
+        # else: the erased block stays open; survivors re-pack into it.
         for lpn in survivors:
             self._append(lpn)
+        return True

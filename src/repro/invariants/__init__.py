@@ -1,0 +1,59 @@
+"""Runtime invariant checking — the simulation sanitizer.
+
+The paper's conclusions rest on the simulator's internal accounting
+being exactly right; a silently mis-counted writeback skews every
+figure.  This package validates the simulator *while it runs*: enable
+it with ``check_invariants=True`` on :class:`~repro.core.config.SimConfig`
+or :func:`~repro.core.simulator.run_simulation`, the
+``REPRO_CHECK_INVARIANTS=1`` environment variable, or the CLI's
+``--check`` flag.  Checkers run at configurable record intervals and
+once more at end-of-run; any violation raises a structured
+:class:`~repro.errors.InvariantViolation` carrying the failing
+checker's name, the simulated time, and a state snapshot.
+
+See ``docs/INVARIANTS.md`` for the full checker catalogue, and
+:mod:`repro.validation.differential` for the degenerate-parameter
+cross-checks built on top of this layer.
+"""
+
+from repro.errors import InvariantViolation
+from repro.invariants.checkers import (
+    check_ftl,
+    check_ftl_device,
+    check_store,
+    fail,
+)
+from repro.invariants.suite import (
+    ENV_FLAG,
+    CacheTierChecker,
+    Checker,
+    CheckerSuite,
+    FTLChecker,
+    KernelChecker,
+    build_suite,
+    env_enabled,
+    register_checker_factory,
+    registered,
+    resolve_enabled,
+    unregister_checker_factory,
+)
+
+__all__ = [
+    "ENV_FLAG",
+    "CacheTierChecker",
+    "Checker",
+    "CheckerSuite",
+    "FTLChecker",
+    "InvariantViolation",
+    "KernelChecker",
+    "build_suite",
+    "check_ftl",
+    "check_ftl_device",
+    "check_store",
+    "env_enabled",
+    "fail",
+    "register_checker_factory",
+    "registered",
+    "resolve_enabled",
+    "unregister_checker_factory",
+]

@@ -13,9 +13,27 @@ Usage::
     from repro.validation import cross_check
     report = cross_check(trace, config)
     assert report.passed, report.summary()
+
+:mod:`repro.validation.differential` adds the complementary
+*self*-comparison: degenerate-parameter points (flash = 0, read-only
+traces, s/s policies) where distinct configurations must provably
+coincide — run via ``python -m repro.validation.differential``.
 """
 
 from repro.validation.reference import ReferenceReplay, replay_reference
 from repro.validation.crosscheck import ValidationReport, cross_check
+from repro.validation.differential import (
+    DifferentialCheck,
+    DifferentialReport,
+    run_differential,
+)
 
-__all__ = ["ReferenceReplay", "replay_reference", "ValidationReport", "cross_check"]
+__all__ = [
+    "DifferentialCheck",
+    "DifferentialReport",
+    "ReferenceReplay",
+    "replay_reference",
+    "run_differential",
+    "ValidationReport",
+    "cross_check",
+]

@@ -1,0 +1,357 @@
+"""Degenerate-parameter differential cross-checks.
+
+The cross-check in :mod:`repro.validation.crosscheck` compares the
+simulator against an independent reference model; this module compares
+the simulator *against itself* at degenerate parameter points where
+distinct configurations must provably coincide:
+
+1. **flash = 0 collapses the architectures.**  With no flash tier the
+   naive, lookaside, and unified architectures are the same machine (a
+   single RAM cache in front of the filer), so their latencies,
+   simulated time, filer traffic, writebacks, and network utilization
+   must match *exactly* — any drift means one architecture's degenerate
+   path charges different costs.  (Cache hit counters are compared only
+   between naive and lookaside: the layered read path counts a
+   concurrent install as a hit after the initial miss while the unified
+   path does not, a documented accounting asymmetry, not a timing
+   divergence.)  The exclusive architecture is excluded by design: its
+   background demotion staging changes *when* eviction writebacks are
+   charged even without flash.
+
+2. **A read-only trace writes nothing back.**  With ``write_fraction=0``
+   no block is ever dirty, so writebacks, dirty evictions, and filer
+   writes must all be zero, in every architecture.
+
+3. **The s/s policy combination leaves nothing dirty.**  When both
+   tiers write through synchronously, every block is clean again by the
+   time its operation completes; a pluggable ``zero-dirty`` checker
+   (registered via :func:`repro.invariants.registered`) asserts
+   ``dirty_count == 0`` on every store after *every* trace record of a
+   single-threaded replay.
+
+All three run over the sweep engine (:func:`repro.sweep.run_sweep`)
+with the :mod:`repro.invariants` sanitizer enabled, so one differential
+pass also exercises the full invariant suite.  Run from the command
+line with ``python -m repro.validation.differential [--fast]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.architectures import Architecture
+from repro.core.policies import WritebackPolicy
+from repro.core.results import SimulationResults
+from repro.errors import InvariantViolation
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    baseline_config,
+    baseline_trace,
+    shared_fs_model,
+    scaled_gb,
+)
+from repro.invariants import Checker, fail, registered
+from repro.sweep import run_sweep
+from repro.tracegen.config import TraceGenConfig
+from repro.tracegen.generator import generate_trace
+from repro.traces.records import Trace
+
+#: The three paper architectures that must coincide at flash = 0.
+COLLAPSING_ARCHITECTURES = (
+    Architecture.NAIVE,
+    Architecture.LOOKASIDE,
+    Architecture.UNIFIED,
+)
+
+ALL_ARCHITECTURES = tuple(Architecture)
+
+
+# --- result signatures --------------------------------------------------
+
+
+def result_signature(result: SimulationResults) -> Dict[str, object]:
+    """The fields two behaviorally identical runs must agree on exactly."""
+    tiers = result.tier_stats
+    return {
+        "read_mean_us": result.read_latency.mean_us,
+        "read_blocks": result.read_latency.count,
+        "write_mean_us": result.write_latency.mean_us,
+        "write_blocks": result.write_latency.count,
+        "simulated_ns": result.simulated_ns,
+        "measured_ns": result.measured_ns,
+        "writebacks": sum(t.get("writebacks", 0) for t in tiers.values()),
+        "filer_fast_reads": result.filer_fast_reads,
+        "filer_slow_reads": result.filer_slow_reads,
+        "filer_writes": result.filer_writes,
+        "flash_blocks_read": result.flash_blocks_read,
+        "flash_blocks_written": result.flash_blocks_written,
+        "network_utilization": result.network_utilization,
+    }
+
+
+def _signature_diff(
+    reference: Dict[str, object], other: Dict[str, object]
+) -> List[str]:
+    return [
+        "%s: %r != %r" % (key, reference[key], other[key])
+        for key in reference
+        if reference[key] != other[key]
+    ]
+
+
+# --- report types -------------------------------------------------------
+
+
+@dataclass
+class DifferentialCheck:
+    """Outcome of one degenerate-parameter identity."""
+
+    name: str
+    passed: bool
+    detail: str = ""
+
+
+@dataclass
+class DifferentialReport:
+    """All differential checks of one harness run."""
+
+    checks: List[DifferentialCheck] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(check.passed for check in self.checks)
+
+    def summary(self) -> str:
+        lines = []
+        for check in self.checks:
+            status = "PASS" if check.passed else "FAIL"
+            line = "%-28s %s" % (check.name, status)
+            if check.detail:
+                line += "  (%s)" % check.detail
+            lines.append(line)
+        return "\n".join(lines)
+
+
+# --- trace sources ------------------------------------------------------
+
+
+def _single_thread_trace(scale: int, write_fraction: float = 0.30) -> Trace:
+    """A one-host, one-thread trace: with a single application thread,
+    every record boundary is a fully quiescent point, which the
+    zero-dirty identity needs (concurrent threads legitimately expose
+    another thread's mid-operation dirty window)."""
+    model = shared_fs_model(scale)
+    config = TraceGenConfig(
+        working_set_bytes=scaled_gb(60.0, scale),
+        n_hosts=1,
+        threads_per_host=1,
+        write_fraction=write_fraction,
+        volume_multiple=2.0,
+        seed=42,
+    )
+    return generate_trace(config, model=model)
+
+
+# --- the identities -----------------------------------------------------
+
+
+def check_flash_zero_collapse(
+    scale: int = DEFAULT_SCALE, workers: Optional[int] = None
+) -> DifferentialCheck:
+    """flash=0 must make naive, lookaside, and unified coincide."""
+    trace = baseline_trace(scale=scale)
+    configs = [
+        baseline_config(
+            flash_gb=0,
+            scale=scale,
+            architecture=architecture,
+            check_invariants=True,
+            invariant_check_interval=64,
+        )
+        for architecture in COLLAPSING_ARCHITECTURES
+    ]
+    results = run_sweep(trace, configs, workers=workers)
+    signatures = [result_signature(result) for result in results]
+    problems: List[str] = []
+    for architecture, signature in zip(COLLAPSING_ARCHITECTURES[1:], signatures[1:]):
+        for diff in _signature_diff(signatures[0], signature):
+            problems.append("naive vs %s: %s" % (architecture, diff))
+    # Naive and lookaside share the layered code path, so even the
+    # cache counters must agree bit for bit.
+    naive_tiers, lookaside_tiers = results[0].tier_stats, results[1].tier_stats
+    if naive_tiers != lookaside_tiers:
+        problems.append(
+            "naive vs lookaside tier stats: %r != %r"
+            % (naive_tiers, lookaside_tiers)
+        )
+    if problems:
+        return DifferentialCheck(
+            "flash-zero-collapse", False, "; ".join(problems[:4])
+        )
+    return DifferentialCheck(
+        "flash-zero-collapse",
+        True,
+        "%d architectures, %d signature fields identical"
+        % (len(COLLAPSING_ARCHITECTURES), len(signatures[0])),
+    )
+
+
+def check_read_only_zero_writebacks(
+    scale: int = DEFAULT_SCALE, workers: Optional[int] = None
+) -> DifferentialCheck:
+    """write_fraction=0 must produce zero writebacks everywhere."""
+    trace = baseline_trace(write_fraction=0.0, scale=scale)
+    configs = [
+        baseline_config(
+            scale=scale,
+            architecture=architecture,
+            check_invariants=True,
+            invariant_check_interval=64,
+        )
+        for architecture in ALL_ARCHITECTURES
+    ]
+    results = run_sweep(trace, configs, workers=workers)
+    problems: List[str] = []
+    for architecture, result in zip(ALL_ARCHITECTURES, results):
+        writebacks = sum(
+            t.get("writebacks", 0) for t in result.tier_stats.values()
+        )
+        dirty_evictions = sum(
+            t.get("dirty_evictions", 0) for t in result.tier_stats.values()
+        )
+        for label, value in (
+            ("writebacks", writebacks),
+            ("dirty_evictions", dirty_evictions),
+            ("filer_writes", result.filer_writes),
+            ("measured_write_blocks", result.write_latency.count),
+        ):
+            if value != 0:
+                problems.append("%s: %s = %d" % (architecture, label, value))
+    if problems:
+        return DifferentialCheck(
+            "read-only-zero-writebacks", False, "; ".join(problems[:4])
+        )
+    return DifferentialCheck(
+        "read-only-zero-writebacks",
+        True,
+        "%d architectures wrote nothing back" % len(ALL_ARCHITECTURES),
+    )
+
+
+class ZeroDirtyChecker(Checker):
+    """Custom invariant: no store holds a dirty block at any check point.
+
+    Only sound for write-through-everywhere (s/s) configurations on a
+    single application thread; the differential harness registers it
+    for exactly that run via :func:`repro.invariants.registered`.
+    """
+
+    name = "zero-dirty"
+
+    def check(self, system) -> None:
+        for host in system.hosts:
+            for attribute in ("ram", "flash", "cache"):
+                store = getattr(host, attribute, None)
+                if store is not None and store.dirty_count:
+                    fail(
+                        self.name,
+                        "host %d: %s holds %d dirty blocks under s/s"
+                        % (host.host_id, attribute, store.dirty_count),
+                        system.sim.now,
+                        host=host.host_id,
+                        tier=attribute,
+                        dirty=store.dirty_blocks()[:8],
+                    )
+
+
+def check_sync_policies_zero_dirty(
+    scale: int = DEFAULT_SCALE,
+) -> DifferentialCheck:
+    """s/s writeback policies must keep every store clean at all times.
+
+    Runs serially (the checker registration is per-process) with an
+    interval of 1, so the zero-dirty invariant is asserted after every
+    single trace record.
+    """
+    trace = _single_thread_trace(scale)
+    configs = [
+        baseline_config(
+            scale=scale,
+            architecture=architecture,
+            ram_policy=WritebackPolicy.sync(),
+            flash_policy=WritebackPolicy.sync(),
+            check_invariants=True,
+            invariant_check_interval=1,
+        )
+        for architecture in ALL_ARCHITECTURES
+    ]
+    try:
+        with registered(lambda _system: [ZeroDirtyChecker()]):
+            run_sweep(trace, configs, workers=1)
+    except InvariantViolation as violation:
+        return DifferentialCheck(
+            "sync-policies-zero-dirty", False, str(violation)
+        )
+    return DifferentialCheck(
+        "sync-policies-zero-dirty",
+        True,
+        "checked after every record in %d architectures"
+        % len(ALL_ARCHITECTURES),
+    )
+
+
+# --- harness ------------------------------------------------------------
+
+
+def run_differential(
+    scale: int = DEFAULT_SCALE, workers: Optional[int] = None
+) -> DifferentialReport:
+    """Run every degenerate-parameter identity; see the module docs."""
+    return DifferentialReport(
+        checks=[
+            check_flash_zero_collapse(scale=scale, workers=workers),
+            check_read_only_zero_writebacks(scale=scale, workers=workers),
+            check_sync_policies_zero_dirty(scale=scale),
+        ]
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.validation.differential",
+        description="Degenerate-parameter differential cross-checks "
+        "(flash=0 collapse, read-only zero-writebacks, s/s zero-dirty).",
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="coarser geometry scale for a quick CI-sized pass",
+    )
+    parser.add_argument(
+        "--scale",
+        type=int,
+        default=None,
+        help="explicit geometry divisor (overrides --fast)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the sweep-backed checks "
+        "(0 = all cores; default: serial)",
+    )
+    args = parser.parse_args(argv)
+    scale = args.scale if args.scale is not None else (
+        DEFAULT_SCALE * 4 if args.fast else DEFAULT_SCALE
+    )
+    report = run_differential(scale=scale, workers=args.workers)
+    print(report.summary())
+    return 0 if report.passed else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    sys.exit(main())

@@ -200,3 +200,80 @@ class TestStatsReset:
 
     def test_hit_rate_empty(self):
         assert BlockStore(2).stats.hit_rate == 0.0
+
+
+class TestMarkCleanWritebackRegression:
+    """mark_clean must count a writeback only on dirty->clean (a
+    redundant syncer pass over an already-clean block wrote nothing)."""
+
+    def test_redundant_mark_clean_not_counted(self):
+        store = BlockStore(4)
+        store.put(1, dirty=True)
+        store.mark_clean(1)
+        store.mark_clean(1)  # redundant second pass
+        assert store.stats.writebacks == 1
+
+    def test_mark_clean_on_clean_entry_not_counted(self):
+        store = BlockStore(4)
+        store.put(1)  # inserted clean
+        store.mark_clean(1)
+        assert store.stats.writebacks == 0
+
+    def test_dirty_cycle_counts_each_transition(self):
+        store = BlockStore(4)
+        store.put(1, dirty=True)
+        store.mark_clean(1)
+        store.mark_dirty(1)
+        store.mark_clean(1)
+        assert store.stats.writebacks == 2
+
+
+class TestPopVictimPrecedenceRegression:
+    """pop_victim must exhaust unpinned candidates (even skip-excluded
+    ones) before overriding pinning — pinning is the last resort."""
+
+    def test_skipped_unpinned_beats_pinned(self):
+        store = BlockStore(2)
+        store.put(1, pinned=True)
+        store.put(2)
+        victim = store.pop_victim(skip=lambda block: block == 2)
+        assert victim.block == 2  # pre-fix this evicted pinned block 1
+
+    def test_unskipped_unpinned_still_preferred(self):
+        store = BlockStore(3)
+        store.put(1, pinned=True)
+        store.put(2)
+        store.put(3)
+        victim = store.pop_victim(skip=lambda block: block == 2)
+        assert victim.block == 3
+
+    def test_all_unpinned_skipped_and_pinned_present(self):
+        # Two unpinned-but-skipped, one pinned: both unpinned entries
+        # must go before the pinned one.
+        store = BlockStore(3)
+        store.put(1, pinned=True)
+        store.put(2)
+        store.put(3)
+        skip = lambda block: block in (2, 3)
+        assert store.pop_victim(skip).block == 2
+        assert store.pop_victim(skip).block == 3
+        assert store.pop_victim(skip).block == 1  # last resort
+
+    def test_everything_pinned_falls_back_to_skip_order(self):
+        store = BlockStore(2)
+        store.put(1, pinned=True)
+        store.put(2, pinned=True)
+        victim = store.pop_victim(skip=lambda block: block == 1)
+        assert victim.block == 2
+
+    def test_lifetime_occupancy_identity(self):
+        store = BlockStore(3)
+        for block in range(3):
+            store.put(block)
+        store.pop_victim()
+        store.remove(1)
+        store.put(7)
+        assert (
+            store.lifetime_insertions - store.lifetime_departures
+            == len(store)
+        )

@@ -1,0 +1,151 @@
+"""Property-style randomized micro-tests for the invariant checkers.
+
+Seeded, stdlib-only (``random.Random``; no hypothesis): each test
+drives a bare data structure through thousands of random operations and
+runs the corresponding :mod:`repro.invariants` checker after *every*
+operation, so any structural drift is caught at the exact op that
+introduced it.  These are the micro-scale counterpart of the replay-time
+sanitizer: the same check functions, without a simulation around them.
+"""
+
+import random
+
+import pytest
+
+from repro.cache.store import BlockStore
+from repro.engine.simulation import Simulator
+from repro.flash.ftl import FTLConfig, PageMappedFTL
+from repro.flash.ftl_device import FTLFlashDevice
+from repro.invariants import check_ftl, check_ftl_device, check_store
+
+SEEDS = [0, 1, 2, 3]
+
+
+class TestBlockStoreRandomOps:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("policy", ["lru", "fifo", "clock", "slru"])
+    def test_invariants_hold_after_every_op(self, seed, policy):
+        rng = random.Random(seed)
+        store = BlockStore(12, policy, name="prop-%s" % policy)
+        universe = 30
+        for _step in range(2500):
+            op = rng.randrange(9)
+            block = rng.randrange(universe)
+            if op == 0:
+                store.get(block, touch=rng.random() < 0.8)
+            elif op == 1:
+                store.peek(block)
+            elif op == 2:
+                if block not in store and not store.is_full():
+                    store.put(
+                        block,
+                        dirty=rng.random() < 0.3,
+                        pinned=rng.random() < 0.2,
+                    )
+            elif op == 3:
+                if rng.random() < 0.5:
+                    store.pop_victim()
+                else:
+                    modulus = rng.randrange(2, 5)
+                    store.pop_victim(skip=lambda key: key % modulus == 0)
+            elif op == 4:
+                store.remove(block, invalidation=rng.random() < 0.5)
+            elif op == 5:
+                if block in store:
+                    store.mark_dirty(block)
+            elif op == 6:
+                store.mark_clean(block)
+            elif op == 7:
+                (store.pin if rng.random() < 0.5 else store.unpin)(block)
+            else:
+                if rng.random() < 0.05:
+                    store.clear()
+            check_store(store)
+        # the lifetime identity held throughout; spot-check the totals
+        assert (
+            store.lifetime_insertions - store.lifetime_departures == len(store)
+        )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_full_store_with_eviction_pressure(self, seed):
+        """put-heavy mix: the store stays full and every insert evicts."""
+        rng = random.Random(seed)
+        store = BlockStore(8, "lru", name="pressure")
+        for _step in range(2000):
+            block = rng.randrange(24)
+            if block in store:
+                store.get(block)
+                if rng.random() < 0.4:
+                    store.mark_dirty(block)
+            else:
+                while store.is_full():
+                    victim = store.pop_victim()
+                    if victim is None:
+                        break
+                store.put(block, dirty=rng.random() < 0.5)
+            check_store(store)
+
+
+class TestPageMappedFTLRandomOps:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_invariants_hold_after_every_op(self, seed):
+        rng = random.Random(seed)
+        ftl = PageMappedFTL(
+            FTLConfig(
+                n_blocks=10,
+                pages_per_block=4,
+                overprovision=0.25,
+                gc_threshold_blocks=2,
+            )
+        )
+        logical = ftl.config.logical_pages
+        for _step in range(4000):
+            lpn = rng.randrange(logical)
+            if rng.random() < 0.85:
+                ftl.write(lpn)
+            else:
+                ftl.trim(lpn)
+            check_ftl(ftl)
+        assert ftl.write_amplification >= 1.0
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_tight_slack_geometry(self, seed):
+        """Barely any overprovisioning: GC runs constantly and must keep
+        every accounting invariant intact while doing so."""
+        rng = random.Random(seed)
+        ftl = PageMappedFTL(
+            FTLConfig(
+                n_blocks=8,
+                pages_per_block=4,
+                overprovision=0.1,
+                gc_threshold_blocks=1,
+            )
+        )
+        logical = ftl.config.logical_pages
+        for lpn in range(logical):  # fill to capacity first
+            ftl.write(lpn)
+            check_ftl(ftl)
+        for _step in range(3000):
+            ftl.write(rng.randrange(logical))
+            check_ftl(ftl)
+
+
+class TestFTLDeviceRandomOps:
+    @pytest.mark.parametrize("seed", SEEDS[:2])
+    def test_invariants_hold_after_every_op(self, seed):
+        rng = random.Random(seed)
+        device = FTLFlashDevice(Simulator(), capacity_blocks=24)
+        resident = set()
+        for _step in range(1500):
+            if resident and (rng.random() < 0.35 or len(resident) >= 24):
+                block = rng.choice(sorted(resident))
+                device.trim_block(block)
+                resident.discard(block)
+            else:
+                block = rng.randrange(200)
+                if block not in resident and len(resident) >= 24:
+                    continue
+                list(device.write_block(block))  # drain the latency yield
+                resident.add(block)
+            check_ftl_device(device)
+        assert set(device._lpn_of) == resident
