@@ -49,8 +49,24 @@ class CacheStats:
 
     @property
     def accesses(self) -> int:
-        """Total lookups recorded (hits + misses)."""
+        """Total lookups recorded (hits + misses).
+
+        Identical to :attr:`lookups` on a consistent accumulator: every
+        lookup is classified as exactly one hit or one miss, an identity
+        :meth:`check_consistent` asserts and the runtime invariant suite
+        checks per store.  The two counters exist separately so the
+        identity is *checkable* — ``lookups`` increments at the top of
+        the lookup path, hits/misses on its branches.
+        """
         return self.hits + self.misses
+
+    def check_consistent(self) -> None:
+        """Raise ``ValueError`` unless hits + misses == lookups."""
+        if self.hits + self.misses != self.lookups:
+            raise ValueError(
+                "inconsistent cache statistics: hits (%d) + misses (%d) "
+                "!= lookups (%d)" % (self.hits, self.misses, self.lookups)
+            )
 
     @property
     def hit_rate(self) -> float:

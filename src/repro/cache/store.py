@@ -32,6 +32,19 @@ from repro.errors import CacheError
 class BlockStore:
     """A fixed-capacity block cache with pluggable eviction policy."""
 
+    __slots__ = (
+        "capacity_blocks",
+        "name",
+        "_entries",
+        "_dirty",
+        "lifetime_insertions",
+        "lifetime_departures",
+        "_policy",
+        "stats",
+        "_pinned",
+        "_touch",
+    )
+
     def __init__(
         self,
         capacity_blocks: int,
@@ -42,7 +55,8 @@ class BlockStore:
             raise CacheError("capacity must be >= 0, got %d" % capacity_blocks)
         self.capacity_blocks = capacity_blocks
         self.name = name
-        self._entries: Dict[int, BlockEntry] = {}
+        entries: Dict[int, BlockEntry] = {}
+        self._entries = entries
         self._dirty: Set[int] = set()
         # Lifetime occupancy accounting, never reset at the warmup
         # boundary (unlike ``stats``): the invariant checkers verify
@@ -53,6 +67,13 @@ class BlockStore:
             policy = make_policy(policy, capacity_blocks)
         self._policy = policy
         self.stats = CacheStats()
+        # Persistent victim-selection predicate: ``_entries`` is never
+        # rebound, so one closure serves every pop_victim call instead
+        # of allocating fresh closures on the eviction hot path.
+        self._pinned = lambda key: entries[key].pinned
+        # Bound-method shortcut for the per-lookup promote (the policy
+        # never changes after construction).
+        self._touch = self._policy.touch
 
     # --- lookup ------------------------------------------------------
 
@@ -68,14 +89,15 @@ class BlockStore:
         ``touch=True`` (the default) promotes the entry in the eviction
         order, modeling a reference.
         """
+        stats = self.stats
+        stats.lookups += 1
         entry = self._entries.get(block)
-        self.stats.lookups += 1
         if entry is None:
-            self.stats.misses += 1
+            stats.misses += 1
             return None
-        self.stats.hits += 1
+        stats.hits += 1
         if touch:
-            self._policy.touch(block)
+            self._touch(block)
         return entry
 
     def peek(self, block: int) -> Optional[BlockEntry]:
@@ -131,21 +153,24 @@ class BlockStore:
         (evicting a pinned entry beats deadlock, but it is strictly the
         last resort).  ``None`` is returned only for an empty store.
         """
-        def pinned(key: int) -> bool:
-            return self._entries[key].pinned
-
-        def excluded(key: int) -> bool:
-            return pinned(key) or (skip is not None and skip(key))
-
-        victim = self._policy.victim(excluded)
-        if victim is None and skip is not None:
-            # Every unpinned entry was skip-excluded: prefer overriding
-            # the skip filter over evicting a pinned entry.
-            victim = self._policy.victim(pinned)
-        if victim is None:
-            victim = self._policy.victim(skip)
+        policy = self._policy
+        pinned = self._pinned
+        if skip is None:
+            victim = policy.victim(pinned)
+        else:
+            entries = self._entries
+            victim = policy.victim(
+                lambda key: entries[key].pinned or skip(key)
+            )
             if victim is None:
-                victim = self._policy.victim(None)
+                # Every unpinned entry was skip-excluded: prefer
+                # overriding the skip filter over evicting a pinned
+                # entry.
+                victim = policy.victim(pinned)
+        if victim is None:
+            victim = policy.victim(skip)
+            if victim is None:
+                victim = policy.victim(None)
                 if victim is None:
                     return None
         entry = self._remove_entry(victim)

@@ -46,7 +46,11 @@ class ConsistencyDirectory:
 
     def note_copy(self, host_id: int, block: int) -> None:
         """A host now holds a copy of ``block`` (in any tier)."""
-        self._holders.setdefault(block, set()).add(host_id)
+        holders = self._holders.get(block)
+        if holders is None:
+            self._holders[block] = {host_id}
+        else:
+            holders.add(host_id)
 
     def note_drop(self, host_id: int, block: int) -> None:
         """A host no longer holds any copy of ``block``.
@@ -81,6 +85,10 @@ class ConsistencyDirectory:
             self.block_writes += 1
         holders = self._holders.get(block)
         if not holders:
+            return 0
+        if len(holders) == 1 and writer_host in holders:
+            # Only the writer holds a copy — nothing to invalidate.
+            # (The common case for single-host runs and private blocks.)
             return 0
         others = [host for host in holders if host != writer_host]
         if not others:

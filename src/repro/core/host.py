@@ -54,6 +54,13 @@ def _after(delay_ns: int, gen: Iterator) -> Iterator:
     yield from gen
 
 
+#: The three protocol packet shapes, hoisted so the per-block I/O paths
+#: skip the classmethod + singleton-cache lookup.
+_PKT_REQUEST = Packet.request()
+_PKT_DATA = Packet.data_block()
+_PKT_ACK = Packet.ack()
+
+
 class HostStack:
     """Common machinery shared by the three architectures."""
 
@@ -77,6 +84,11 @@ class HostStack:
         self.directory = directory
         self.rng = rng
         self.timing = config.timing
+        # Hot-path constants hoisted out of the per-block generators
+        # (timing is a frozen dataclass; has_ram is fixed by the config).
+        self._ram_read_ns = self.timing.ram_read_ns
+        self._ram_write_ns = self.timing.ram_write_ns
+        self._has_ram = config.has_ram
         #: syncer-loop liveness predicate; the System replaces it with a
         #: check on active application threads so the event queue drains
         #: once the trace replay finishes.
@@ -126,16 +138,40 @@ class HostStack:
     # --- filer access over the private segment -------------------------------
 
     def _filer_read(self) -> Iterator:
-        """One block read from the filer: request packet, service, data packet."""
-        yield from self.segment.transfer(Packet.request(), "up")
-        yield from self.filer.read_block()
-        yield from self.segment.transfer(Packet.data_block(), "down")
+        """One block read from the filer: request packet, service, data packet.
+
+        The segment occupancy and filer service are folded into this
+        frame (via :meth:`NetworkSegment.charge` and
+        :meth:`Filer.read_service_ns`) instead of delegating to nested
+        generators — this path runs once per cache miss.
+        """
+        segment = self.segment
+        wire, wire_time = segment.charge(_PKT_REQUEST, "up")
+        if not wire.try_acquire():
+            yield wire.acquire()
+        yield wire_time
+        wire.release()
+        yield self.filer.read_service_ns()
+        wire, wire_time = segment.charge(_PKT_DATA, "down")
+        if not wire.try_acquire():
+            yield wire.acquire()
+        yield wire_time
+        wire.release()
 
     def _filer_write(self) -> Iterator:
         """One block write to the filer: data packet, service, ack."""
-        yield from self.segment.transfer(Packet.data_block(), "up")
-        yield from self.filer.write_block()
-        yield from self.segment.transfer(Packet.ack(), "down")
+        segment = self.segment
+        wire, wire_time = segment.charge(_PKT_DATA, "up")
+        if not wire.try_acquire():
+            yield wire.acquire()
+        yield wire_time
+        wire.release()
+        yield self.filer.write_service_ns()
+        wire, wire_time = segment.charge(_PKT_ACK, "down")
+        if not wire.try_acquire():
+            yield wire.acquire()
+        yield wire_time
+        wire.release()
 
     # --- background flush helper ------------------------------------------
 
@@ -158,6 +194,11 @@ class LayeredStack(HostStack):
             self.flash = BlockStore(
                 config.flash_blocks, config.eviction_policy, name="flash"
             )
+        # Pure-latency devices (the default) take the non-generator
+        # service-cost path; channel-limited devices must queue.
+        self._flash_direct = (
+            self.flash is not None and self.flash_device.unlimited_parallelism
+        )
 
     # --- presence bookkeeping for the consistency directory ---------------
 
@@ -208,15 +249,18 @@ class LayeredStack(HostStack):
     # --- read path --------------------------------------------------------
 
     def read_block(self, block: int) -> Iterator:
-        if self.config.has_ram:
+        if self._has_ram:
             entry = self.ram.get(block)
             if entry is not None:
-                yield self.timing.ram_read_ns
+                yield self._ram_read_ns
                 return
         if self.flash is not None and self._flash_online():
             fentry = self.flash.get(block)
             if fentry is not None:
-                yield from self.flash_device.read_block(block)
+                if self._flash_direct:
+                    yield self.flash_device.read_service_ns(block)
+                else:
+                    yield from self.flash_device.read_block(block)
                 yield from self._install_ram(block, dirty=False)
                 return
             # Miss everywhere: fetch, then fill flash and RAM
@@ -234,7 +278,7 @@ class LayeredStack(HostStack):
 
     def write_block(self, block: int, measured: bool = True) -> Iterator:
         self.directory.on_block_write(self.host_id, block, measured)
-        if not self.config.has_ram:
+        if not self._has_ram:
             # No RAM cache at all: writes land on the next tier directly.
             if self.flash is not None:
                 yield from self._write_into_flash(block)
@@ -259,17 +303,18 @@ class LayeredStack(HostStack):
 
     def _install_ram(self, block: int, dirty: bool) -> Iterator:
         """Place (or refresh) a block in RAM, evicting as needed."""
-        if not self.config.has_ram:
+        if not self._has_ram:
             return
-        existing = self.ram.peek(block)
+        ram = self.ram
+        existing = ram.peek(block)
         if existing is not None:
-            self.ram.get(block)  # touch + count the access pattern
+            ram.get(block)  # touch + count the access pattern
             if dirty:
-                self.ram.mark_dirty(block)
-            yield self.timing.ram_write_ns
+                ram.mark_dirty(block)
+            yield self._ram_write_ns
             return
-        while self.ram.is_full():
-            victim = self.ram.pop_victim()
+        while ram.is_full():
+            victim = ram.pop_victim()
             if victim is None:
                 break
             if self.flash is not None:
@@ -279,17 +324,17 @@ class LayeredStack(HostStack):
             self._note_maybe_gone(victim.block)
             # Re-check: another thread may have installed our block
             # while the writeback was in flight.
-            installed = self.ram.peek(block)
+            installed = ram.peek(block)
             if installed is not None:
                 if dirty:
-                    self.ram.mark_dirty(block)
-                yield self.timing.ram_write_ns
+                    ram.mark_dirty(block)
+                yield self._ram_write_ns
                 return
-        self.ram.put(block, Medium.RAM, dirty=dirty)
+        ram.put(block, Medium.RAM, dirty=dirty)
         if self.flash is not None:
             self.flash.pin(block)
         self._note_present(block)
-        yield self.timing.ram_write_ns
+        yield self._ram_write_ns
 
     def _flush_ram_block(self, block: int) -> Iterator:
         """Policy-driven flush of one (possibly already clean) RAM block."""
@@ -324,7 +369,10 @@ class LayeredStack(HostStack):
                 self._note_present(block)
         else:
             self.flash.get(block)  # touch
-        yield from self.flash_device.write_block(block)
+        if self._flash_direct:
+            yield self.flash_device.write_service_ns(block)
+        else:
+            yield from self.flash_device.write_block(block)
         # The entry can be evicted by another thread during the device
         # write; if so there is nothing left to mark (the stale data is
         # simply gone, as on a real device) — tell the device so an
@@ -474,6 +522,10 @@ class UnifiedStack(HostStack):
         self._free_flash = config.flash_blocks
         if config.has_flash and self.flash_device is None:
             raise ConfigError("flash configured but no flash device supplied")
+        self._flash_direct = (
+            self.flash_device is not None
+            and self.flash_device.unlimited_parallelism
+        )
 
     # --- medium accounting ------------------------------------------------
 
@@ -495,13 +547,17 @@ class UnifiedStack(HostStack):
 
     def _medium_read(self, medium: Medium, block: int) -> Iterator:
         if medium is Medium.RAM:
-            yield self.timing.ram_read_ns
+            yield self._ram_read_ns
+        elif self._flash_direct:
+            yield self.flash_device.read_service_ns(block)
         else:
             yield from self.flash_device.read_block(block)
 
     def _medium_write(self, medium: Medium, block: int) -> Iterator:
         if medium is Medium.RAM:
-            yield self.timing.ram_write_ns
+            yield self._ram_write_ns
+        elif self._flash_direct:
+            yield self.flash_device.write_service_ns(block)
         else:
             yield from self.flash_device.write_block(block)
 
@@ -517,7 +573,13 @@ class UnifiedStack(HostStack):
     def read_block(self, block: int) -> Iterator:
         entry = self.cache.get(block)
         if entry is not None:
-            yield from self._medium_read(entry.medium, block)
+            # Inline of _medium_read: this is the unified hit path.
+            if entry.medium is Medium.RAM:
+                yield self._ram_read_ns
+            elif self._flash_direct:
+                yield self.flash_device.read_service_ns(block)
+            else:
+                yield from self.flash_device.read_block(block)
             return
         yield from self._filer_read()
         yield from self._install(block, dirty=False)
@@ -527,9 +589,15 @@ class UnifiedStack(HostStack):
         entry = self.cache.get(block)
         if entry is not None:
             self.cache.mark_dirty(block)
-            yield from self._medium_write(entry.medium, block)
-            self._reclaim_if_gone(block, entry.medium)
             medium = entry.medium
+            # Inline of _medium_write: this is the unified write hit path.
+            if medium is Medium.RAM:
+                yield self._ram_write_ns
+            elif self._flash_direct:
+                yield self.flash_device.write_service_ns(block)
+            else:
+                yield from self.flash_device.write_block(block)
+            self._reclaim_if_gone(block, medium)
         else:
             medium = yield from self._install(block, dirty=True)
             if medium is None:

@@ -208,26 +208,39 @@ class System:
         items: List[Tuple[int, TraceRecord]],
     ):
         """One application thread: issue records in order, one at a time."""
+        # This loop runs once per trace record and its body once per
+        # 4 KB block — the replay hot path.  Attribute lookups that are
+        # loop-invariant (the simulator, the stack's entry points, the
+        # collectors) are hoisted into locals.
+        sim = self.sim
         warmup_records = trace.warmup_records
+        record_blocks = trace.record_blocks
+        read_block = stack.read_block
+        write_block = stack.write_block
         metrics = self.metrics
-        host_metrics = self.host_metrics[stack.host_id]
+        record_fleet_block = metrics.record_block
+        record_request = metrics.record_request
+        record_host_block = self.host_metrics[stack.host_id].record_block
+        record_completed = self._record_completed
         for index, record in items:
             is_warmup = index < warmup_records
+            measured = not is_warmup
             is_write = record.is_write
-            request_start = self.sim.now
-            for block in trace.record_blocks(record):
-                block_start = self.sim.now
+            request_start = sim.now
+            for block in record_blocks(record):
+                block_start = sim.now
                 if is_write:
-                    yield from stack.write_block(block, measured=not is_warmup)
+                    yield from write_block(block, measured=measured)
                 else:
-                    yield from stack.read_block(block)
-                if not is_warmup:
-                    latency = self.sim.now - block_start
-                    metrics.record_block(is_write, latency, at_ns=self.sim.now)
-                    host_metrics.record_block(is_write, latency)
-            if not is_warmup:
-                metrics.record_request(is_write, self.sim.now - request_start)
-            self._record_completed(record)
+                    yield from read_block(block)
+                if measured:
+                    now = sim.now
+                    latency = now - block_start
+                    record_fleet_block(is_write, latency, at_ns=now)
+                    record_host_block(is_write, latency)
+            if measured:
+                record_request(is_write, sim.now - request_start)
+            record_completed(record)
         self._active_threads -= 1
 
     # --- reporting inputs ----------------------------------------------------

@@ -42,11 +42,15 @@ class LatencyStat:
             self.min_ns = latency_ns
         if latency_ns > self.max_ns:
             self.max_ns = latency_ns
-        index = 0
-        threshold = self._BUCKET_BASE_NS
-        while latency_ns > threshold and index < self._N_BUCKETS - 1:
-            threshold *= 2
-            index += 1
+        # Closed form of "double a 100ns threshold until it covers the
+        # latency": bucket i spans (100*2^(i-1), 100*2^i] ns, so the
+        # index is the bit length of ceil(latency/100) - 1, clamped to
+        # the bucket range.  Equivalent to the obvious loop but O(1).
+        base = self._BUCKET_BASE_NS
+        quotient = (latency_ns + base - 1) // base
+        index = (quotient - 1).bit_length() if quotient > 1 else 0
+        if index >= self._N_BUCKETS:
+            index = self._N_BUCKETS - 1
         self._buckets[index] += 1
 
     @property
@@ -65,19 +69,32 @@ class LatencyStat:
         """Estimate a percentile (0..1) from the histogram, in ns.
 
         Returns the upper edge of the bucket containing the requested
-        rank; good to a factor of two, which suffices for shape checks.
+        rank, clamped into ``[min_ns, max_ns]`` so the estimate never
+        leaves the observed range; good to a factor of two, which
+        suffices for shape checks.  ``fraction == 0.0`` reflects the
+        recorded minimum.
         """
         if not 0.0 <= fraction <= 1.0:
             raise ValueError("fraction must be in [0, 1]")
         if self.count == 0:
             return 0.0
+        min_ns = self.min_ns or 0
+        if fraction == 0.0:
+            return float(min_ns)
         rank = fraction * self.count
         seen = 0
         threshold = self._BUCKET_BASE_NS
         for bucket_count in self._buckets:
-            seen += bucket_count
-            if seen >= rank:
-                return float(threshold)
+            # Empty leading buckets say nothing about the sample; only a
+            # bucket that holds observations can satisfy the rank.
+            if bucket_count:
+                seen += bucket_count
+                if seen >= rank:
+                    if threshold < min_ns:
+                        return float(min_ns)
+                    if threshold > self.max_ns:
+                        return float(self.max_ns)
+                    return float(threshold)
             threshold *= 2
         return float(self.max_ns)
 

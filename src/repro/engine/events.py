@@ -77,8 +77,13 @@ def all_of(completions: List[Completion]) -> Completion:
     """Return a completion that fires once every input completion has fired.
 
     The combined completion's value is the list of individual values, in
-    input order.  An empty list yields a completion that fires as soon as
-    the first process waits on it (it is created already fired).
+    input order.  An empty list yields a completion that is *already
+    fired* when this function returns (there is nothing to wait for, and
+    the vacuous conjunction holds immediately): its value is ``[]``, a
+    process yielding it resumes without suspending, and callbacks added
+    to it run synchronously.  A single-element list behaves exactly like
+    waiting on that completion directly, with the value wrapped in a
+    one-element list.
     """
     combined = Completion()
     remaining = len(completions)

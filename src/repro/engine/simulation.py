@@ -18,7 +18,7 @@ the same interleaving.
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Generator, Iterator, List, Optional, Tuple
 
 from repro.engine.events import Completion
@@ -36,55 +36,118 @@ class Process:
     to join.
     """
 
-    __slots__ = ("_sim", "_gen", "completion", "name", "_blocked")
+    __slots__ = ("_sim", "_gen", "_completion", "_finished", "_result", "name", "_blocked")
 
     def __init__(self, sim: "Simulator", gen: ProcessGenerator, name: str = "") -> None:
         self._sim = sim
         self._gen = gen
-        self.completion = Completion()
+        # The completion is allocated lazily: most processes (background
+        # flushes, syncer batches) finish without anyone ever joining
+        # them, so the common case skips the allocation entirely.
+        self._completion: Optional[Completion] = None
+        self._finished = False
+        self._result: Any = None
         self.name = name or getattr(gen, "__name__", "process")
         #: waiting on an unfired Completion (kernel leak accounting)
         self._blocked = False
 
     @property
+    def completion(self) -> Completion:
+        """Fires with the generator's return value when it finishes."""
+        done = self._completion
+        if done is None:
+            done = self._completion = Completion()
+            if self._finished:
+                done.fire(self._result)
+        return done
+
+    @property
     def finished(self) -> bool:
         """True once the underlying generator has returned."""
-        return self.completion.fired
+        return self._finished
 
     def _resume_soon(self, value: Any) -> None:
         """Schedule this process to resume at the current simulated time."""
         if self._blocked:
             self._blocked = False
             self._sim.blocked_processes -= 1
-        self._sim._schedule_resume(self, value)
+        sim = self._sim
+        sim._seq += 1
+        heappush(sim._heap, (sim.now, sim._seq, self, value))
 
     def _step(self, send_value: Any) -> None:
-        """Advance the generator one yield and act on the command."""
-        try:
-            command = self._gen.send(send_value)
-        except StopIteration as stop:
-            self.completion.fire(stop.value)
-            return
-        if type(command) is int:
-            if command < 0:
-                self._gen.throw(SimulationError("negative timeout %d" % command))
+        """Advance the generator until it suspends on future work.
+
+        Runs a trampoline: a yield of an *already fired* completion —
+        the uncontended resource grant, a finished process's join — is
+        answered immediately instead of round-tripping the event heap,
+        so the common fast paths cost zero heap operations.  Time never
+        advances inside the loop (a fired completion resumes at the
+        current instant by definition), and positive delays, unfired
+        completions, and ``yield 0`` still suspend through the heap,
+        preserving the kernel's deterministic (time, sequence) order
+        for everything that actually waits.
+        """
+        sim = self._sim
+        send = self._gen.send
+        while True:
+            try:
+                command = send(send_value)
+            except StopIteration as stop:
+                self._finished = True
+                done = self._completion
+                if done is not None:
+                    done.fire(stop.value)
+                else:
+                    self._result = stop.value
                 return
-            self._sim._schedule_resume_at(self._sim.now + command, self)
-        elif isinstance(command, Completion):
-            if not command.fired:
+            if type(command) is int:
+                if command > 0:
+                    when = sim.now + command
+                    heap = sim._heap
+                    if (not heap or when < heap[0][0]) and (
+                        sim._until is None or when <= sim._until
+                    ):
+                        # Fast-forward: this process is strictly ahead
+                        # of every queued event, so pushing and popping
+                        # it would run it next anyway with nothing in
+                        # between.  Advance time in place instead.
+                        sim.now = when
+                        send_value = None
+                        continue
+                    sim._seq += 1
+                    heappush(heap, (when, sim._seq, self, None))
+                    return
+                if command < 0:
+                    self._gen.throw(
+                        SimulationError("negative timeout %d" % command)
+                    )
+                    return
+                # A zero delay is an explicit reschedule: it must let
+                # already-queued same-time events run first, so it goes
+                # through the heap like any other suspension.
+                sim._seq += 1
+                heappush(sim._heap, (sim.now, sim._seq, self, None))
+                return
+            if isinstance(command, Completion):
+                if command.fired:
+                    # Same-time wakeup fast path: resume in place.
+                    send_value = command.value
+                    continue
                 # Track waiters on unfired completions: a non-zero count
                 # once the event queue drains means a process leaked
                 # (deadlocked on a completion nobody will fire).
                 self._blocked = True
-                self._sim.blocked_processes += 1
-            command._subscribe(self)
-        else:
+                sim.blocked_processes += 1
+                command._waiters.append(self)
+                return
             self._gen.throw(
                 SimulationError(
                     "process %r yielded %r; expected int delay or Completion"
                     % (self.name, command)
                 )
             )
+            return
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "finished" if self.finished else "running"
@@ -99,6 +162,10 @@ class Simulator:
         self._heap: List[Tuple[int, int, Process, Any]] = []
         self._seq: int = 0
         self._running = False
+        #: absolute time bound of the active bounded run() (None when
+        #: unbounded); gates the trampoline's time fast-forward so a
+        #: bounded run never advances past its horizon.
+        self._until: Optional[int] = None
         #: processes currently suspended on an unfired Completion; when
         #: the heap drains this must be zero or waiters leaked.
         self.blocked_processes: int = 0
@@ -120,7 +187,7 @@ class Simulator:
                 "cannot schedule in the past (%d < %d)" % (when, self.now)
             )
         self._seq += 1
-        heapq.heappush(self._heap, (when, self._seq, process, value))
+        heappush(self._heap, (when, self._seq, process, value))
 
     # --- execution ---------------------------------------------------
 
@@ -134,18 +201,74 @@ class Simulator:
         if self._running:
             raise SimulationError("Simulator.run() is not reentrant")
         self._running = True
+        self._until = until
         try:
             heap = self._heap
-            while heap:
-                when = heap[0][0]
-                if until is not None and when > until:
-                    self.now = until
-                    break
-                when, _seq, process, value = heapq.heappop(heap)
-                self.now = when
-                process._step(value)
+            if until is None:
+                # The unbounded loop is the replay hot path; the body is
+                # Process._step's trampoline inlined (minus the _until
+                # guard, vacuous here) to save a method call and the
+                # attribute re-lookups on every event.  Keep the two in
+                # sync when changing suspension semantics.
+                while heap:
+                    when, _seq, process, value = heappop(heap)
+                    self.now = when
+                    send = process._gen.send
+                    while True:
+                        try:
+                            command = send(value)
+                        except StopIteration as stop:
+                            process._finished = True
+                            done = process._completion
+                            if done is not None:
+                                done.fire(stop.value)
+                            else:
+                                process._result = stop.value
+                            break
+                        if type(command) is int:
+                            if command > 0:
+                                when = self.now + command
+                                if not heap or when < heap[0][0]:
+                                    self.now = when
+                                    value = None
+                                    continue
+                                self._seq += 1
+                                heappush(heap, (when, self._seq, process, None))
+                                break
+                            if command < 0:
+                                process._gen.throw(
+                                    SimulationError("negative timeout %d" % command)
+                                )
+                                break
+                            self._seq += 1
+                            heappush(heap, (self.now, self._seq, process, None))
+                            break
+                        if isinstance(command, Completion):
+                            if command.fired:
+                                value = command.value
+                                continue
+                            process._blocked = True
+                            self.blocked_processes += 1
+                            command._waiters.append(process)
+                            break
+                        process._gen.throw(
+                            SimulationError(
+                                "process %r yielded %r; expected int delay or"
+                                " Completion" % (process.name, command)
+                            )
+                        )
+                        break
+            else:
+                while heap:
+                    if heap[0][0] > until:
+                        self.now = until
+                        break
+                    when, _seq, process, value = heappop(heap)
+                    self.now = when
+                    process._step(value)
         finally:
             self._running = False
+            self._until = None
         return self.now
 
     def run_until_complete(self, gen: ProcessGenerator, name: str = "") -> Any:

@@ -37,19 +37,32 @@ class Filer:
         self.slow_reads = 0
         self.writes = 0
 
-    def read_block(self) -> Iterator:
-        """Process generator: service one 4 KB block read."""
+    def read_service_ns(self) -> int:
+        """Charge one block read and return its service time.
+
+        Non-generator twin of :meth:`read_block` for callers that fold
+        the filer delay into their own process frame (the host stack's
+        hot paths); draws from the same RNG stream at the same point, so
+        fast/slow outcomes are identical either way.
+        """
         if self._rng.random() < self.timing.fast_read_rate:
             self.fast_reads += 1
-            yield self.timing.fast_read_ns
-        else:
-            self.slow_reads += 1
-            yield self.timing.slow_read_ns
+            return self.timing.fast_read_ns
+        self.slow_reads += 1
+        return self.timing.slow_read_ns
+
+    def write_service_ns(self) -> int:
+        """Charge one block write and return its (always fast) service time."""
+        self.writes += 1
+        return self.timing.write_ns
+
+    def read_block(self) -> Iterator:
+        """Process generator: service one 4 KB block read."""
+        yield self.read_service_ns()
 
     def write_block(self) -> Iterator:
         """Process generator: service one 4 KB block write (always fast)."""
-        self.writes += 1
-        yield self.timing.write_ns
+        yield self.write_service_ns()
 
     @property
     def reads(self) -> int:

@@ -59,6 +59,30 @@ class FlashDevice:
     def read_latency_ns(self) -> int:
         return self.timing.read_ns
 
+    @property
+    def unlimited_parallelism(self) -> bool:
+        """True when the device is a pure latency server (no channel
+        queue), which makes the non-generator ``*_service_ns`` methods
+        valid substitutes for the process-generator I/O methods."""
+        return self._channel is None
+
+    def read_service_ns(self, block: Optional[int] = None) -> int:
+        """Charge one block read and return its service time.
+
+        Non-generator twin of :meth:`read_block` for hot-path callers
+        that fold the device delay into their own process frame.  Only
+        valid on unlimited-parallelism devices — channel-limited devices
+        must queue through the generator form.
+        """
+        self.blocks_read += 1
+        return self.timing.read_ns
+
+    def write_service_ns(self, block: Optional[int] = None) -> int:
+        """Charge one block write and return its service time (see
+        :meth:`read_service_ns` for the validity constraint)."""
+        self.blocks_written += 1
+        return self.write_latency_ns
+
     def read_block(self, block: Optional[int] = None) -> Iterator:
         """Process generator: read one 4 KB block.
 
@@ -66,21 +90,20 @@ class FlashDevice:
         it (average-latency model), the FTL-backed subclass uses it for
         address translation.
         """
-        self.blocks_read += 1
         if self._channel is not None:
+            self.blocks_read += 1
             yield from self._channel.use(self.timing.read_ns)
         else:
-            yield self.timing.read_ns
+            yield self.read_service_ns(block)
 
     def write_block(self, block: Optional[int] = None) -> Iterator:
         """Process generator: write one 4 KB block (plus metadata if
         the device is in persistent mode)."""
-        self.blocks_written += 1
-        latency = self.write_latency_ns
         if self._channel is not None:
-            yield from self._channel.use(latency)
+            self.blocks_written += 1
+            yield from self._channel.use(self.write_latency_ns)
         else:
-            yield latency
+            yield self.write_service_ns(block)
 
     def trim_block(self, block: int) -> None:
         """Notify the device a block was evicted (no-op for the base

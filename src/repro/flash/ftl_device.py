@@ -96,13 +96,13 @@ class FTLFlashDevice(FlashDevice):
 
     # --- I/O ------------------------------------------------------------------
 
-    def write_block(self, block: Optional[int] = None) -> Iterator:
-        """Write one block; GC relocation traffic is charged here."""
+    def write_service_ns(self, block: Optional[int] = None) -> int:
+        """Charge one block write (translation, GC relocations, erases)
+        and return its total service time."""
         self.blocks_written += 1
         if block is None:
             # Anonymous write (no translation context): base-model cost.
-            yield self.write_latency_ns
-            return
+            return self.write_latency_ns
         flash_writes_before = self.ftl.flash_writes
         erases_before = self.ftl.erases
         self.ftl.write(self._lpn_for(block))
@@ -114,7 +114,11 @@ class FTLFlashDevice(FlashDevice):
             # the host page; relocated pages move data only, so strip
             # the double charge for them.
             latency -= (relocations - 1) * self.timing.write_ns
-        yield latency
+        return latency
+
+    def write_block(self, block: Optional[int] = None) -> Iterator:
+        """Write one block; GC relocation traffic is charged here."""
+        yield self.write_service_ns(block)
 
     # --- reporting ---------------------------------------------------------------
 

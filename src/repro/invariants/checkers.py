@@ -96,11 +96,14 @@ def check_store(store, now: Optional[int] = None) -> None:
     for key, value in counters.items():
         if value < 0:
             fail(name, "negative statistic %s = %d" % (key, value), now, **counters)
-    if stats.hits + stats.misses != stats.lookups:
+    try:
+        # The lookup identity lives with the stats object itself so
+        # non-invariant callers (reports, tests) can assert it too.
+        stats.check_consistent()
+    except ValueError as exc:
         fail(
             name,
-            "hits (%d) + misses (%d) != lookups (%d)"
-            % (stats.hits, stats.misses, stats.lookups),
+            str(exc),
             now,
             hits=stats.hits,
             misses=stats.misses,

@@ -47,6 +47,17 @@ class NetworkSegment:
     dirty blocks queue on the host→filer wire.
     """
 
+    __slots__ = (
+        "_sim",
+        "timing",
+        "_up",
+        "_down",
+        "_wire_time",
+        "name",
+        "packets_sent",
+        "payload_bytes_sent",
+    )
+
     def __init__(
         self,
         sim: Simulator,
@@ -57,6 +68,10 @@ class NetworkSegment:
         self.timing = timing or NetworkTiming.paper_default()
         self._up = Resource(sim, capacity=1, name=name + ".up")
         self._down = Resource(sim, capacity=1, name=name + ".down")
+        #: wire time memo keyed by payload size — the protocol uses
+        #: three packet shapes, so this avoids recomputing the
+        #: float-multiply-and-round on every hot-path transfer.
+        self._wire_time: dict = {}
         self.name = name
         self.packets_sent = 0
         self.payload_bytes_sent = 0
@@ -68,13 +83,39 @@ class NetworkSegment:
             return self._down
         raise ConfigError("direction must be 'up' or 'down', got %r" % (direction,))
 
+    def charge(self, packet: Packet, direction: str) -> "tuple[Resource, int]":
+        """Account for one packet and return ``(wire, wire_time_ns)``.
+
+        Non-generator half of :meth:`transfer`: callers that fold the
+        wire occupancy into their own process frame (the host stack's
+        filer paths) call this, then acquire/hold/release the returned
+        wire themselves.  ``up`` is host→filer, ``down`` is filer→host.
+        """
+        payload = packet.payload_bytes
+        self.packets_sent += 1
+        self.payload_bytes_sent += payload
+        if direction == "up":
+            wire = self._up
+        elif direction == "down":
+            wire = self._down
+        else:
+            raise ConfigError(
+                "direction must be 'up' or 'down', got %r" % (direction,)
+            )
+        wire_time = self._wire_time.get(payload)
+        if wire_time is None:
+            wire_time = self.timing.packet_time_ns(packet)
+            self._wire_time[payload] = wire_time
+        return wire, wire_time
+
     def transfer(self, packet: Packet, direction: str = "up") -> Iterator:
         """Process generator: occupy one direction of the segment for
-        the packet's wire time.  ``up`` is host→filer, ``down`` is
-        filer→host."""
-        self.packets_sent += 1
-        self.payload_bytes_sent += packet.payload_bytes
-        yield from self._wire_for(direction).use(self.timing.packet_time_ns(packet))
+        the packet's wire time."""
+        wire, wire_time = self.charge(packet, direction)
+        if not wire.try_acquire():
+            yield wire.acquire()
+        yield wire_time
+        wire.release()
 
     def utilization(self) -> float:
         """Mean busy fraction of the two directions."""

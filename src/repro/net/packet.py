@@ -39,19 +39,33 @@ class Packet:
     @classmethod
     def request(cls) -> "Packet":
         """A header-only request packet ("block information" rides in the
-        fixed per-packet latency)."""
-        return cls(PacketKind.REQUEST)
+        fixed per-packet latency).  Packets are immutable, so the three
+        protocol shapes are shared singletons (one per subclass)."""
+        return _protocol_packet(cls, PacketKind.REQUEST, 0)
 
     @classmethod
     def data_block(cls) -> "Packet":
         """A packet carrying one 4 KB block."""
-        return cls(PacketKind.DATA, BLOCK_SIZE)
+        return _protocol_packet(cls, PacketKind.DATA, BLOCK_SIZE)
 
     @classmethod
     def ack(cls) -> "Packet":
         """A header-only acknowledgement."""
-        return cls(PacketKind.ACK)
+        return _protocol_packet(cls, PacketKind.ACK, 0)
 
     @property
     def payload_bits(self) -> int:
         return 8 * self.payload_bytes
+
+
+#: Shared instances of the three protocol packet shapes, keyed by
+#: (class, kind) so dataclass subclasses get their own singletons.
+_PROTOCOL_PACKETS: dict = {}
+
+
+def _protocol_packet(cls, kind: PacketKind, payload_bytes: int) -> Packet:
+    packet = _PROTOCOL_PACKETS.get((cls, kind))
+    if packet is None:
+        packet = cls(kind, payload_bytes)
+        _PROTOCOL_PACKETS[(cls, kind)] = packet
+    return packet

@@ -102,6 +102,124 @@ def _signature_diff(
     ]
 
 
+def _latency_fingerprint(stat) -> Dict[str, object]:
+    """Every raw field of a LatencyStat (exact integers, no rounding)."""
+    return {
+        "count": stat.count,
+        "total_ns": stat.total_ns,
+        "min_ns": stat.min_ns,
+        "max_ns": stat.max_ns,
+        "buckets": list(stat._buckets),
+    }
+
+
+def full_signature(result: SimulationResults) -> Dict[str, object]:
+    """Bit-exact fingerprint of *all* :class:`SimulationResults` fields.
+
+    Used to prove that a performance change left every simulated result
+    untouched: two runs of behaviorally identical code must produce
+    equal full signatures, down to histogram bucket counts and per-host
+    breakdowns.  (``result_signature`` above is the smaller cross-config
+    identity set; this one is the cross-*version* identity set.)
+    """
+    timeline = None
+    if result.read_timeline is not None:
+        timeline = {
+            "bucket_ns": result.read_timeline.bucket_ns,
+            "sums": {str(k): v for k, v in sorted(result.read_timeline._sums.items())},
+            "counts": {
+                str(k): v for k, v in sorted(result.read_timeline._counts.items())
+            },
+        }
+    return {
+        "config": result.config_description,
+        "read_latency": _latency_fingerprint(result.read_latency),
+        "write_latency": _latency_fingerprint(result.write_latency),
+        "read_request_latency": _latency_fingerprint(result.read_request_latency),
+        "write_request_latency": _latency_fingerprint(result.write_request_latency),
+        "simulated_ns": result.simulated_ns,
+        "measured_ns": result.measured_ns,
+        "records_replayed": result.records_replayed,
+        "blocks_read": result.blocks_read,
+        "blocks_written": result.blocks_written,
+        "tier_stats": result.tier_stats,
+        "filer_fast_reads": result.filer_fast_reads,
+        "filer_slow_reads": result.filer_slow_reads,
+        "filer_writes": result.filer_writes,
+        "flash_blocks_read": result.flash_blocks_read,
+        "flash_blocks_written": result.flash_blocks_written,
+        "flash_write_amplification": result.flash_write_amplification,
+        "network_utilization": result.network_utilization,
+        "read_timeline": timeline,
+        "per_host": result.per_host,
+        "block_writes": result.block_writes,
+        "writes_requiring_invalidation": result.writes_requiring_invalidation,
+        "copies_invalidated": result.copies_invalidated,
+    }
+
+
+def matrix_signatures(
+    scale: int = DEFAULT_SCALE, workers: Optional[int] = None
+) -> Dict[str, Dict[str, object]]:
+    """Full signatures for every point of the differential matrix.
+
+    Covers the three degenerate families (flash=0 collapse, read-only,
+    s/s single-thread) plus the standard baseline, across every
+    architecture — the fixed set a performance PR must reproduce
+    bit-identically.  Dump/compare via the CLI's ``--dump-signatures``
+    and ``--compare-signatures``.
+    """
+    signatures: Dict[str, Dict[str, object]] = {}
+
+    def add(family: str, trace: Trace, configs, names) -> None:
+        for name, result in zip(names, run_sweep(trace, configs, workers=workers)):
+            signatures["%s/%s" % (family, name)] = full_signature(result)
+
+    base = baseline_trace(scale=scale)
+    add(
+        "baseline",
+        base,
+        [
+            baseline_config(scale=scale, architecture=architecture)
+            for architecture in ALL_ARCHITECTURES
+        ],
+        [architecture.value for architecture in ALL_ARCHITECTURES],
+    )
+    add(
+        "flash-zero",
+        base,
+        [
+            baseline_config(flash_gb=0, scale=scale, architecture=architecture)
+            for architecture in COLLAPSING_ARCHITECTURES
+        ],
+        [architecture.value for architecture in COLLAPSING_ARCHITECTURES],
+    )
+    add(
+        "read-only",
+        baseline_trace(write_fraction=0.0, scale=scale),
+        [
+            baseline_config(scale=scale, architecture=architecture)
+            for architecture in ALL_ARCHITECTURES
+        ],
+        [architecture.value for architecture in ALL_ARCHITECTURES],
+    )
+    add(
+        "sync-single-thread",
+        _single_thread_trace(scale),
+        [
+            baseline_config(
+                scale=scale,
+                architecture=architecture,
+                ram_policy=WritebackPolicy.sync(),
+                flash_policy=WritebackPolicy.sync(),
+            )
+            for architecture in ALL_ARCHITECTURES
+        ],
+        [architecture.value for architecture in ALL_ARCHITECTURES],
+    )
+    return signatures
+
+
 # --- report types -------------------------------------------------------
 
 
@@ -344,10 +462,63 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="worker processes for the sweep-backed checks "
         "(0 = all cores; default: serial)",
     )
+    parser.add_argument(
+        "--dump-signatures",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="write full result signatures for the differential matrix "
+        "to FILE (JSON) instead of running the identity checks",
+    )
+    parser.add_argument(
+        "--compare-signatures",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="re-run the differential matrix and compare against "
+        "signatures previously dumped to FILE; any difference fails",
+    )
     args = parser.parse_args(argv)
     scale = args.scale if args.scale is not None else (
         DEFAULT_SCALE * 4 if args.fast else DEFAULT_SCALE
     )
+    if args.dump_signatures or args.compare_signatures:
+        import json
+
+        signatures = matrix_signatures(scale=scale, workers=args.workers)
+        if args.dump_signatures:
+            with open(args.dump_signatures, "w") as handle:
+                json.dump(signatures, handle, indent=1, sort_keys=True)
+            print(
+                "dumped %d matrix signatures to %s"
+                % (len(signatures), args.dump_signatures)
+            )
+            return 0
+        with open(args.compare_signatures) as handle:
+            reference = json.load(handle)
+        # Round-trip through JSON so tuple-vs-list and key-type
+        # differences introduced by serialization do not register.
+        current = json.loads(json.dumps(signatures, sort_keys=True))
+        problems: List[str] = []
+        for name in sorted(set(reference) | set(current)):
+            if name not in reference:
+                problems.append("%s: missing from reference" % name)
+            elif name not in current:
+                problems.append("%s: missing from current run" % name)
+            elif reference[name] != current[name]:
+                for key in reference[name]:
+                    if reference[name].get(key) != current[name].get(key):
+                        problems.append("%s.%s differs" % (name, key))
+        if problems:
+            print("signature drift against %s:" % args.compare_signatures)
+            for problem in problems[:20]:
+                print("  - %s" % problem)
+            return 1
+        print(
+            "all %d matrix signatures bit-identical to %s"
+            % (len(current), args.compare_signatures)
+        )
+        return 0
     report = run_differential(scale=scale, workers=args.workers)
     print(report.summary())
     return 0 if report.passed else 1

@@ -277,3 +277,37 @@ class TestPopVictimPrecedenceRegression:
             store.lifetime_insertions - store.lifetime_departures
             == len(store)
         )
+
+
+class TestStatsConsistency:
+    def test_lookup_identity_holds_after_mixed_operations(self):
+        store = BlockStore(2)
+        store.get(1)            # miss
+        store.put(1)
+        store.get(1)            # hit
+        store.put(2)
+        store.get(3)            # miss
+        store.pop_victim()
+        stats = store.stats
+        stats.check_consistent()
+        assert stats.accesses == stats.lookups
+
+    def test_check_consistent_rejects_drifted_counters(self):
+        # Regression: accesses (hits + misses) and lookups used to be
+        # allowed to drift silently; the identity is now asserted.
+        store = BlockStore(2)
+        store.put(1)
+        store.get(1)
+        store.stats.lookups += 1  # simulate a drifted counter
+        with pytest.raises(ValueError, match="lookups"):
+            store.stats.check_consistent()
+
+    def test_identity_survives_measurement_reset(self):
+        store = BlockStore(2)
+        store.put(1)
+        store.get(1)
+        store.stats.reset_for_measurement()
+        store.get(1)
+        store.get(9)
+        store.stats.check_consistent()
+        assert store.stats.accesses == store.stats.lookups == 2

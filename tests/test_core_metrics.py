@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.metrics import LatencyStat, MetricsCollector
+from repro.core.metrics import LatencyStat, MetricsCollector, TimelineStat
 
 
 class TestLatencyStat:
@@ -68,6 +68,94 @@ class TestLatencyStat:
         stat = LatencyStat()
         stat.record(10**12)  # beyond the last bucket edge
         assert stat.percentile(1.0) > 0
+
+    def test_percentile_zero_reflects_minimum(self):
+        # Regression: with every observation far above the first bucket,
+        # percentile(0.0) used to report the first bucket edge (100 ns)
+        # instead of anything the sample actually contains.
+        stat = LatencyStat()
+        for _ in range(10):
+            stat.record(5_000)
+        assert stat.percentile(0.0) == 5_000.0
+
+    def test_percentile_clamped_to_observed_maximum(self):
+        # Regression: the raw bucket upper edge can exceed every recorded
+        # value; the estimate must stay inside [min_ns, max_ns].
+        stat = LatencyStat()
+        for _ in range(100):
+            stat.record(1_500)  # bucket upper edge is 1_600
+        assert stat.percentile(0.99) == 1_500.0
+
+    def test_percentile_never_leaves_observed_range(self):
+        stat = LatencyStat()
+        for value in (5_000, 7_000, 9_000):
+            stat.record(value)
+        for fraction in (0.0, 0.01, 0.5, 0.99, 1.0):
+            estimate = stat.percentile(fraction)
+            assert stat.min_ns <= estimate <= stat.max_ns
+
+    def test_merge_equals_combined_accumulator(self):
+        # The merged accumulator must be indistinguishable from one that
+        # saw both sample streams directly: min/max/count/total and every
+        # histogram bucket.
+        first = (100, 250, 1_500, 90_000)
+        second = (50, 1_500, 2**40)
+        a, b, combined = LatencyStat(), LatencyStat(), LatencyStat()
+        for value in first:
+            a.record(value)
+        for value in second:
+            b.record(value)
+        for value in first + second:
+            combined.record(value)
+        a.merge(b)
+        assert a.count == combined.count
+        assert a.total_ns == combined.total_ns
+        assert a.min_ns == combined.min_ns
+        assert a.max_ns == combined.max_ns
+        assert a._buckets == combined._buckets
+
+    def test_bucket_index_matches_doubling_thresholds(self):
+        # The closed-form bucket index must agree with the definition:
+        # bucket i spans (100 * 2**(i-1), 100 * 2**i].
+        for latency, expected in (
+            (0, 0),
+            (1, 0),
+            (100, 0),
+            (101, 1),
+            (200, 1),
+            (201, 2),
+            (400, 2),
+            (401, 3),
+        ):
+            stat = LatencyStat()
+            stat.record(latency)
+            assert stat._buckets[expected] == 1, latency
+
+
+class TestTimelineStat:
+    def test_bucket_boundaries_are_exact_multiples(self):
+        timeline = TimelineStat(bucket_ns=1_000)
+        timeline.record(0, 10)
+        timeline.record(999, 20)       # still bucket 0
+        timeline.record(1_000, 30)     # first instant of bucket 1
+        timeline.record(2_500, 40)
+        starts = [start for start, _mean, _count in timeline.series()]
+        assert starts == [0, 1_000, 2_000]
+        assert all(start % timeline.bucket_ns == 0 for start in starts)
+
+    def test_bucket_means_and_counts(self):
+        timeline = TimelineStat(bucket_ns=1_000)
+        timeline.record(0, 10)
+        timeline.record(999, 20)
+        timeline.record(1_000, 30)
+        series = timeline.series()
+        assert series[0] == (0, 15.0, 2)
+        assert series[1] == (1_000, 30.0, 1)
+        assert len(timeline) == 2
+
+    def test_rejects_nonpositive_bucket(self):
+        with pytest.raises(ValueError):
+            TimelineStat(bucket_ns=0)
 
 
 class TestMetricsCollector:

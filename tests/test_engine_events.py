@@ -115,3 +115,51 @@ class TestAllOf:
         combined = all_of([a])
         assert combined.fired
         assert combined.value == ["x"]
+
+    def test_empty_list_in_kernel_resumes_without_suspending(self):
+        # Contract: the vacuous conjunction is already fired when
+        # all_of() returns, so a process yielding it resumes at the
+        # current instant without waiting on anything.
+        sim = Simulator()
+        log = []
+
+        def waiter():
+            value = yield all_of([])
+            log.append((sim.now, value))
+
+        sim.spawn(waiter())
+        sim.run()
+        assert log == [(0, [])]
+
+    def test_empty_list_callbacks_run_synchronously(self):
+        combined = all_of([])
+        seen = []
+        combined.add_callback(seen.append)
+        assert seen == [[]]
+
+    def test_single_element_in_kernel_waits_for_that_completion(self):
+        # A one-element all_of must behave exactly like yielding the
+        # completion directly, with the value wrapped in a list.
+        sim = Simulator()
+        inner = Completion()
+        log = []
+
+        def waiter():
+            value = yield all_of([inner])
+            log.append((sim.now, value))
+
+        def firer():
+            yield 50
+            inner.fire("v")
+
+        sim.spawn(waiter())
+        sim.spawn(firer())
+        sim.run()
+        assert log == [(50, ["v"])]
+
+    def test_doc_and_behavior_agree_on_empty_input(self):
+        # Regression: the docstring used to claim the empty conjunction
+        # "fires as soon as the first process waits on it" while the
+        # implementation created it already fired.
+        assert "already" in all_of.__doc__ and "fired" in all_of.__doc__
+        assert all_of([]).fired
