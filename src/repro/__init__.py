@@ -31,6 +31,7 @@ surface:
 * :mod:`repro.tracegen`    — synthetic trace generator
 * :mod:`repro.core`        — the client cache stack and simulation driver
 * :mod:`repro.sweep`       — parallel batch execution of simulation points
+* :mod:`repro.obs`         — structured tracing and latency breakdowns
 * :mod:`repro.experiments` — per-figure/table reproduction harness
 """
 
@@ -57,10 +58,11 @@ from repro.core import (
     SimulationResults,
     run_simulation,
 )
+from repro.obs import Observation
 from repro.tracegen import TraceGenConfig, generate_trace
 from repro.traces import Trace, TraceOp, TraceRecord
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from repro.sweep import (  # noqa: E402  (needs __version__ for cache keys)
     PointReport,
@@ -90,6 +92,7 @@ __all__ = [
     "WritebackPolicy",
     "SimulationResults",
     "run_simulation",
+    "Observation",
     "PointReport",
     "SweepOutcome",
     "SweepPoint",

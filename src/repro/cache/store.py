@@ -43,6 +43,7 @@ class BlockStore:
         "stats",
         "_pinned",
         "_touch",
+        "obs_hook",
     )
 
     def __init__(
@@ -74,6 +75,10 @@ class BlockStore:
         # Bound-method shortcut for the per-lookup promote (the policy
         # never changes after construction).
         self._touch = self._policy.touch
+        #: observability sink (a repro.obs StoreObserver); None when
+        #: tracing is off, so the eviction/invalidation/writeback paths
+        #: pay one branch each.
+        self.obs_hook = None
 
     # --- lookup ------------------------------------------------------
 
@@ -177,6 +182,9 @@ class BlockStore:
         self.stats.evictions += 1
         if entry.dirty:
             self.stats.dirty_evictions += 1
+        hook = self.obs_hook
+        if hook is not None:
+            hook.evicted(entry.block, entry.dirty)
         return entry
 
     def remove(self, block: int, invalidation: bool = False) -> Optional[BlockEntry]:
@@ -186,6 +194,9 @@ class BlockStore:
         entry = self._remove_entry(block)
         if invalidation:
             self.stats.invalidations += 1
+            hook = self.obs_hook
+            if hook is not None:
+                hook.invalidated(block)
         return entry
 
     def _remove_entry(self, block: int) -> BlockEntry:
@@ -217,6 +228,9 @@ class BlockStore:
         entry.dirty = False
         self._dirty.discard(block)
         self.stats.writebacks += 1
+        hook = self.obs_hook
+        if hook is not None:
+            hook.wrote_back(block)
 
     def dirty_blocks(self) -> List[int]:
         """Snapshot of currently dirty block numbers (syncer input)."""

@@ -100,6 +100,13 @@ class SimConfig:
     check_invariants: bool = False
     #: trace records between interval checks when the sanitizer is on
     invariant_check_interval: int = 256
+    #: attach a :class:`repro.obs.Observation` to the run — structured
+    #: event tracing plus the per-request latency breakdown, returned on
+    #: ``SimulationResults.breakdown`` / ``.obs_counters``.  Use this
+    #: (rather than ``run_simulation(obs=...)``) when the run happens in
+    #: a sweep worker process and the observation must travel back
+    #: inside the picklable results.
+    trace_events: bool = False
     #: master seed for the simulator's stochastic choices (filer prefetch)
     seed: int = 7
     #: replay warmup records but exclude them from statistics (the

@@ -46,6 +46,9 @@ from repro.filer.server import Filer
 from repro.flash.device import FlashDevice
 from repro.net.link import NetworkSegment
 from repro.net.packet import Packet
+from repro.obs.events import EventKind
+
+_SYNCER_RUN = EventKind.SYNCER_RUN
 
 
 def _after(delay_ns: int, gen: Iterator) -> Iterator:
@@ -63,6 +66,12 @@ _PKT_ACK = Packet.ack()
 
 class HostStack:
     """Common machinery shared by the three architectures."""
+
+    #: observability event sink (a repro.obs EventRecorder), attached by
+    #: repro.obs.instrument.attach_observation.  A *class* attribute so
+    #: untraced instances carry no per-instance cost; rare-event sites
+    #: (syncer rounds) guard on it with one predictable branch.
+    _obs_rec = None
 
     def __init__(
         self,
@@ -462,6 +471,12 @@ class LayeredStack(HostStack):
             dirty = store.dirty_blocks()
             if not dirty:
                 continue
+            rec = self._obs_rec
+            if rec is not None:
+                rec.emit(
+                    self.sim.now, _SYNCER_RUN, self.host_id, tier=store.name,
+                    info={"dirty": len(dirty)},
+                )
             if trickle:
                 spacing = period_ns // len(dirty)
                 for index, block in enumerate(dirty):
@@ -702,6 +717,12 @@ class UnifiedStack(HostStack):
             ]
             if not dirty:
                 continue
+            rec = self._obs_rec
+            if rec is not None:
+                rec.emit(
+                    self.sim.now, _SYNCER_RUN, self.host_id, tier=medium.name.lower(),
+                    info={"dirty": len(dirty)},
+                )
             spacing = period_ns // len(dirty) if trickle else 0
             for index, block in enumerate(dirty):
                 self._spawn(

@@ -47,6 +47,7 @@ class System:
         restart: Optional["RestartSpec"] = None,
         timeline_bucket_ns: Optional[int] = None,
         check_invariants: Optional[bool] = None,
+        obs: Optional[object] = None,
     ) -> None:
         if n_hosts < 1:
             n_hosts = 1
@@ -55,6 +56,20 @@ class System:
         self.restart = restart
         self._timeline_bucket_ns = timeline_bucket_ns
         self.sim = Simulator()
+        # Observability: an explicit Observation wins; otherwise
+        # config.trace_events creates one internally (the sweep path).
+        # When attached, hosts are built from the instrumented stack
+        # classes — the plain classes stay untouched, so a run without
+        # an observation takes none of the traced code paths.
+        if obs is None and config.trace_events:
+            from repro.obs import Observation
+
+            obs = Observation()
+        self.obs = obs
+        if obs is not None:
+            from repro.obs.instrument import build_obs_host_stack as _build_stack
+        else:
+            _build_stack = build_host_stack
         streams = RngStreams(config.seed)
         self.filer = Filer(self.sim, streams.stream("filer"), config.timing.filer)
         self.directory = ConsistencyDirectory(n_hosts)
@@ -84,7 +99,7 @@ class System:
                         persistent_metadata=config.persistent_flash,
                         name="flash.h%d" % host_id,
                     )
-            stack = build_host_stack(
+            stack = _build_stack(
                 self.sim,
                 host_id,
                 config,
@@ -97,6 +112,10 @@ class System:
             self.segments.append(segment)
             self.flash_devices.append(device)
             self.hosts.append(stack)
+        if obs is not None:
+            from repro.obs.instrument import attach_observation
+
+            attach_observation(self, obs)
         self.invalidation_messages = 0
         if config.model_invalidation_traffic:
             self.directory.traffic_hook = self._send_invalidation_message
@@ -182,16 +201,19 @@ class System:
         if self._blocks_until_measurement == 0:
             self._begin_measurement()
         self._active_threads = len(groups)
-        for (host_id, _thread_id), items in sorted(groups.items()):
+        for (host_id, thread_id), items in sorted(groups.items()):
             if host_id >= self.n_hosts:
                 raise ValueError(
                     "trace references host %d but the system has %d hosts"
                     % (host_id, self.n_hosts)
                 )
-            self.sim.spawn(
-                self._thread_process(trace, self.hosts[host_id], items),
-                name="app.h%d" % host_id,
-            )
+            if self.obs is not None:
+                process = self._thread_process_obs(
+                    trace, self.hosts[host_id], items, thread_id
+                )
+            else:
+                process = self._thread_process(trace, self.hosts[host_id], items)
+            self.sim.spawn(process, name="app.h%d" % host_id)
         for host in self.hosts:
             # Syncers keep ticking while application threads are live and
             # wind down afterwards, letting the event queue drain.
@@ -240,6 +262,95 @@ class System:
                     record_host_block(is_write, latency)
             if measured:
                 record_request(is_write, sim.now - request_start)
+            record_completed(record)
+        self._active_threads -= 1
+
+    def _thread_process_obs(
+        self,
+        trace: Trace,
+        stack: HostStack,
+        items: List[Tuple[int, TraceRecord]],
+        thread_id: int,
+    ):
+        """Instrumented twin of :meth:`_thread_process` (keep in sync).
+
+        Adds request start/finish events and routes each block through
+        the stack's ``*_obs`` entry points with a reusable
+        :class:`~repro.obs.breakdown.Span` for exact component
+        attribution.  Stacks without instrumented paths (the exclusive
+        architecture) fall back to the plain entry points with the whole
+        latency attributed to ``other``.
+        """
+        from repro.obs.breakdown import Span
+        from repro.obs.events import EventKind
+
+        sim = self.sim
+        obs = self.obs
+        rec = obs.recorder
+        collector = obs.breakdown_collector
+        record_span = collector.record if collector is not None else None
+        warmup_records = trace.warmup_records
+        record_blocks = trace.record_blocks
+        read_obs = getattr(stack, "read_block_obs", None)
+        write_obs = getattr(stack, "write_block_obs", None)
+        read_block = stack.read_block
+        write_block = stack.write_block
+        metrics = self.metrics
+        record_fleet_block = metrics.record_block
+        record_request = metrics.record_request
+        record_host_block = self.host_metrics[stack.host_id].record_block
+        record_completed = self._record_completed
+        host_id = stack.host_id
+        start_kind = EventKind.REQUEST_START
+        finish_kind = EventKind.REQUEST_FINISH
+        span = Span()
+        for index, record in items:
+            measured = index >= warmup_records
+            is_write = record.is_write
+            request_start = sim.now
+            if rec is not None:
+                rec.emit(
+                    request_start,
+                    start_kind,
+                    host_id,
+                    info={
+                        "thread": thread_id,
+                        "op": "w" if is_write else "r",
+                        "blocks": record.nblocks,
+                    },
+                )
+            for block in record_blocks(record):
+                span.reset()
+                block_start = sim.now
+                if is_write:
+                    if write_obs is not None:
+                        yield from write_obs(block, span, measured=measured)
+                    else:
+                        yield from write_block(block, measured=measured)
+                        span.other += sim.now - block_start
+                else:
+                    if read_obs is not None:
+                        yield from read_obs(block, span)
+                    else:
+                        yield from read_block(block)
+                        span.other += sim.now - block_start
+                if measured:
+                    now = sim.now
+                    latency = now - block_start
+                    record_fleet_block(is_write, latency, at_ns=now)
+                    record_host_block(is_write, latency)
+                    if record_span is not None:
+                        record_span(is_write, latency, span)
+            if measured:
+                record_request(is_write, sim.now - request_start)
+            if rec is not None:
+                rec.emit(
+                    sim.now,
+                    finish_kind,
+                    host_id,
+                    dur=sim.now - request_start,
+                    info={"thread": thread_id},
+                )
             record_completed(record)
         self._active_threads -= 1
 

@@ -3,10 +3,13 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro._units import SECOND
 from repro.core.metrics import LatencyStat, TimelineStat
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs is optional)
+    from repro.obs.breakdown import LatencyBreakdown
 
 
 @dataclass
@@ -54,6 +57,11 @@ class SimulationResults:
     block_writes: int = 0
     writes_requiring_invalidation: int = 0
     copies_invalidated: int = 0
+    #: per-request latency breakdown (present when the run carried an
+    #: Observation — run_simulation(obs=...) or SimConfig.trace_events)
+    breakdown: Optional["LatencyBreakdown"] = None
+    #: per-event-kind trace counters from the same Observation
+    obs_counters: Optional[Dict[str, int]] = None
 
     # --- headline metrics -------------------------------------------------
 
@@ -153,11 +161,24 @@ class SimulationResults:
                 "invalidations:     %.1f%% of %d block writes"
                 % (100 * self.invalidation_fraction, self.block_writes)
             )
+        if self.breakdown is not None:
+            lines.append("latency breakdown (us/block):")
+            mean_read = self.breakdown.mean_read_us()
+            mean_write = self.breakdown.mean_write_us()
+            for component in mean_read:
+                read_us = mean_read[component]
+                write_us = mean_write[component]
+                if read_us == 0.0 and write_us == 0.0:
+                    continue
+                lines.append(
+                    "  %-13s read %8.2f   write %8.2f"
+                    % (component, read_us, write_us)
+                )
         return "\n".join(lines)
 
     def as_dict(self) -> Dict[str, object]:
         """Flatten to plain types (for JSON reports in EXPERIMENTS.md)."""
-        return {
+        payload: Dict[str, object] = {
             "config": self.config_description,
             "read_latency_us": self.read_latency_us,
             "write_latency_us": self.write_latency_us,
@@ -169,3 +190,8 @@ class SimulationResults:
             "network_utilization": self.network_utilization,
             "invalidation_fraction": self.invalidation_fraction,
         }
+        if self.breakdown is not None:
+            payload["breakdown"] = self.breakdown.as_dict()
+        if self.obs_counters is not None:
+            payload["obs_counters"] = dict(self.obs_counters)
+        return payload

@@ -2,13 +2,16 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.core.config import SimConfig
 from repro.core.machine import System
 from repro.core.restart import RestartSpec
 from repro.core.results import SimulationResults
 from repro.traces.records import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import Observation
 
 
 def run_simulation(
@@ -20,6 +23,7 @@ def run_simulation(
     restart: Optional[RestartSpec] = None,
     timeline_bucket_ns: Optional[int] = None,
     check_invariants: Optional[bool] = None,
+    obs: Optional["Observation"] = None,
 ) -> SimulationResults:
     """Replay ``trace`` on a system built from ``config``.
 
@@ -52,6 +56,15 @@ def run_simulation(
     simulation's internal accounting drifts.  ``None`` (the default)
     defers to ``config.check_invariants`` and the
     ``REPRO_CHECK_INVARIANTS`` environment variable.
+
+    ``obs`` attaches a :class:`repro.obs.Observation`: the run then
+    emits structured trace events into its recorder and aggregates an
+    exact per-request latency breakdown, both also surfaced on the
+    results (``results.breakdown`` / ``results.obs_counters``).
+    ``config.trace_events=True`` creates an internal Observation
+    instead — useful when the run executes in a sweep worker process
+    and only the (picklable) results travel back.  The simulation
+    itself is bit-identical either way.
     """
     if cold_start:
         trace = trace.without_warmup()
@@ -64,8 +77,10 @@ def run_simulation(
         restart=restart,
         timeline_bucket_ns=timeline_bucket_ns,
         check_invariants=check_invariants,
+        obs=obs,
     )
     system.replay(trace)
+    obs = system.obs  # the System may have created one from the config
 
     tier_stats = system.aggregate_tier_stats()
     flash_reads, flash_writes = system.total_flash_traffic()
@@ -94,4 +109,6 @@ def run_simulation(
         block_writes=system.directory.block_writes,
         writes_requiring_invalidation=system.directory.writes_requiring_invalidation,
         copies_invalidated=system.directory.copies_invalidated,
+        breakdown=obs.breakdown if obs is not None else None,
+        obs_counters=obs.counters() if obs is not None else None,
     )

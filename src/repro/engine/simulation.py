@@ -169,12 +169,18 @@ class Simulator:
         #: processes currently suspended on an unfired Completion; when
         #: the heap drains this must be zero or waiters leaked.
         self.blocked_processes: int = 0
+        #: optional observability callback, called with each spawned
+        #: process's name (None when tracing is off — the common case
+        #: pays one predictable branch per spawn, nothing per event).
+        self.trace_hook = None
 
     # --- scheduling -------------------------------------------------
 
     def spawn(self, gen: ProcessGenerator, name: str = "") -> Process:
         """Create a process from ``gen`` and schedule its first step now."""
         process = Process(self, gen, name)
+        if self.trace_hook is not None:
+            self.trace_hook(process.name)
         self._schedule_resume_at(self.now, process)
         return process
 

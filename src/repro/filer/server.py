@@ -7,6 +7,10 @@ from typing import Iterator, Optional
 
 from repro.engine.simulation import Simulator
 from repro.filer.timing import FilerTiming
+from repro.obs.events import EventKind
+
+_FILER_READ = EventKind.FILER_READ
+_FILER_WRITE = EventKind.FILER_WRITE
 
 
 class Filer:
@@ -36,6 +40,9 @@ class Filer:
         self.fast_reads = 0
         self.slow_reads = 0
         self.writes = 0
+        #: observability sink (an EventRecorder); None when tracing is
+        #: off — the service paths then pay a single branch.
+        self.obs = None
 
     def read_service_ns(self) -> int:
         """Charge one block read and return its service time.
@@ -47,13 +54,28 @@ class Filer:
         """
         if self._rng.random() < self.timing.fast_read_rate:
             self.fast_reads += 1
-            return self.timing.fast_read_ns
-        self.slow_reads += 1
-        return self.timing.slow_read_ns
+            service = self.timing.fast_read_ns
+            fast = True
+        else:
+            self.slow_reads += 1
+            service = self.timing.slow_read_ns
+            fast = False
+        obs = self.obs
+        if obs is not None:
+            obs.emit(
+                self._sim.now, _FILER_READ, tier=self.name, dur=service,
+                info={"fast": fast},
+            )
+        return service
 
     def write_service_ns(self) -> int:
         """Charge one block write and return its (always fast) service time."""
         self.writes += 1
+        obs = self.obs
+        if obs is not None:
+            obs.emit(
+                self._sim.now, _FILER_WRITE, tier=self.name, dur=self.timing.write_ns
+            )
         return self.timing.write_ns
 
     def read_block(self) -> Iterator:

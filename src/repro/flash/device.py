@@ -24,6 +24,10 @@ from typing import Iterator, Optional
 from repro.engine.resources import Resource
 from repro.engine.simulation import Simulator
 from repro.flash.timing import FlashTiming
+from repro.obs.events import EventKind
+
+_DEVICE_READ = EventKind.DEVICE_READ
+_DEVICE_WRITE = EventKind.DEVICE_WRITE
 
 
 class FlashDevice:
@@ -47,6 +51,9 @@ class FlashDevice:
         # traffic counters
         self.blocks_read = 0
         self.blocks_written = 0
+        #: observability sink (an EventRecorder); None when tracing is
+        #: off — the service paths then pay a single branch.
+        self.obs = None
 
     @property
     def write_latency_ns(self) -> int:
@@ -75,12 +82,24 @@ class FlashDevice:
         must queue through the generator form.
         """
         self.blocks_read += 1
+        obs = self.obs
+        if obs is not None:
+            obs.emit(
+                self._sim.now, _DEVICE_READ, block=block if block is not None else -1,
+                tier=self.name, dur=self.timing.read_ns,
+            )
         return self.timing.read_ns
 
     def write_service_ns(self, block: Optional[int] = None) -> int:
         """Charge one block write and return its service time (see
         :meth:`read_service_ns` for the validity constraint)."""
         self.blocks_written += 1
+        obs = self.obs
+        if obs is not None:
+            obs.emit(
+                self._sim.now, _DEVICE_WRITE, block=block if block is not None else -1,
+                tier=self.name, dur=self.write_latency_ns,
+            )
         return self.write_latency_ns
 
     def read_block(self, block: Optional[int] = None) -> Iterator:
@@ -92,6 +111,13 @@ class FlashDevice:
         """
         if self._channel is not None:
             self.blocks_read += 1
+            obs = self.obs
+            if obs is not None:
+                obs.emit(
+                    self._sim.now, _DEVICE_READ,
+                    block=block if block is not None else -1,
+                    tier=self.name, dur=self.timing.read_ns,
+                )
             yield from self._channel.use(self.timing.read_ns)
         else:
             yield self.read_service_ns(block)
@@ -101,6 +127,13 @@ class FlashDevice:
         the device is in persistent mode)."""
         if self._channel is not None:
             self.blocks_written += 1
+            obs = self.obs
+            if obs is not None:
+                obs.emit(
+                    self._sim.now, _DEVICE_WRITE,
+                    block=block if block is not None else -1,
+                    tier=self.name, dur=self.write_latency_ns,
+                )
             yield from self._channel.use(self.write_latency_ns)
         else:
             yield self.write_service_ns(block)

@@ -22,6 +22,9 @@ from repro.errors import SimulationError
 from repro.flash.device import FlashDevice
 from repro.flash.ftl import FTLConfig, PageMappedFTL
 from repro.flash.timing import FlashTiming
+from repro.obs.events import EventKind
+
+_DEVICE_WRITE = EventKind.DEVICE_WRITE
 
 #: Erase time of one flash erase block (typical SLC/MLC-era value).
 DEFAULT_ERASE_NS = 1_500 * US
@@ -100,8 +103,14 @@ class FTLFlashDevice(FlashDevice):
         """Charge one block write (translation, GC relocations, erases)
         and return its total service time."""
         self.blocks_written += 1
+        obs = self.obs
         if block is None:
             # Anonymous write (no translation context): base-model cost.
+            if obs is not None:
+                obs.emit(
+                    self._sim.now, _DEVICE_WRITE, tier=self.name,
+                    dur=self.write_latency_ns,
+                )
             return self.write_latency_ns
         flash_writes_before = self.ftl.flash_writes
         erases_before = self.ftl.erases
@@ -114,6 +123,12 @@ class FTLFlashDevice(FlashDevice):
             # the host page; relocated pages move data only, so strip
             # the double charge for them.
             latency -= (relocations - 1) * self.timing.write_ns
+        if obs is not None:
+            obs.emit(
+                self._sim.now, _DEVICE_WRITE, block=block, tier=self.name,
+                dur=latency,
+                info={"relocations": relocations, "erases": erases},
+            )
         return latency
 
     def write_block(self, block: Optional[int] = None) -> Iterator:

@@ -10,6 +10,9 @@ from repro.engine.resources import Resource
 from repro.engine.simulation import Simulator
 from repro.errors import ConfigError
 from repro.net.packet import Packet
+from repro.obs.events import EventKind
+
+_NET_XFER = EventKind.NET_XFER
 
 
 @dataclass(frozen=True)
@@ -56,6 +59,7 @@ class NetworkSegment:
         "name",
         "packets_sent",
         "payload_bytes_sent",
+        "obs",
     )
 
     def __init__(
@@ -75,6 +79,9 @@ class NetworkSegment:
         self.name = name
         self.packets_sent = 0
         self.payload_bytes_sent = 0
+        #: observability sink (an EventRecorder); None when tracing is
+        #: off — the hot-path charge() then pays a single branch.
+        self.obs = None
 
     def _wire_for(self, direction: str) -> Resource:
         if direction == "up":
@@ -106,6 +113,11 @@ class NetworkSegment:
         if wire_time is None:
             wire_time = self.timing.packet_time_ns(packet)
             self._wire_time[payload] = wire_time
+        obs = self.obs
+        if obs is not None:
+            # ts marks packet *issue* (queueing for the wire, if any,
+            # happens after); dur is the pure wire time.
+            obs.emit(self._sim.now, _NET_XFER, tier=wire.name, dur=wire_time)
         return wire, wire_time
 
     def transfer(self, packet: Packet, direction: str = "up") -> Iterator:

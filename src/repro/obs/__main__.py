@@ -1,0 +1,7 @@
+"""``python -m repro.obs`` — the traced-replay CLI (see cli.py)."""
+
+import sys
+
+from repro.obs.cli import main
+
+sys.exit(main())

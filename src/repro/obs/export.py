@@ -1,0 +1,214 @@
+"""Trace exporters: JSONL event dumps and Chrome ``trace_event`` JSON.
+
+Two on-disk formats:
+
+* **JSONL** — one JSON object per line, the flattened
+  :meth:`~repro.obs.events.TraceEvent.as_dict` schema.  Greppable,
+  streamable, and the stable machine interface
+  (:func:`validate_jsonl` checks a file against the schema).
+* **Chrome trace_event** — the ``about://tracing`` / Perfetto format
+  (a JSON object with a ``traceEvents`` array; timestamps in
+  *microseconds*).  Request start/finish pairs become complete ``X``
+  slices on a per-host/thread track; interval events (transfers,
+  device/filer service) become ``X`` slices on their tier's track;
+  point events become instants (``i``).  Load the file at
+  https://ui.perfetto.dev to browse a replay visually.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, List, Union
+
+from repro.obs.events import EventKind, TraceEvent
+
+#: duration-carrying kinds whose ``ts`` marks the interval's *end*
+#: (emitted when the waited-for quantity becomes known)
+_END_ANCHORED_KINDS = frozenset((EventKind.REQUEST_FINISH, EventKind.QUEUE_EXIT))
+
+#: duration-carrying kinds whose ``ts`` marks the interval's *start*
+#: (service events are emitted at issue time, before the delay elapses)
+_START_ANCHORED_KINDS = frozenset(
+    (
+        EventKind.NET_XFER,
+        EventKind.FILER_READ,
+        EventKind.FILER_WRITE,
+        EventKind.DEVICE_READ,
+        EventKind.DEVICE_WRITE,
+    )
+)
+
+_SLICE_KINDS = _END_ANCHORED_KINDS | _START_ANCHORED_KINDS
+
+#: required JSONL fields and their types
+_REQUIRED_FIELDS = (("ts", int), ("kind", str))
+_OPTIONAL_INT_FIELDS = ("host", "block", "dur")
+
+
+def write_jsonl(events: Iterable[TraceEvent], destination: Union[str, IO[str]]) -> int:
+    """Write events as JSON Lines; returns the number of lines written.
+
+    ``destination`` is a path or an open text file.
+    """
+    if hasattr(destination, "write"):
+        return _write_jsonl_stream(events, destination)
+    with open(destination, "w", encoding="utf-8") as stream:
+        return _write_jsonl_stream(events, stream)
+
+
+def _write_jsonl_stream(events: Iterable[TraceEvent], stream: IO[str]) -> int:
+    dumps = json.dumps
+    count = 0
+    for event in events:
+        stream.write(dumps(event.as_dict(), separators=(",", ":")))
+        stream.write("\n")
+        count += 1
+    return count
+
+
+def validate_jsonl(source: Union[str, IO[str]]) -> int:
+    """Validate a JSONL event dump against the schema.
+
+    Checks every line parses, carries ``ts``/``kind`` of the right
+    types, uses a known kind, keeps integer fields integral, and that
+    timestamps are monotonically non-decreasing (the recorder appends
+    in simulated-time order).  Returns the number of events; raises
+    ``ValueError`` on the first violation.
+    """
+    if hasattr(source, "read"):
+        return _validate_jsonl_stream(source)
+    with open(source, "r", encoding="utf-8") as stream:
+        return _validate_jsonl_stream(stream)
+
+
+def _validate_jsonl_stream(stream: IO[str]) -> int:
+    known_kinds = frozenset(EventKind.ALL)
+    last_ts = None
+    count = 0
+    for lineno, line in enumerate(stream, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError("line %d: not valid JSON (%s)" % (lineno, exc)) from exc
+        if not isinstance(payload, dict):
+            raise ValueError("line %d: expected an object" % lineno)
+        for field, expected in _REQUIRED_FIELDS:
+            if field not in payload:
+                raise ValueError("line %d: missing %r" % (lineno, field))
+            if not isinstance(payload[field], expected) or isinstance(
+                payload[field], bool
+            ):
+                raise ValueError(
+                    "line %d: %r must be %s" % (lineno, field, expected.__name__)
+                )
+        if payload["kind"] not in known_kinds:
+            raise ValueError("line %d: unknown kind %r" % (lineno, payload["kind"]))
+        for field in _OPTIONAL_INT_FIELDS:
+            value = payload.get(field)
+            if value is not None and (
+                not isinstance(value, int) or isinstance(value, bool)
+            ):
+                raise ValueError("line %d: %r must be an integer" % (lineno, field))
+        ts = payload["ts"]
+        if ts < 0:
+            raise ValueError("line %d: negative timestamp" % lineno)
+        if last_ts is not None and ts < last_ts:
+            raise ValueError(
+                "line %d: timestamp went backwards (%d < %d)" % (lineno, ts, last_ts)
+            )
+        last_ts = ts
+        count += 1
+    return count
+
+
+def to_chrome_trace(events: Iterable[TraceEvent]) -> dict:
+    """Convert events to a Chrome ``trace_event`` JSON object.
+
+    Tracks (``pid``/``tid``) are hosts and tiers: application requests
+    land on ``host N`` / thread tracks, component events on their
+    tier's named track.  Durations and timestamps are converted from
+    nanoseconds to the format's microseconds (floats, so nothing is
+    truncated).
+    """
+    trace_events: List[dict] = []
+    # The format wants integer tids; tracks are named via thread_name
+    # metadata records.
+    track_ids: dict = {}
+    for event in events:
+        pid = event.host if event.host >= 0 else 0
+        if event.kind in (EventKind.REQUEST_START, EventKind.REQUEST_FINISH):
+            thread = 0
+            if event.info and "thread" in event.info:
+                thread = event.info["thread"]
+            track = "app.t%d" % thread
+        else:
+            track = event.tier or event.kind
+        tid = track_ids.setdefault((pid, track), len(track_ids))
+        args = {}
+        if event.block >= 0:
+            args["block"] = event.block
+        if event.info:
+            args.update(event.info)
+        if event.kind == EventKind.REQUEST_START:
+            # rendered via its matching REQUEST_FINISH complete slice
+            continue
+        if event.kind in _SLICE_KINDS and event.dur is not None:
+            name = "request" if event.kind == EventKind.REQUEST_FINISH else event.kind
+            if event.kind in _END_ANCHORED_KINDS:
+                ts_ns = event.ts - event.dur
+            else:
+                ts_ns = event.ts
+            if event.kind == EventKind.QUEUE_EXIT:
+                name = "queued"
+            trace_events.append(
+                {
+                    "name": name,
+                    "ph": "X",
+                    "ts": ts_ns / 1000.0,
+                    "dur": event.dur / 1000.0,
+                    "pid": pid,
+                    "tid": tid,
+                    "cat": "sim",
+                    "args": args,
+                }
+            )
+        else:
+            trace_events.append(
+                {
+                    "name": event.kind,
+                    "ph": "i",
+                    "ts": event.ts / 1000.0,
+                    "pid": pid,
+                    "tid": tid,
+                    "cat": "sim",
+                    "s": "t",
+                    "args": args,
+                }
+            )
+    # thread-name metadata makes the Perfetto track labels readable
+    metadata = [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": tid,
+            "args": {"name": track},
+        }
+        for (pid, track), tid in sorted(track_ids.items())
+    ]
+    return {"traceEvents": metadata + trace_events, "displayTimeUnit": "ns"}
+
+
+def write_chrome_trace(
+    events: Iterable[TraceEvent], destination: Union[str, IO[str]]
+) -> None:
+    """Serialize :func:`to_chrome_trace` output to a path or stream."""
+    payload = to_chrome_trace(events)
+    if hasattr(destination, "write"):
+        json.dump(payload, destination)
+        return
+    with open(destination, "w", encoding="utf-8") as stream:
+        json.dump(payload, stream)

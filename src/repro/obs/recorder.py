@@ -1,0 +1,88 @@
+"""The event recorder: an append-only in-memory trace sink.
+
+Two implementations share one duck type:
+
+* :class:`EventRecorder` — the live sink.  ``emit`` appends a
+  :class:`~repro.obs.events.TraceEvent` and bumps a per-kind counter;
+  an optional ``max_events`` cap bounds memory on long replays (the
+  counters keep counting; overflowing events are dropped and tallied).
+* :data:`NULL_RECORDER` — the module-level null sink.  Instrumentation
+  sites follow the PR-3 guard pattern — hold ``None`` (not the null
+  recorder) and test ``if rec is not None`` — so the *disabled* cost is
+  one predictable branch, not a method call.  The null recorder exists
+  for call sites that want an unconditional ``emit`` target (tests,
+  exporter plumbing), never for the simulation hot paths.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.obs.events import TraceEvent
+
+
+class EventRecorder:
+    """Collects structured trace events for one simulation run."""
+
+    __slots__ = ("events", "counters", "dropped_events", "_max_events")
+
+    def __init__(self, max_events: Optional[int] = None) -> None:
+        if max_events is not None and max_events < 0:
+            raise ValueError("max_events must be >= 0 or None")
+        self.events: List[TraceEvent] = []
+        #: per-kind emission counts (counted even past the cap)
+        self.counters: Dict[str, int] = {}
+        self.dropped_events = 0
+        self._max_events = max_events
+
+    def emit(
+        self,
+        ts: int,
+        kind: str,
+        host: int = -1,
+        block: int = -1,
+        tier: Optional[str] = None,
+        dur: Optional[int] = None,
+        info: Optional[dict] = None,
+    ) -> None:
+        """Record one event at simulated time ``ts`` (nanoseconds)."""
+        counters = self.counters
+        counters[kind] = counters.get(kind, 0) + 1
+        if self._max_events is not None and len(self.events) >= self._max_events:
+            self.dropped_events += 1
+            return
+        self.events.append(TraceEvent(ts, kind, host, block, tier, dur, info))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def counters_snapshot(self) -> Dict[str, int]:
+        """Copy of the per-kind counters plus the drop count."""
+        snapshot = dict(self.counters)
+        if self.dropped_events:
+            snapshot["dropped_events"] = self.dropped_events
+        return snapshot
+
+
+class NullRecorder:
+    """A recorder that discards everything (the disabled sink)."""
+
+    __slots__ = ()
+
+    #: shared empty views so the reporting surface works unconditionally
+    events: List[TraceEvent] = []
+    counters: Dict[str, int] = {}
+    dropped_events = 0
+
+    def emit(self, *args, **kwargs) -> None:
+        return None
+
+    def __len__(self) -> int:
+        return 0
+
+    def counters_snapshot(self) -> Dict[str, int]:
+        return {}
+
+
+#: The module-level null sink (see the module docstring for when to use it).
+NULL_RECORDER = NullRecorder()

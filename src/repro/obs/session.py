@@ -1,0 +1,83 @@
+"""The Observation session: one run's tracing + breakdown state.
+
+An :class:`Observation` bundles the event recorder and the breakdown
+collector for a single simulation, and carries the exporter surface
+(``write_jsonl``, ``write_chrome_trace``, ``counters``).  Attach one to
+a run with ``run_simulation(trace, config, obs=Observation())`` or let
+``SimConfig.trace_events=True`` create one internally (the sweep path,
+where the observation must travel back across process boundaries inside
+the picklable results object).
+"""
+
+from __future__ import annotations
+
+from typing import IO, Dict, List, Optional, Union
+
+from repro.obs.breakdown import BreakdownCollector, LatencyBreakdown
+from repro.obs.events import TraceEvent
+from repro.obs.export import write_chrome_trace, write_jsonl
+from repro.obs.recorder import EventRecorder
+
+
+class Observation:
+    """Observability configuration + sinks for one simulation run.
+
+    ``events=False`` disables the event stream but keeps the latency
+    breakdown (much cheaper: no per-event allocation); ``max_events``
+    caps the stream's memory, dropping (and counting) the overflow.
+    """
+
+    def __init__(
+        self,
+        *,
+        events: bool = True,
+        breakdown: bool = True,
+        max_events: Optional[int] = None,
+    ) -> None:
+        if not events and not breakdown:
+            raise ValueError("Observation with neither events nor breakdown")
+        self.recorder: Optional[EventRecorder] = (
+            EventRecorder(max_events=max_events) if events else None
+        )
+        self.breakdown_collector: Optional[BreakdownCollector] = (
+            BreakdownCollector() if breakdown else None
+        )
+
+    # --- results surface ------------------------------------------------
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """The recorded event stream (empty when events are disabled)."""
+        if self.recorder is None:
+            return []
+        return self.recorder.events
+
+    @property
+    def breakdown(self) -> Optional[LatencyBreakdown]:
+        """The aggregated latency breakdown (None when disabled)."""
+        if self.breakdown_collector is None:
+            return None
+        return self.breakdown_collector.breakdown
+
+    def counters(self) -> Dict[str, int]:
+        """Per-event-kind counts (plus ``dropped_events`` when capped)."""
+        if self.recorder is None:
+            return {}
+        return self.recorder.counters_snapshot()
+
+    # --- exporters -------------------------------------------------------
+
+    def write_jsonl(self, destination: Union[str, IO[str]]) -> int:
+        """Dump the event stream as JSON Lines; returns the line count."""
+        return write_jsonl(self.events, destination)
+
+    def write_chrome_trace(self, destination: Union[str, IO[str]]) -> None:
+        """Dump the event stream in Chrome trace_event format
+        (loadable at https://ui.perfetto.dev)."""
+        write_chrome_trace(self.events, destination)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<Observation events=%d breakdown=%s>" % (
+            len(self.events),
+            "on" if self.breakdown_collector is not None else "off",
+        )

@@ -8,6 +8,15 @@ plotting stack.
 """
 
 from repro.report.ascii_chart import line_chart
-from repro.report.markdown import experiment_to_markdown, results_chart
+from repro.report.markdown import (
+    breakdown_to_markdown,
+    experiment_to_markdown,
+    results_chart,
+)
 
-__all__ = ["line_chart", "experiment_to_markdown", "results_chart"]
+__all__ = [
+    "line_chart",
+    "breakdown_to_markdown",
+    "experiment_to_markdown",
+    "results_chart",
+]

@@ -2,11 +2,14 @@
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.errors import ReproError
 from repro.experiments.common import ExperimentResult
 from repro.report.ascii_chart import line_chart
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.breakdown import LatencyBreakdown
 
 
 def experiment_to_markdown(result: ExperimentResult) -> str:
@@ -25,6 +28,50 @@ def experiment_to_markdown(result: ExperimentResult) -> str:
         lines.append("| " + " | ".join(fmt(row.get(col, "")) for col in header) + " |")
     if result.notes:
         lines.extend(["", "*%s*" % result.notes])
+    lines.append("")
+    return "\n".join(lines)
+
+
+def breakdown_to_markdown(
+    breakdown: "LatencyBreakdown", title: str = "Latency breakdown"
+) -> str:
+    """Render a per-request latency breakdown as a markdown table.
+
+    One row per component (zero rows omitted), mean µs/block for reads
+    and writes, plus each component's share of the total read latency —
+    the observability counterpart of the paper's per-tier figures.
+    """
+    mean_read = breakdown.mean_read_us()
+    mean_write = breakdown.mean_write_us()
+    total_read = sum(mean_read.values())
+    lines = [
+        "### %s" % title,
+        "",
+        "| component | read µs/block | write µs/block | read share |",
+        "|---|---|---|---|",
+    ]
+    for component in mean_read:
+        read_us = mean_read[component]
+        write_us = mean_write[component]
+        if read_us == 0.0 and write_us == 0.0:
+            continue
+        share = (100.0 * read_us / total_read) if total_read else 0.0
+        lines.append(
+            "| %s | %.2f | %.2f | %.1f%% |" % (component, read_us, write_us, share)
+        )
+    lines.append(
+        "| **total** | **%.2f** | **%.2f** | 100%% |"
+        % (total_read, sum(mean_write.values()))
+    )
+    if breakdown.unattributed_ns:
+        lines.extend(
+            [
+                "",
+                "*%d ns over %d blocks could not be attributed to a "
+                "component (folded into `other`).*"
+                % (breakdown.unattributed_ns, breakdown.mismatched_blocks),
+            ]
+        )
     lines.append("")
     return "\n".join(lines)
 

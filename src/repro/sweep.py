@@ -50,6 +50,7 @@ import pickle
 import struct
 import tempfile
 import time
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
@@ -137,6 +138,9 @@ class PointReport:
     wall_seconds: float
     #: simulated nanoseconds covered by the run
     simulated_ns: int
+    #: observability counters snapshot (per-event-kind counts) when the
+    #: point ran with ``SimConfig.trace_events``; None otherwise
+    counters: Optional[Dict[str, int]] = None
 
 
 @dataclass
@@ -337,10 +341,21 @@ def run_sweep_points(
     cache_path = Path(cache_dir) if cache_dir is not None else default_cache_dir()
     if cache_path is not None and cache_path.exists() and not cache_path.is_dir():
         raise ConfigError("cache path %s exists and is not a directory" % cache_path)
+    if cache_path is not None and cache_path.is_dir():
+        # Orphaned write-then-rename temporaries from sweeps that were
+        # killed mid-write accumulate forever otherwise.
+        _sweep_stale_tmp(cache_path)
+        _sweep_stale_tmp(cache_path / "traces")
 
     results: List[Optional[SimulationResults]] = [None] * len(points)
     reports: List[Optional[PointReport]] = [None] * len(points)
     completed = 0
+    warned: Dict[str, bool] = {}
+
+    def warn_once(topic: str, message: str) -> None:
+        if topic not in warned:
+            warned[topic] = True
+            warnings.warn(message, RuntimeWarning, stacklevel=3)
 
     def finish(
         index: int, result: SimulationResults, cached: bool, wall: float
@@ -355,11 +370,22 @@ def run_sweep_points(
             cached=cached,
             wall_seconds=wall,
             simulated_ns=result.simulated_ns,
+            counters=result.obs_counters,
         )
         results[index] = result
         reports[index] = report
         if progress is not None:
-            progress(report)
+            # A broken observer must not abort the sweep (or orphan the
+            # pool mid-drain): the simulation work is already done.
+            try:
+                progress(report)
+            except Exception as exc:
+                warn_once(
+                    "progress",
+                    "sweep progress callback raised %s: %s "
+                    "(the sweep continues; further callback errors are "
+                    "suppressed from warnings)" % (type(exc).__name__, exc),
+                )
 
     # --- serve what the cache already has -----------------------------
     pending: List[Tuple[int, str]] = []  # (index, cache key)
@@ -386,7 +412,18 @@ def run_sweep_points(
             executed = _execute_serial(points, pending)
         for (index, key), (result, wall) in zip(pending, executed):
             if cache_path is not None:
-                _cache_store(cache_path, key, result)
+                # Caching is an optimization: a full disk or unwritable
+                # cache directory must not discard finished simulations.
+                try:
+                    _cache_store(cache_path, key, result)
+                except (OSError, pickle.PicklingError) as exc:
+                    warn_once(
+                        "cache",
+                        "sweep result cache write to %s failed (%s: %s); "
+                        "caching disabled for the rest of this sweep"
+                        % (cache_path, type(exc).__name__, exc),
+                    )
+                    cache_path = None
             finish(index, result, cached=False, wall=wall)
 
     return SweepOutcome(results=list(results), reports=list(reports))
@@ -470,7 +507,14 @@ def _execute_parallel(
                 _run_point_task, tasks, chunksize=_chunksize(len(pending), n_workers)
             ):
                 executed[position] = (result, wall)
-        return [entry for entry in executed if entry is not None]
+        missing = [pending[i][0] for i, entry in enumerate(executed) if entry is None]
+        if missing:
+            # Silently dropping a slot would misalign the caller's
+            # zip(pending, executed) and cache results under wrong keys.
+            raise RuntimeError(
+                "process pool returned no result for sweep point(s) %s" % missing
+            )
+        return executed  # type: ignore[return-value]
     finally:
         if created_spool:
             import shutil
@@ -557,6 +601,38 @@ def _atomic_write(path: Path, payload: bytes) -> None:
         except OSError:
             pass
         raise
+
+
+#: Grace period before an orphaned ``*.tmp`` spool/cache file is swept.
+#: Long enough that a concurrent sweep's in-flight atomic write is never
+#: touched; short enough that killed runs don't leak disk for long.
+_STALE_TMP_SECONDS = 3600.0
+
+
+def _sweep_stale_tmp(directory: Path, max_age: float = _STALE_TMP_SECONDS) -> int:
+    """Remove orphaned atomic-write temporaries from a spool directory.
+
+    :func:`_atomic_write` unlinks its temporary on every failure path it
+    can see, but a SIGKILL (or power loss) between ``write`` and
+    ``os.replace`` leaves the ``*.tmp`` behind in the *persistent* cache
+    spool, where nothing else ever looks at it again.  Returns the
+    number of files removed; errors are ignored (another sweep may be
+    cleaning concurrently).
+    """
+    removed = 0
+    try:
+        entries = list(directory.glob("*.tmp"))
+    except OSError:
+        return 0
+    cutoff = time.time() - max_age
+    for entry in entries:
+        try:
+            if entry.stat().st_mtime < cutoff:
+                entry.unlink()
+                removed += 1
+        except OSError:
+            continue
+    return removed
 
 
 def _file_fingerprint(path: Path) -> str:

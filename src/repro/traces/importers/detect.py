@@ -35,13 +35,25 @@ def detect_format(path: PathLike) -> str:
     Raises :class:`TraceFormatError` when no format matches.
     """
     path = Path(path)
-    head = path.open("rb").read(4096)
+    with path.open("rb") as handle:
+        head = handle.read(4096)
     if head.startswith(BINARY_MAGIC):
         return "native"
+    # Decode strictly: every text format we detect is ASCII-clean, and a
+    # lenient errors="replace" decode would let a corrupt or binary file
+    # masquerade as text and *mis*detect when enough mangled bytes still
+    # resemble trace lines.  Only the tail may legitimately fail — the
+    # 4096-byte window can split a multi-byte sequence.
     try:
-        text = head.decode("utf-8", errors="replace")
-    except Exception as exc:  # pragma: no cover - decode with replace can't fail
-        raise TraceFormatError("unreadable trace file %s" % path) from exc
+        text = head.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        if len(head) == 4096 and exc.start >= len(head) - 3:
+            text = head[: exc.start].decode("utf-8")
+        else:
+            raise TraceFormatError(
+                "%s is neither a native binary trace nor UTF-8 text "
+                "(invalid byte at offset %d)" % (path, exc.start)
+            ) from exc
     lines = [line for line in text.splitlines() if line.strip()][:8]
     if not lines:
         raise TraceFormatError("empty trace file %s" % path)

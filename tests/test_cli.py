@@ -189,3 +189,47 @@ class TestExperimentRegistry:
         assert content.startswith("# Experiment report")
         assert "## figure4" in content
         assert "noflash_us" in content
+
+
+class TestObsCli:
+    def test_traced_replay_writes_both_exports(self, tmp_path, capsys):
+        from repro.obs import cli as obs_cli
+        from repro.obs import validate_jsonl
+
+        jsonl = tmp_path / "events.jsonl"
+        chrome = tmp_path / "trace.json"
+        status = obs_cli.main(
+            [
+                "--scale", "65536",
+                "--trace-out", str(jsonl),
+                "--chrome-out", str(chrome),
+            ]
+        )
+        assert status == 0
+        captured = capsys.readouterr()
+        assert "latency breakdown" in captured.out
+        assert "event counters:" in captured.out
+        assert validate_jsonl(str(jsonl)) > 0
+        import json
+
+        document = json.loads(chrome.read_text())
+        assert document["traceEvents"]
+
+    def test_replays_trace_file(self, tmp_path, capsys):
+        from repro.obs import cli as obs_cli
+
+        out = tmp_path / "t.trace"
+        assert cli.main(
+            ["--fs-size", "32M", "--working-set", "2M", "--out", str(out),
+             "--seed", "5"]
+        ) == 0
+        status = obs_cli.main(["--trace", str(out), "--no-events"])
+        assert status == 0
+        captured = capsys.readouterr()
+        assert "latency breakdown" in captured.out
+
+    def test_no_events_with_trace_out_is_an_error(self, capsys):
+        from repro.obs import cli as obs_cli
+
+        status = obs_cli.main(["--no-events", "--trace-out", "x.jsonl"])
+        assert status == 2

@@ -237,3 +237,162 @@ class TestWithOverrides:
         base = SimConfig(ram_bytes=1 * MB, flash_bytes=4 * MB)
         with pytest.raises(ConfigError):
             base.with_overrides(ram_bytes=-1)
+
+
+class TestSilentFailureFixes:
+    """Regression tests for the silent-failure sweep: each of these
+    failed (aborted sweeps or leaked files) before the fixes."""
+
+    def test_unwritable_cache_warns_and_completes(self, small_trace, tmp_path):
+        # Nest the cache dir under a regular *file*: every mkdir/write
+        # raises NotADirectoryError (an OSError) regardless of
+        # privileges, unlike chmod tricks that root bypasses.
+        blocker = tmp_path / "blocker"
+        blocker.write_text("x")
+        configs = small_grid()[:2]
+        with pytest.warns(RuntimeWarning, match="cache write"):
+            results = run_sweep(
+                small_trace, configs, workers=1, cache_dir=blocker / "cache"
+            )
+        assert len(results) == len(configs)
+        assert all(result is not None for result in results)
+
+    def test_cache_warning_issued_once_per_sweep(self, small_trace, tmp_path):
+        import warnings as _warnings
+
+        blocker = tmp_path / "blocker"
+        blocker.write_text("x")
+        with _warnings.catch_warnings(record=True) as caught:
+            _warnings.simplefilter("always")
+            run_sweep(
+                small_trace, small_grid(), workers=1, cache_dir=blocker / "cache"
+            )
+        cache_warnings = [w for w in caught if "cache write" in str(w.message)]
+        assert len(cache_warnings) == 1
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_progress_exception_does_not_abort(self, small_trace, workers):
+        configs = small_grid()
+        seen = []
+
+        def exploding_progress(report):
+            seen.append(report.index)
+            raise ValueError("observer bug")
+
+        with pytest.warns(RuntimeWarning, match="progress callback"):
+            results = run_sweep(
+                small_trace, configs, workers=workers, progress=exploding_progress
+            )
+        assert len(results) == len(configs)
+        assert all(result is not None for result in results)
+        # The callback kept being invoked (the failure is per-call, not fatal).
+        assert len(seen) == len(configs)
+
+    def test_progress_exception_result_parity(self, small_trace):
+        def exploding_progress(report):
+            raise ValueError("observer bug")
+
+        clean = run_sweep(small_trace, small_grid(), workers=1)
+        with pytest.warns(RuntimeWarning):
+            noisy = run_sweep(
+                small_trace, small_grid(), workers=1, progress=exploding_progress
+            )
+        for a, b in zip(clean, noisy):
+            assert a.as_dict() == b.as_dict()
+
+    def test_stale_spool_tmp_files_are_swept(self, small_trace, tmp_path):
+        import os as _os
+        import time as _time
+
+        cache = tmp_path / "cache"
+        spool = cache / "traces"
+        spool.mkdir(parents=True)
+        stale = spool / "deadbeef.pkl.abc123.tmp"
+        stale.write_bytes(b"orphaned by a killed sweep")
+        old = _time.time() - 2 * sweep._STALE_TMP_SECONDS
+        _os.utime(stale, (old, old))
+        stale_cache_entry = cache / "feedface.result.pkl.xyz.tmp"
+        stale_cache_entry.write_bytes(b"orphan")
+        _os.utime(stale_cache_entry, (old, old))
+        fresh = spool / "cafe.pkl.def456.tmp"
+        fresh.write_bytes(b"a concurrent sweep's in-flight write")
+
+        run_sweep(small_trace, small_grid()[:1], workers=1, cache_dir=cache)
+
+        assert not stale.exists()
+        assert not stale_cache_entry.exists()
+        assert fresh.exists()  # grace period protects live writers
+
+    def test_failing_point_leaves_no_stray_spool(self, small_trace, tmp_path,
+                                                 monkeypatch):
+        import tempfile as _tempfile
+
+        monkeypatch.setattr(_tempfile, "tempdir", str(tmp_path))
+        bad = SimConfig(
+            ram_bytes=1 * MB, flash_bytes=4 * MB, eviction_policy="bogus"
+        )
+        points = [
+            SweepPoint(config=bad, trace=small_trace),
+            SweepPoint(config=small_grid()[0], trace=small_trace),
+        ]
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="eviction policy"):
+            run_sweep_points(points, workers=2)
+        strays = [
+            entry
+            for entry in tmp_path.iterdir()
+            if entry.name.startswith("repro-sweep-")
+        ]
+        assert strays == []
+
+    def test_pool_dropping_a_result_raises_instead_of_misaligning(
+        self, small_trace, monkeypatch
+    ):
+        import concurrent.futures as futures
+
+        class DroppingPool:
+            """A pool whose map() silently loses the last task."""
+
+            def __init__(self, max_workers):
+                pass
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def map(self, fn, tasks, chunksize=1):
+                tasks = list(tasks)
+                for task in tasks[:-1]:
+                    yield fn(task)
+
+        monkeypatch.setattr(futures, "ProcessPoolExecutor", DroppingPool)
+        with pytest.raises(RuntimeError, match="no result"):
+            run_sweep(small_trace, small_grid(), workers=2)
+
+
+class TestPointReportCounters:
+    def test_counters_none_without_tracing(self, small_trace):
+        reports = []
+        run_sweep(small_trace, small_grid()[:1], progress=reports.append)
+        assert reports[0].counters is None
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_counters_travel_back_from_workers(self, small_trace, workers):
+        configs = [
+            config.with_overrides(trace_events=True) for config in small_grid()
+        ]
+        reports = []
+        results = run_sweep(
+            small_trace, configs, workers=workers, progress=reports.append
+        )
+        for report in reports:
+            assert report.counters is not None
+            assert report.counters.get("request_start", 0) > 0
+            assert report.counters["request_start"] == report.counters["request_finish"]
+        by_index = {report.index: report for report in reports}
+        for index, result in enumerate(results):
+            assert result.breakdown is not None
+            assert result.obs_counters == by_index[index].counters

@@ -203,3 +203,72 @@ class TestBuilder:
         assert results.read_latency.count + results.write_latency.count == sum(
             r.nblocks for r in trace.records
         )
+
+
+class TestDetectStrictDecoding:
+    """Regression tests for detect_format's decode handling: before the
+    fix, a lenient errors="replace" decode let binary garbage
+    masquerade as text and *mis*detect as a text trace format."""
+
+    def test_binary_garbage_resembling_spc_raises(self, tmp_path):
+        # Invalid UTF-8 bytes whose replacement-decoded text matches the
+        # SPC line shape: pre-fix this "detected" as spc.
+        path = tmp_path / "garbage.bin"
+        path.write_bytes(b"1,100,4096,r,0.1\xff\xfe\n" * 8)
+        with pytest.raises(TraceFormatError, match="UTF-8"):
+            detect_format(path)
+
+    def test_binary_garbage_resembling_msr_raises(self, tmp_path):
+        path = tmp_path / "garbage.csv"
+        path.write_bytes(b"128166372003061629,usr\x80,0,Read,7014609920,24576\n" * 8)
+        with pytest.raises(TraceFormatError, match="UTF-8"):
+            detect_format(path)
+
+    def test_utf8_split_at_window_boundary_still_detects(self, tmp_path):
+        # 4096-byte sniff window splitting a multi-byte character must
+        # not reject an otherwise valid file.
+        line = "0,20941264,8192,W,0.000000\n"
+        body = line * ((4094 // len(line)) + 1)
+        payload = body.encode("utf-8")[: 4096 - 1] + "é".encode("utf-8")
+        assert payload[:4096] != payload  # char straddles the boundary
+        path = tmp_path / "boundary.spc"
+        path.write_bytes(payload + b"\n" + line.encode("utf-8") * 4)
+        assert detect_format(path) == "spc"
+
+    def test_error_names_the_bad_offset(self, tmp_path):
+        path = tmp_path / "bad.bin"
+        path.write_bytes(b"abc\xffdef")
+        with pytest.raises(TraceFormatError, match="offset 3"):
+            detect_format(path)
+
+
+class TestMalformedHeaders:
+    """A foreign trace whose first line is a stray header must still
+    detect and import (the header is skipped, counted in stats)."""
+
+    def test_msr_with_header_line(self, tmp_path):
+        body = "\n".join(
+            line for line in MSR_SAMPLE.splitlines()
+            if line.split(",")[3].strip().lower() in ("read", "write")
+        )
+        path = tmp_path / "hdr.csv"
+        path.write_text("Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime\n"
+                        + body + "\n")
+        assert detect_format(path) == "msr"
+        trace, stats = load_any(path)
+        assert len(trace) == 3
+        assert stats.lines_skipped >= 1
+
+    def test_blkparse_with_header_line(self, tmp_path):
+        path = tmp_path / "hdr.blkparse"
+        path.write_text("# blktrace output for sda, CPU 0\n" + BLKPARSE_SAMPLE)
+        assert detect_format(path) == "blkparse"
+        trace, stats = load_any(path)
+        assert len(trace) == 3
+
+    def test_spc_with_header_line(self, tmp_path):
+        path = tmp_path / "hdr.spc"
+        path.write_text("ASU,LBA,Size,Opcode,Timestamp\n" + SPC_SAMPLE)
+        assert detect_format(path) == "spc"
+        trace, stats = load_any(path)
+        assert len(trace) == 3
