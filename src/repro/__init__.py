@@ -60,9 +60,9 @@ from repro.core import (
 )
 from repro.obs import Observation
 from repro.tracegen import TraceGenConfig, generate_trace
-from repro.traces import Trace, TraceOp, TraceRecord
+from repro.traces import CompiledTrace, Trace, TraceOp, TraceRecord, compile_trace
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 from repro.sweep import (  # noqa: E402  (needs __version__ for cache keys)
     PointReport,
@@ -103,5 +103,7 @@ __all__ = [
     "Trace",
     "TraceOp",
     "TraceRecord",
+    "CompiledTrace",
+    "compile_trace",
     "__version__",
 ]

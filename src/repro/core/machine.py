@@ -10,6 +10,7 @@ progress").
 
 from __future__ import annotations
 
+import gc
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import SimConfig
@@ -24,6 +25,7 @@ from repro.flash.device import FlashDevice
 from repro.flash.ftl_device import FTLFlashDevice
 from repro.invariants import build_suite, resolve_enabled
 from repro.net.link import NetworkSegment
+from repro.traces.compiled import CompiledTrace
 from repro.traces.records import Trace, TraceRecord
 
 
@@ -158,7 +160,7 @@ class System:
     # volume.  Threads interleave uniformly, so that moment corresponds
     # to the paper's "half of the volume is warmup" boundary.
 
-    def _record_completed(self, record: TraceRecord) -> None:
+    def _record_completed(self, nblocks: int) -> None:
         if self.invariants is not None:
             # Record boundaries are safe check points: every simulation
             # process (this thread included) is suspended at a yield.
@@ -168,7 +170,7 @@ class System:
                 self.invariants.check()
         if self._measurement_started_at is not None:
             return
-        self._blocks_until_measurement -= record.nblocks
+        self._blocks_until_measurement -= nblocks
         if self._blocks_until_measurement <= 0:
             self._begin_measurement()
 
@@ -192,8 +194,18 @@ class System:
 
     # --- replay -----------------------------------------------------------
 
-    def replay(self, trace: Trace) -> None:
-        """Replay the whole trace to completion."""
+    def replay(self, trace) -> None:
+        """Replay the whole trace (``Trace`` or ``CompiledTrace``) to
+        completion.  Compiled traces take the packed-column hot loop;
+        the instrumented (observability) path needs record objects, so
+        a compiled trace is materialized first when tracing is on.
+        """
+        if isinstance(trace, CompiledTrace):
+            if self.obs is not None:
+                trace = trace.to_trace()
+            else:
+                self._replay_compiled(trace)
+                return
         groups = trace.split_by_issuer()
         self._blocks_until_measurement = sum(
             record.nblocks for record in trace.records[: trace.warmup_records]
@@ -222,6 +234,187 @@ class System:
         self.sim.run()
         if self.invariants is not None:
             self.invariants.final()
+
+    def _replay_compiled(self, trace: CompiledTrace) -> None:
+        """Compiled-trace twin of :meth:`replay` (keep in sync): same
+        spawn order, same warmup accounting, bit-identical results."""
+        plan = trace.issuer_plan()
+        self._blocks_until_measurement = trace.warmup_blocks()
+        if self._blocks_until_measurement == 0:
+            self._begin_measurement()
+        self._active_threads = len(plan)
+        for host_id, _thread_id, warmup_rows, measured_rows in plan:
+            if host_id >= self.n_hosts:
+                raise ValueError(
+                    "trace references host %d but the system has %d hosts"
+                    % (host_id, self.n_hosts)
+                )
+            self.sim.spawn(
+                self._thread_process_compiled(
+                    self.hosts[host_id], warmup_rows, measured_rows
+                ),
+                name="app.h%d" % host_id,
+            )
+        for host in self.hosts:
+            host.keep_running = lambda: self._active_threads > 0
+            host.start_syncers()
+        # The replay loop's allocations (generator frames, event-heap
+        # tuples) are acyclic and die by reference counting, so cyclic
+        # collections during the run only re-scan the stable simulation
+        # heap — a few thousand times on a million-record trace.  Pause
+        # the collector for the duration; any stray cycle is picked up
+        # by the first collection after re-enabling.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            self.sim.run()
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        if self.invariants is not None:
+            self.invariants.final()
+
+    def _thread_process_compiled(
+        self,
+        stack: HostStack,
+        warmup_rows: List[Tuple[int, int, int]],
+        measured_rows: List[Tuple[int, int, int]],
+    ):
+        """One application thread over packed rows — the compiled twin
+        of :meth:`_thread_process` (keep in sync).
+
+        The warmup/measured split is precomputed (no per-record warmup
+        test), rows are plain int tuples (no attribute or property
+        lookups), single-block records skip the ``range`` object, the
+        read/write branch is taken once per record instead of once per
+        block, and the post-measurement ``_record_completed`` call is
+        elided when the invariant sanitizer is off (it would be a
+        no-op).  When no latency timeline is collected, the metric
+        wrappers are inlined too: ``measuring`` is always True during a
+        replay (the driver gates on warmup, not the flag), so
+        ``record_block`` reduces to one accumulator call plus a counter
+        bump per collector — done here directly.  All of this is
+        bookkeeping around the same ``read_block``/``write_block``
+        calls in the same order, so results stay bit-identical to the
+        object path.
+        """
+        sim = self.sim
+        read_block = stack.read_block
+        write_block = stack.write_block
+        fleet = self.metrics
+        host_m = self.host_metrics[stack.host_id]
+        record_completed = self._record_completed
+        check_invariants = self.invariants is not None
+        for op, start, nb in warmup_rows:
+            if op:
+                if nb == 1:
+                    yield from write_block(start, False)
+                else:
+                    for block in range(start, start + nb):
+                        yield from write_block(block, False)
+            else:
+                if nb == 1:
+                    yield from read_block(start)
+                else:
+                    for block in range(start, start + nb):
+                        yield from read_block(block)
+            if check_invariants or self._measurement_started_at is None:
+                record_completed(nb)
+        if not (fleet.measuring and host_m.measuring) or (
+            fleet.read_timeline is not None or host_m.read_timeline is not None
+        ):
+            # Rare configurations (timeline collection, externally
+            # gated collectors) go through the generic wrappers.
+            yield from self._measured_rows_generic(stack, measured_rows)
+            self._active_threads -= 1
+            return
+        fleet_read = fleet.read_latency.record
+        fleet_write = fleet.write_latency.record
+        host_read = host_m.read_latency.record
+        host_write = host_m.write_latency.record
+        req_read = fleet.read_request_latency.record
+        req_write = fleet.write_request_latency.record
+        for op, start, nb in measured_rows:
+            if op:
+                if nb == 1:
+                    request_start = sim.now
+                    yield from write_block(start)
+                    latency = sim.now - request_start
+                    fleet_write(latency)
+                    fleet.blocks_written += 1
+                    host_write(latency)
+                    host_m.blocks_written += 1
+                    req_write(latency)
+                else:
+                    request_start = sim.now
+                    for block in range(start, start + nb):
+                        block_start = sim.now
+                        yield from write_block(block)
+                        latency = sim.now - block_start
+                        fleet_write(latency)
+                        fleet.blocks_written += 1
+                        host_write(latency)
+                        host_m.blocks_written += 1
+                    req_write(sim.now - request_start)
+            else:
+                if nb == 1:
+                    request_start = sim.now
+                    yield from read_block(start)
+                    latency = sim.now - request_start
+                    fleet_read(latency)
+                    fleet.blocks_read += 1
+                    host_read(latency)
+                    host_m.blocks_read += 1
+                    req_read(latency)
+                else:
+                    request_start = sim.now
+                    for block in range(start, start + nb):
+                        block_start = sim.now
+                        yield from read_block(block)
+                        latency = sim.now - block_start
+                        fleet_read(latency)
+                        fleet.blocks_read += 1
+                        host_read(latency)
+                        host_m.blocks_read += 1
+                    req_read(sim.now - request_start)
+            if check_invariants or self._measurement_started_at is None:
+                record_completed(nb)
+        self._active_threads -= 1
+
+    def _measured_rows_generic(
+        self,
+        stack: HostStack,
+        measured_rows: List[Tuple[int, int, int]],
+    ):
+        """Measured-phase loop through the metric wrappers — used when a
+        latency timeline is collected (the wrapper owns the bucketing)
+        or a collector is gated off."""
+        sim = self.sim
+        read_block = stack.read_block
+        write_block = stack.write_block
+        metrics = self.metrics
+        record_fleet_block = metrics.record_block
+        record_request = metrics.record_request
+        record_host_block = self.host_metrics[stack.host_id].record_block
+        record_completed = self._record_completed
+        check_invariants = self.invariants is not None
+        for op, start, nb in measured_rows:
+            is_write = op != 0
+            request_start = sim.now
+            for block in range(start, start + nb):
+                block_start = sim.now
+                if is_write:
+                    yield from write_block(block)
+                else:
+                    yield from read_block(block)
+                now = sim.now
+                latency = now - block_start
+                record_fleet_block(is_write, latency, now)
+                record_host_block(is_write, latency)
+            record_request(is_write, sim.now - request_start)
+            if check_invariants or self._measurement_started_at is None:
+                record_completed(nb)
 
     def _thread_process(
         self,
@@ -262,7 +455,7 @@ class System:
                     record_host_block(is_write, latency)
             if measured:
                 record_request(is_write, sim.now - request_start)
-            record_completed(record)
+            record_completed(record.nblocks)
         self._active_threads -= 1
 
     def _thread_process_obs(
@@ -351,7 +544,7 @@ class System:
                     dur=sim.now - request_start,
                     info={"thread": thread_id},
                 )
-            record_completed(record)
+            record_completed(record.nblocks)
         self._active_threads -= 1
 
     # --- reporting inputs ----------------------------------------------------

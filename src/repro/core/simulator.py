@@ -2,20 +2,44 @@
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+import os
+from typing import TYPE_CHECKING, Optional, Union
 
 from repro.core.config import SimConfig
 from repro.core.machine import System
 from repro.core.restart import RestartSpec
 from repro.core.results import SimulationResults
+from repro.errors import ConfigError
+from repro.traces.compiled import CompiledTrace, compile_trace
 from repro.traces.records import Trace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs import Observation
 
+#: Traces with at least this many records are compiled to the packed
+#: columnar form before replay (see :mod:`repro.traces.compiled`).
+#: Compilation is one O(n) pass memoized on the trace object, and the
+#: compiled replay loop is measurably faster, so the threshold only
+#: exists to keep tiny traces on the zero-setup path.  Override with
+#: ``REPRO_COMPILE_MIN_RECORDS`` (``0`` or negative disables
+#: auto-compilation; explicit ``CompiledTrace`` inputs always take the
+#: compiled path).
+AUTO_COMPILE_MIN_RECORDS = 32_768
+COMPILE_ENV = "REPRO_COMPILE_MIN_RECORDS"
+
+
+def _auto_compile_min_records() -> int:
+    env = os.environ.get(COMPILE_ENV, "").strip()
+    if not env:
+        return AUTO_COMPILE_MIN_RECORDS
+    try:
+        return int(env)
+    except ValueError:
+        raise ConfigError("%s must be an integer, got %r" % (COMPILE_ENV, env))
+
 
 def run_simulation(
-    trace: Trace,
+    trace: Union[Trace, CompiledTrace],
     config: SimConfig,
     *,
     n_hosts: Optional[int] = None,
@@ -33,6 +57,12 @@ def run_simulation(
 
     For batches of independent points, use :func:`repro.sweep.run_sweep`
     — it fans configurations across CPU cores and caches results.
+
+    ``trace`` may be a :class:`~repro.traces.records.Trace` or a
+    :class:`~repro.traces.compiled.CompiledTrace`.  Plain traces with at
+    least ``REPRO_COMPILE_MIN_RECORDS`` records (default
+    ``AUTO_COMPILE_MIN_RECORDS``) are compiled automatically unless the
+    run attaches an Observation; results are bit-identical either way.
 
     ``n_hosts`` defaults to the number of hosts appearing in the trace.
     ``cold_start=True`` removes the warmup phase instead of replaying
@@ -68,6 +98,14 @@ def run_simulation(
     """
     if cold_start:
         trace = trace.without_warmup()
+    if isinstance(trace, Trace):
+        threshold = _auto_compile_min_records()
+        wants_obs = obs is not None or config.trace_events
+        if threshold > 0 and len(trace) >= threshold and not wants_obs:
+            # Large traces replay through the packed columnar fast path;
+            # observation runs keep the object path, which is the one
+            # that emits per-record structured events.
+            trace = compile_trace(trace)
     if n_hosts is None:
         hosts_in_trace = trace.hosts()
         n_hosts = (max(hosts_in_trace) + 1) if hosts_in_trace else 1

@@ -15,15 +15,25 @@ that batch into a first-class object:
   such as ``cold_start`` or ``restart``), returning a
   :class:`SweepOutcome` with per-point wall-time reports.
 
-**Execution model.**  Points fan out over a process pool
-(``concurrent.futures.ProcessPoolExecutor``).  Tasks are spawn-safe:
-what crosses the process boundary is a *picklable* ``SimConfig`` plus a
-**trace path**, never a live simulator object — in-memory traces are
-spooled to disk once per unique trace and workers memoize loads by
-path.  Every simulation point is fully deterministic given its inputs
-(per-run seeds live in ``SimConfig`` / the trace), so parallel and
-serial execution produce bit-identical results; outputs are merged back
-in submission order.
+**Execution model.**  Points fan out over a *persistent* process pool
+(``concurrent.futures.ProcessPoolExecutor``) that survives across
+sweeps: the first parallel sweep pays the worker spawn cost, later
+sweeps reuse the warm workers (``fresh_pool=True`` opts a call out;
+:func:`shutdown_pool` retires the pool explicitly).  Tasks are
+spawn-safe: what crosses the process boundary is a *picklable*
+``SimConfig`` plus a **trace reference**, never a live simulator
+object.  In-memory traces are compiled to the packed columnar form
+(:mod:`repro.traces.compiled`) and published once per unique trace in
+POSIX shared memory, where every worker attaches *zero-copy* — no
+per-worker pickle, no disk round-trip; the parent unlinks each segment
+when the sweep finishes (error and Ctrl-C included), and the kernel
+frees the pages once the last worker detaches.  When shared memory is
+unavailable (``REPRO_SWEEP_NO_SHM=1``, exotic platforms), traces spool
+to disk exactly as before.  Workers memoize attached/loaded traces
+per reference.  Every simulation point is fully deterministic given
+its inputs (per-run seeds live in ``SimConfig`` / the trace), so
+parallel and serial execution produce bit-identical results; outputs
+are merged back in submission order.
 
 Execution falls back to in-process serial replay when ``workers <= 1``,
 when there is at most one uncached point, or when the platform cannot
@@ -44,10 +54,10 @@ from cache.
 
 from __future__ import annotations
 
+import atexit
 import hashlib
 import os
 import pickle
-import struct
 import tempfile
 import time
 import warnings
@@ -60,6 +70,7 @@ from repro.core.restart import RestartSpec
 from repro.core.results import SimulationResults
 from repro.core.simulator import run_simulation
 from repro.errors import ConfigError
+from repro.traces.compiled import CompiledTrace, compile_trace
 from repro.traces.records import Trace
 
 __all__ = [
@@ -68,17 +79,27 @@ __all__ = [
     "SweepOutcome",
     "run_sweep",
     "run_sweep_points",
+    "shutdown_pool",
     "default_workers",
     "set_default_workers",
     "default_cache_dir",
     "set_default_cache_dir",
 ]
 
-TraceLike = Union[Trace, str, Path]
+TraceLike = Union[Trace, CompiledTrace, str, Path]
+
+#: A picklable handle a worker resolves to a trace: ``("path", path)``
+#: for an on-disk trace (text/binary/pickle spool) or
+#: ``("shm", segment_name, payload_bytes)`` for a compiled trace
+#: published in POSIX shared memory.
+TraceRef = Tuple
 
 #: Environment knobs (both overridable per call and via the setters).
 WORKERS_ENV = "REPRO_SWEEP_WORKERS"
 CACHE_ENV = "REPRO_SWEEP_CACHE"
+#: Set (to anything but ``0``) to disable the shared-memory fan-out and
+#: always spool traces to disk.
+NO_SHM_ENV = "REPRO_SWEEP_NO_SHM"
 
 _default_workers: Optional[int] = None
 _default_cache_dir: Optional[Path] = None
@@ -93,7 +114,8 @@ _default_cache_dir: Optional[Path] = None
 class SweepPoint:
     """One independent simulation point of a sweep.
 
-    ``trace`` may be an in-memory :class:`Trace` or a path to a saved
+    ``trace`` may be an in-memory :class:`Trace`, a pre-compiled
+    :class:`~repro.traces.compiled.CompiledTrace`, or a path to a saved
     trace file (text, binary, or pickle spool).  The remaining fields
     mirror :func:`repro.run_simulation`'s keyword-only options.
     """
@@ -225,38 +247,24 @@ def _normalize_workers(workers: int) -> int:
 # Fingerprinting
 # --------------------------------------------------------------------------
 
-_RECORD_PACK = struct.Struct("<BIIQQI")
 
-
-def trace_fingerprint(trace: Trace) -> str:
+def trace_fingerprint(trace: Union[Trace, CompiledTrace]) -> str:
     """A stable content hash of a trace (records, geometry, warmup).
 
-    Memoized on the trace object: experiment sweeps reuse one trace
+    Computed over the packed columnar form's flat buffers — a handful
+    of digest updates instead of a per-record ``struct.pack`` loop —
+    and memoized on the trace object: experiment sweeps reuse one trace
     across dozens of points, and hashing a large trace repeatedly would
-    rival the simulation cost.
+    rival the simulation cost.  The compiled form this builds is itself
+    memoized, so fingerprinting a trace that is about to fan out is
+    free work, not extra work.
     """
+    if isinstance(trace, CompiledTrace):
+        return trace.fingerprint
     cached = trace.__dict__.get("_sweep_fingerprint")
     if cached is not None:
         return cached
-    digest = hashlib.sha256()
-    digest.update(b"repro-trace-v1")
-    digest.update(repr(sorted(trace.metadata.items())).encode("utf-8"))
-    digest.update(struct.pack("<QQ", len(trace.records), trace.warmup_records))
-    digest.update(struct.pack("<%dQ" % len(trace.file_blocks), *trace.file_blocks)
-                  if trace.file_blocks else b"")
-    pack = _RECORD_PACK.pack
-    for record in trace.records:
-        digest.update(
-            pack(
-                record.is_write,
-                record.host,
-                record.thread,
-                record.file_id,
-                record.offset,
-                record.nblocks,
-            )
-        )
-    fingerprint = digest.hexdigest()
+    fingerprint = compile_trace(trace).fingerprint
     trace.__dict__["_sweep_fingerprint"] = fingerprint
     return fingerprint
 
@@ -282,35 +290,110 @@ def _point_fingerprint(trace_print: str, point: SweepPoint) -> str:
 # Worker side
 # --------------------------------------------------------------------------
 
-#: Per-worker memo of loaded traces, keyed by spool path.  Sweeps ship
-#: at most a handful of distinct traces, so a tiny cap suffices.
-_WORKER_TRACE_CACHE: Dict[str, Trace] = {}
+#: Per-worker memo of resolved traces, keyed by :data:`TraceRef`.  Each
+#: entry is ``(trace, cleanup)`` where ``cleanup`` (may be ``None``)
+#: detaches shared-memory resources when the entry is evicted.  Sweeps
+#: ship at most a handful of distinct traces, so a tiny cap suffices;
+#: insertion order doubles as age, and the oldest entry is evicted —
+#: with its cleanup run — when the cap is hit.
+_WORKER_TRACE_CACHE: Dict[TraceRef, Tuple[object, Optional[Callable[[], None]]]] = {}
 _WORKER_TRACE_CACHE_MAX = 8
 
 
-def _load_trace_path(path: str) -> Trace:
-    """Load a trace for simulation, memoized per worker process."""
-    trace = _WORKER_TRACE_CACHE.get(path)
-    if trace is None:
-        if path.endswith(".pkl"):
-            with open(path, "rb") as handle:
-                trace = pickle.load(handle)
-        else:
-            from repro.traces.format import load_trace
+def _load_trace_path(path: str):
+    """Load one trace file (pickle spool or text/binary format)."""
+    if path.endswith(".pkl"):
+        with open(path, "rb") as handle:
+            return pickle.load(handle)
+    from repro.traces.format import load_trace
 
-            trace = load_trace(path)
-        if len(_WORKER_TRACE_CACHE) >= _WORKER_TRACE_CACHE_MAX:
-            _WORKER_TRACE_CACHE.pop(next(iter(_WORKER_TRACE_CACHE)))
-        _WORKER_TRACE_CACHE[path] = trace
+    return load_trace(path)
+
+
+def _attach_shm_trace(name: str, nbytes: int):
+    """Attach a compiled trace published in shared memory, zero-copy.
+
+    Returns ``(trace, cleanup)``; ``cleanup`` releases the trace's
+    buffer views *before* closing the mapping (closing first would
+    raise ``BufferError`` — memoryviews pin the mmap).
+
+    On 3.13+ the attach passes ``track=False``: the sweep parent owns
+    the segment's lifetime.  Before 3.13 attaching registers with the
+    resource tracker unconditionally — but workers share the parent's
+    tracker process (its fd is inherited through the pool machinery),
+    so the registration collapses into the parent's own and the
+    parent's ``unlink()`` retires it exactly once.  Explicitly
+    unregistering here would strip that shared entry early and break
+    the tracker's leaked-segment safety net.
+    """
+    from multiprocessing import shared_memory
+
+    try:
+        segment = shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track parameter
+        segment = shared_memory.SharedMemory(name=name)
+    try:
+        # The segment may be rounded up to a page multiple; the payload
+        # length travels in the ref.
+        view = memoryview(segment.buf)[:nbytes]
+        trace = CompiledTrace.from_buffer(view)
+    except BaseException:
+        segment.close()
+        raise
+
+    def cleanup(trace=trace, view=view, segment=segment):
+        trace.release()
+        view.release()
+        segment.close()
+
+    return trace, cleanup
+
+
+def _load_trace_ref(ref: TraceRef):
+    """Resolve a trace reference, memoized per worker process."""
+    entry = _WORKER_TRACE_CACHE.get(ref)
+    if entry is not None:
+        return entry[0]
+    if ref[0] == "shm":
+        trace, cleanup = _attach_shm_trace(ref[1], ref[2])
+    else:
+        trace, cleanup = _load_trace_path(ref[1]), None
+    while len(_WORKER_TRACE_CACHE) >= _WORKER_TRACE_CACHE_MAX:
+        oldest = next(iter(_WORKER_TRACE_CACHE))
+        _, old_cleanup = _WORKER_TRACE_CACHE.pop(oldest)
+        if old_cleanup is not None:
+            old_cleanup()
+    _WORKER_TRACE_CACHE[ref] = (trace, cleanup)
     return trace
 
 
+def _drain_worker_cache() -> None:
+    """Release every cached trace attachment (worker exit path).
+
+    Without this, interpreter teardown reaches ``SharedMemory.__del__``
+    while the trace's memoryviews are still alive and ``close`` raises
+    ``BufferError: cannot close exported pointers exist``.  Registered
+    via ``atexit`` (module import happens in every worker), harmless in
+    processes that never resolved a trace ref.
+    """
+    while _WORKER_TRACE_CACHE:
+        _ref, (_trace, cleanup) = _WORKER_TRACE_CACHE.popitem()
+        if cleanup is not None:
+            try:
+                cleanup()
+            except BufferError:  # pragma: no cover - defensive
+                pass
+
+
+atexit.register(_drain_worker_cache)
+
+
 def _run_point_task(
-    task: Tuple[int, str, SimConfig, Tuple[Tuple[str, object], ...]],
+    task: Tuple[int, TraceRef, SimConfig, Tuple[Tuple[str, object], ...]],
 ) -> Tuple[int, SimulationResults, float]:
-    """Execute one spooled point (the function a pool worker runs)."""
-    index, trace_path, config, options = task
-    trace = _load_trace_path(trace_path)
+    """Execute one fanned-out point (the function a pool worker runs)."""
+    index, ref, config, options = task
+    trace = _load_trace_ref(ref)
     started = time.perf_counter()
     results = run_simulation(trace, config, **dict(options))
     return index, results, time.perf_counter() - started
@@ -330,11 +413,17 @@ def run_sweep_points(
     workers: Optional[int] = None,
     cache_dir: Union[None, str, Path] = None,
     progress: Optional[ProgressFn] = None,
+    fresh_pool: bool = False,
 ) -> SweepOutcome:
     """Run a batch of heterogeneous sweep points; see the module docs.
 
     Returns a :class:`SweepOutcome` whose ``results`` are in submission
     order and identical to running each point serially.
+
+    ``fresh_pool=True`` opts this call out of the persistent worker
+    pool: a private pool is spawned, used, and shut down — useful for
+    isolation (benchmarking cold-start costs, tests that must not leak
+    workers) at the price of re-paying worker startup.
     """
     points = list(points)
     n_workers = _normalize_workers(workers) if workers is not None else default_workers()
@@ -394,7 +483,7 @@ def run_sweep_points(
         if cache_path is not None:
             trace_print = (
                 trace_fingerprint(point.trace)
-                if isinstance(point.trace, Trace)
+                if isinstance(point.trace, (Trace, CompiledTrace))
                 else _file_fingerprint(Path(point.trace))
             )
             key = _point_fingerprint(trace_print, point)
@@ -407,7 +496,9 @@ def run_sweep_points(
     # --- execute the misses -------------------------------------------
     if pending:
         if n_workers > 1 and len(pending) > 1:
-            executed = _execute_parallel(points, pending, n_workers, cache_path)
+            executed = _execute_parallel(
+                points, pending, n_workers, cache_path, fresh_pool
+            )
         else:
             executed = _execute_serial(points, pending)
         for (index, key), (result, wall) in zip(pending, executed):
@@ -436,6 +527,7 @@ def run_sweep(
     workers: Optional[int] = None,
     cache_dir: Union[None, str, Path] = None,
     progress: Optional[ProgressFn] = None,
+    fresh_pool: bool = False,
 ) -> List[SimulationResults]:
     """Replay ``trace`` under every config, fanning out across cores.
 
@@ -448,12 +540,15 @@ def run_sweep(
     1 = in-process; ``0`` = all cores).  ``cache_dir`` memoizes results
     on disk keyed by ``(trace, config, options)`` content.  ``progress``
     receives a :class:`PointReport` per finished point.
+    ``fresh_pool=True`` bypasses the persistent worker pool (see
+    :func:`run_sweep_points`).
     """
     outcome = run_sweep_points(
         [SweepPoint(config=config, trace=trace) for config in configs],
         workers=workers,
         cache_dir=cache_dir,
         progress=progress,
+        fresh_pool=fresh_pool,
     )
     return outcome.results
 
@@ -466,12 +561,131 @@ def _execute_serial(
     for index, _key in pending:
         point = points[index]
         trace = point.trace
-        if not isinstance(trace, Trace):
-            trace = _load_trace_path(str(trace))
+        if not isinstance(trace, (Trace, CompiledTrace)):
+            trace = _load_trace_ref(("path", str(trace)))
         started = time.perf_counter()
         result = run_simulation(trace, point.config, **point.run_options())
         executed.append((result, time.perf_counter() - started))
     return executed
+
+
+# --------------------------------------------------------------------------
+# The persistent worker pool
+# --------------------------------------------------------------------------
+
+_POOL = None
+_POOL_WORKERS = 0
+#: Exception types meaning "the platform cannot give us a pool".
+_POOL_UNAVAILABLE = (OSError, ValueError, NotImplementedError)
+
+
+def _real_executor_type():
+    """The genuine executor class (module attribute looked up at call
+    time, so test monkeypatching is honored)."""
+    import concurrent.futures as futures
+
+    return futures.ProcessPoolExecutor
+
+
+def _acquire_pool(n_workers: int, fresh: bool):
+    """Get a process pool: ``(pool, owned)`` or ``(None, True)`` when
+    the platform can't provide one.
+
+    ``owned=True`` means the caller must dispose of the pool after the
+    sweep (a ``fresh_pool`` request, or a stand-in class injected by
+    tests that must never be cached).  ``owned=False`` is the
+    persistent pool, reused by later sweeps.
+    """
+    global _POOL, _POOL_WORKERS
+    cls = _real_executor_type()
+    if fresh:
+        try:
+            return cls(max_workers=n_workers), True
+        except _POOL_UNAVAILABLE:
+            return None, True
+    if _POOL is not None:
+        if type(_POOL) is cls and _POOL_WORKERS == n_workers:
+            return _POOL, False
+        # Different size requested, or the cached pool's class is no
+        # longer the live executor class: retire it.
+        _discard_pool()
+    try:
+        pool = cls(max_workers=n_workers)
+    except _POOL_UNAVAILABLE:
+        return None, True
+    if type(pool) is cls and cls.__module__.startswith("concurrent.futures"):
+        _POOL, _POOL_WORKERS = pool, n_workers
+        return pool, False
+    # A monkeypatched stand-in: usable for this sweep, never cached.
+    return pool, True
+
+
+def _discard_pool() -> None:
+    """Drop the persistent pool without waiting (broken/obsolete pool)."""
+    global _POOL, _POOL_WORKERS
+    pool, _POOL, _POOL_WORKERS = _POOL, None, 0
+    if pool is None:
+        return
+    shutdown = getattr(pool, "shutdown", None)
+    if shutdown is None:
+        return
+    try:
+        shutdown(wait=False, cancel_futures=True)
+    except TypeError:  # a stand-in with a narrower signature
+        try:
+            shutdown(wait=False)
+        except Exception:
+            pass
+    except Exception:
+        pass
+
+
+def shutdown_pool() -> None:
+    """Retire the persistent worker pool (idempotent).
+
+    Waits for in-flight work, releases the worker processes and
+    whatever they hold (cached trace attachments included).  The next
+    parallel sweep simply spawns a new pool.  Registered via ``atexit``
+    so interpreter shutdown is always clean.
+    """
+    global _POOL, _POOL_WORKERS
+    pool, _POOL, _POOL_WORKERS = _POOL, None, 0
+    if pool is None:
+        return
+    try:
+        pool.shutdown(wait=True)
+    except Exception:  # pragma: no cover - defensive: exit must not fail
+        pass
+
+
+atexit.register(shutdown_pool)
+
+
+def _dispose_owned_pool(pool) -> None:
+    """Shut down a single-sweep pool; tolerate minimal stand-ins."""
+    shutdown = getattr(pool, "shutdown", None)
+    if shutdown is None:
+        return
+    try:
+        shutdown(wait=True)
+    except Exception:
+        pass
+
+
+def _pool_is_poisoned(exc: BaseException) -> bool:
+    """Did this failure kill the pool (vs. a point merely raising)?
+
+    A simulation error (``ReproError`` & friends) travels back pickled
+    and leaves the workers perfectly reusable; a ``BrokenExecutor`` or
+    an interrupt means the pool must not be reused.
+    """
+    if not isinstance(exc, Exception):
+        return True  # KeyboardInterrupt, SystemExit, ...
+    try:
+        from concurrent.futures import BrokenExecutor
+    except ImportError:  # pragma: no cover - ancient platforms
+        return False
+    return isinstance(exc, BrokenExecutor)
 
 
 def _execute_parallel(
@@ -479,34 +693,48 @@ def _execute_parallel(
     pending: Sequence[Tuple[int, str]],
     n_workers: int,
     cache_path: Optional[Path],
+    fresh_pool: bool,
 ) -> List[Tuple[SimulationResults, float]]:
     """Fan pending points over a process pool; fall back to serial when
-    the platform can't give us one (no fork/spawn, sandboxed, ...)."""
-    try:
-        from concurrent.futures import ProcessPoolExecutor
-    except ImportError:  # pragma: no cover - exotic platforms only
-        return _execute_serial(points, pending)
+    the platform can't give us one (no fork/spawn, sandboxed, ...).
 
-    spool_dir, created_spool = _spool_directory(cache_path)
+    In-memory traces are published once each in shared memory (workers
+    attach zero-copy); the segments are closed and unlinked on *every*
+    exit path — normal completion, a failing point, Ctrl-C — so no
+    segment outlives the sweep.  Platforms without usable shared memory
+    spool to disk instead.
+    """
+    segments: List = []
+    spool_state: List = [None, False]  # lazily created spool directory
     try:
+        # --- build one task per pending point, deduping trace exports -
+        refs: Dict[str, TraceRef] = {}
         tasks = []
         for position, (index, _key) in enumerate(pending):
             point = points[index]
-            trace_path = _spool_trace(point.trace, spool_dir)
+            ref = _trace_ref(point.trace, refs, segments, spool_state, cache_path)
             tasks.append(
-                (position, trace_path, point.config, tuple(sorted(point.run_options().items())))
+                (position, ref, point.config, tuple(sorted(point.run_options().items())))
             )
-        try:
-            pool = ProcessPoolExecutor(max_workers=min(n_workers, len(pending)))
-        except (OSError, ValueError, NotImplementedError):
-            # The platform lacks working process support; degrade quietly.
+
+        pool, owned = _acquire_pool(n_workers, fresh_pool)
+        if pool is None:
             return _execute_serial(points, pending)
-        executed: List[Optional[Tuple[SimulationResults, float]]] = [None] * len(pending)
-        with pool:
+        executed: List[Optional[Tuple[SimulationResults, float]]] = [None] * len(
+            pending
+        )
+        try:
             for position, result, wall in pool.map(
                 _run_point_task, tasks, chunksize=_chunksize(len(pending), n_workers)
             ):
                 executed[position] = (result, wall)
+        except BaseException as exc:
+            if not owned and _pool_is_poisoned(exc):
+                _discard_pool()
+            raise
+        finally:
+            if owned:
+                _dispose_owned_pool(pool)
         missing = [pending[i][0] for i, entry in enumerate(executed) if entry is None]
         if missing:
             # Silently dropping a slot would misalign the caller's
@@ -516,7 +744,17 @@ def _execute_parallel(
             )
         return executed  # type: ignore[return-value]
     finally:
-        if created_spool:
+        for segment in segments:
+            try:
+                segment.close()
+            except OSError:  # pragma: no cover - close is best effort
+                pass
+            try:
+                segment.unlink()
+            except OSError:  # pragma: no cover - already gone
+                pass
+        spool_dir, created_spool = spool_state
+        if created_spool and spool_dir is not None:
             import shutil
 
             shutil.rmtree(spool_dir, ignore_errors=True)
@@ -525,6 +763,112 @@ def _execute_parallel(
 def _chunksize(n_tasks: int, n_workers: int) -> int:
     """Batch tasks to amortize IPC without starving the pool's tail."""
     return max(1, n_tasks // (n_workers * 4))
+
+
+# --------------------------------------------------------------------------
+# Shared-memory fan-out
+# --------------------------------------------------------------------------
+
+_shm_usable: Optional[bool] = None
+_shm_counter = 0
+
+
+def _shm_available() -> bool:
+    """Is the zero-copy shared-memory fan-out usable here?
+
+    ``REPRO_SWEEP_NO_SHM`` force-disables it (checked every call so
+    tests can flip it); the platform probe — create, attach by name,
+    destroy a tiny segment — runs once per process.
+    """
+    if os.environ.get(NO_SHM_ENV, "").strip() not in ("", "0"):
+        return False
+    global _shm_usable
+    if _shm_usable is None:
+        _shm_usable = _probe_shm()
+    return _shm_usable
+
+
+def _probe_shm() -> bool:
+    try:
+        from multiprocessing import shared_memory
+
+        segment = shared_memory.SharedMemory(
+            name=_shm_segment_name("0" * 12), create=True, size=16
+        )
+        try:
+            segment.buf[:4] = b"ping"
+            try:
+                peer = shared_memory.SharedMemory(name=segment.name, track=False)
+            except TypeError:  # Python < 3.13
+                peer = shared_memory.SharedMemory(name=segment.name)
+            ok = bytes(peer.buf[:4]) == b"ping"
+            peer.close()
+            return ok
+        finally:
+            segment.close()
+            segment.unlink()
+    except Exception:
+        return False
+
+
+def _shm_segment_name(tag: str) -> str:
+    """A collision-free segment name: content tag + pid + counter.
+
+    The pid/counter keep concurrent sweeps (and repeated sweeps of the
+    same trace in one process) from colliding; the leading ``repro-ct-``
+    prefix makes leak audits a name scan.
+    """
+    global _shm_counter
+    _shm_counter += 1
+    return "repro-ct-%s-%d-%d" % (tag, os.getpid(), _shm_counter)
+
+
+def _shm_export(trace: Union[Trace, CompiledTrace], segments: List) -> Optional[TraceRef]:
+    """Publish a trace's compiled wire image in a shared-memory segment.
+
+    Appends the created segment to ``segments`` (the caller's cleanup
+    list) and returns its ref, or ``None`` when the export fails and
+    the caller should spool to disk instead.
+    """
+    from multiprocessing import shared_memory
+
+    compiled = trace if isinstance(trace, CompiledTrace) else compile_trace(trace)
+    payload = compiled.to_bytes()
+    name = _shm_segment_name(compiled.fingerprint[:12])
+    try:
+        segment = shared_memory.SharedMemory(name=name, create=True, size=len(payload))
+    except OSError:
+        return None
+    segments.append(segment)
+    segment.buf[: len(payload)] = payload
+    return ("shm", segment.name, len(payload))
+
+
+def _trace_ref(
+    trace: TraceLike,
+    refs: Dict[str, TraceRef],
+    segments: List,
+    spool_state: List,
+    cache_path: Optional[Path],
+) -> TraceRef:
+    """The reference workers will resolve for this point's trace.
+
+    In-memory traces are exported to shared memory once per distinct
+    content fingerprint (``refs`` is the per-sweep dedupe table) with a
+    disk spool as fallback; path traces pass through untouched.
+    """
+    if not isinstance(trace, (Trace, CompiledTrace)):
+        return ("path", str(trace))
+    fingerprint = trace_fingerprint(trace)
+    ref = refs.get(fingerprint)
+    if ref is None:
+        ref = _shm_export(trace, segments) if _shm_available() else None
+        if ref is None:
+            if spool_state[0] is None:
+                spool_state[0], spool_state[1] = _spool_directory(cache_path)
+            ref = ("path", _spool_trace(trace, spool_state[0]))
+        refs[fingerprint] = ref
+    return ref
 
 
 # --------------------------------------------------------------------------
@@ -549,9 +893,10 @@ def _spool_trace(trace: TraceLike, spool_dir: Path) -> str:
     Pickle is used rather than the text/binary trace formats because the
     spool must be a *lossless* image of the in-memory object — bit-equal
     parallel/serial results depend on workers replaying exactly what the
-    caller built.
+    caller built.  (Compiled traces pickle via their wire format, which
+    round-trips exactly.)
     """
-    if not isinstance(trace, Trace):
+    if not isinstance(trace, (Trace, CompiledTrace)):
         return str(trace)
     path = spool_dir / ("%s.pkl" % trace_fingerprint(trace))
     if not path.exists():

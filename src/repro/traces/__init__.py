@@ -5,12 +5,16 @@ identifies a file and a range of blocks within that file.  Each
 operation also carries a thread ID and host ID."
 
 This package provides the in-memory representation
-(:class:`TraceRecord`, :class:`Trace`), text and binary file formats
-with round-trip fidelity (:mod:`repro.traces.format`), and summary
+(:class:`TraceRecord`, :class:`Trace`), the packed columnar form used
+by the replay fast path and zero-copy sweep fan-out
+(:class:`CompiledTrace`, :func:`compile_trace` in
+:mod:`repro.traces.compiled`), text and binary file formats with
+round-trip fidelity (:mod:`repro.traces.format`), and summary
 statistics used by validation tests (:mod:`repro.traces.stats`).
 """
 
 from repro.traces.records import Trace, TraceOp, TraceRecord
+from repro.traces.compiled import CompiledTrace, compile_trace
 from repro.traces.format import load_trace, save_trace
 from repro.traces.stats import TraceStats, compute_stats
 
@@ -18,6 +22,8 @@ __all__ = [
     "Trace",
     "TraceOp",
     "TraceRecord",
+    "CompiledTrace",
+    "compile_trace",
     "load_trace",
     "save_trace",
     "TraceStats",

@@ -180,14 +180,30 @@ class Trace:
         return groups
 
     def without_warmup(self) -> "Trace":
-        """A copy with the warmup records *removed* — this is the paper's
-        cold-start / crash-at-start scenario (§7.8)."""
+        """The trace with the warmup records *removed* — this is the
+        paper's cold-start / crash-at-start scenario (§7.8).
+
+        Returns ``self`` when there is no warmup prefix: the result is
+        treated as read-only by every caller, and copying a
+        multi-million-record list to strip zero records doubles peak
+        memory for nothing.
+        """
+        if self.warmup_records == 0:
+            return self
         return Trace(
             self.records[self.warmup_records :],
             self.file_blocks,
             warmup_records=0,
             metadata=dict(self.metadata),
         )
+
+    def __getstate__(self) -> Dict[str, object]:
+        # Drop the memoized compiled form: pickling it alongside the
+        # record list would double every spool/cache payload, and it is
+        # cheap to rebuild on the other side.
+        state = dict(self.__dict__)
+        state.pop("_compiled_trace", None)
+        return state
 
     @property
     def total_bytes(self) -> int:

@@ -88,9 +88,16 @@ def merge_traces(traces: Sequence[Trace], interleave: bool = True) -> Trace:
 
 
 def slice_records(trace: Trace, start: int, stop: int) -> Trace:
-    """Keep records[start:stop]; warmup shrinks to the overlap."""
+    """Keep records[start:stop]; warmup shrinks to the overlap.
+
+    Returns ``trace`` itself when the slice keeps every record — the
+    no-op case importer pipelines hit when a trace already fits the
+    experiment budget, where a full-list copy would only burn memory.
+    """
     if start < 0 or stop < start:
         raise TraceFormatError("bad slice [%d:%d]" % (start, stop))
+    if start == 0 and stop >= len(trace.records):
+        return trace
     records = trace.records[start:stop]
     warmup = max(0, min(trace.warmup_records - start, len(records)))
     return Trace(records, trace.file_blocks, warmup, dict(trace.metadata))
@@ -98,18 +105,31 @@ def slice_records(trace: Trace, start: int, stop: int) -> Trace:
 
 def subsample(trace: Trace, keep_every: int) -> Trace:
     """Keep every ``keep_every``-th record (cheap thinning for huge
-    imports; working-set structure is preserved statistically)."""
+    imports; working-set structure is preserved statistically).
+
+    ``keep_every=1`` keeps everything and returns ``trace`` itself —
+    the common "no thinning needed" configuration must not copy a
+    multi-million-record list.
+    """
     if keep_every < 1:
         raise TraceFormatError("keep_every must be >= 1")
+    if keep_every == 1:
+        return trace
     records = trace.records[::keep_every]
     warmup = len(trace.records[: trace.warmup_records : keep_every])
     return Trace(records, trace.file_blocks, warmup, dict(trace.metadata))
 
 
 def remap_host(trace: Trace, host: int) -> Trace:
-    """Move every record to one host id (fold a multi-host trace)."""
+    """Move every record to one host id (fold a multi-host trace).
+
+    Returns ``trace`` itself when every record already lives on
+    ``host`` (single-host imports remapped to host 0, the common case).
+    """
     if host < 0:
         raise TraceFormatError("host id must be non-negative")
+    if all(r.host == host for r in trace.records):
+        return trace
     records = [
         TraceRecord(r.op, host, r.thread, r.file_id, r.offset, r.nblocks)
         for r in trace.records

@@ -281,7 +281,10 @@ class TestCLIFlag:
     def test_check_flag_sets_environment(self, monkeypatch):
         from repro.experiments import runner
 
-        monkeypatch.delenv(ENV_FLAG, raising=False)
+        # setenv (not delenv): when the flag is absent, delenv records
+        # nothing and the value runner.main writes would leak into the
+        # rest of the suite; setenv records the prior state either way.
+        monkeypatch.setenv(ENV_FLAG, "0")
         args = runner.build_parser().parse_args(["--check", "--fast"])
         assert args.check
         calls = []

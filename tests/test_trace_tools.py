@@ -82,6 +82,11 @@ class TestSlice:
         with pytest.raises(TraceFormatError):
             slice_records(simple_trace(), 4, 2)
 
+    def test_full_slice_is_no_copy(self):
+        trace = simple_trace(6, warmup=2)
+        assert slice_records(trace, 0, 6) is trace
+        assert slice_records(trace, 0, 10) is trace  # stop past the end
+
 
 class TestSubsample:
     def test_keep_every_two(self):
@@ -99,6 +104,10 @@ class TestSubsample:
         assert thinned.records == trace.records
         assert thinned.warmup_records == 2
 
+    def test_keep_every_one_is_no_copy(self):
+        trace = simple_trace(5, warmup=2)
+        assert subsample(trace, 1) is trace
+
     def test_bad_factor(self):
         with pytest.raises(TraceFormatError):
             subsample(simple_trace(), 0)
@@ -114,3 +123,21 @@ class TestRemapHost:
     def test_negative_rejected(self):
         with pytest.raises(TraceFormatError):
             remap_host(simple_trace(), -1)
+
+    def test_already_on_target_host_is_no_copy(self):
+        trace = simple_trace(4, host=2)
+        assert remap_host(trace, 2) is trace
+        assert remap_host(trace, 0) is not trace
+
+
+class TestWithoutWarmupNoCopy:
+    def test_zero_warmup_returns_self(self):
+        trace = simple_trace(4, warmup=0)
+        assert trace.without_warmup() is trace
+
+    def test_nonzero_warmup_still_strips(self):
+        trace = simple_trace(4, warmup=2)
+        stripped = trace.without_warmup()
+        assert stripped is not trace
+        assert len(stripped) == 2
+        assert stripped.warmup_records == 0
