@@ -54,7 +54,6 @@ from repro.core import (
     RestartSpec,
     SimConfig,
     TimingModel,
-    WritebackPolicy,
     SimulationResults,
     run_simulation,
 )
@@ -62,7 +61,25 @@ from repro.obs import Observation
 from repro.tracegen import TraceGenConfig, generate_trace
 from repro.traces import CompiledTrace, Trace, TraceOp, TraceRecord, compile_trace
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
+
+
+def __getattr__(name: str):
+    if name == "WritebackPolicy":
+        # Deprecation shim: the blessed import location is the unified
+        # policy registry package.
+        import warnings
+
+        warnings.warn(
+            "importing WritebackPolicy from the repro top level is "
+            "deprecated; use repro.policies.WritebackPolicy",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.core.policies import WritebackPolicy
+
+        return WritebackPolicy
+    raise AttributeError("module %r has no attribute %r" % (__name__, name))
 
 from repro.sweep import (  # noqa: E402  (needs __version__ for cache keys)
     PointReport,

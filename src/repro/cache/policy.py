@@ -239,14 +239,18 @@ class SLRUPolicy(EvictionPolicy):
         yield from self._protected
 
 
-def make_policy(name: str, capacity_blocks: int = 0) -> EvictionPolicy:
+def _make_policy(name: str, capacity_blocks: int = 0) -> EvictionPolicy:
     """Construct an eviction policy from its name.
 
     Names: ``lru``, ``fifo``, ``clock``, ``slru`` (80 % protected), or
     ``slru:<fraction>`` with an explicit protected fraction.  The
     store's ``capacity_blocks`` sizes SLRU's protected segment.
 
-    >>> type(make_policy("lru")).__name__
+    The public entry point is ``repro.policies.get("eviction", name)``;
+    this private constructor is what the registry and
+    :class:`~repro.cache.store.BlockStore` call.
+
+    >>> type(_make_policy("lru")).__name__
     'LRUPolicy'
     """
     lowered = name.lower()
@@ -274,3 +278,20 @@ def make_policy(name: str, capacity_blocks: int = 0) -> EvictionPolicy:
             % (name, ", ".join(sorted(factories)))
         ) from None
     return factory()
+
+
+def make_policy(name: str, capacity_blocks: int = 0) -> EvictionPolicy:
+    """Deprecated alias for the unified registry.
+
+    Use ``repro.policies.get("eviction", name,
+    capacity_blocks=...)`` instead.
+    """
+    import warnings
+
+    warnings.warn(
+        "repro.cache.policy.make_policy is deprecated; use "
+        'repro.policies.get("eviction", name, capacity_blocks=...)',
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _make_policy(name, capacity_blocks)

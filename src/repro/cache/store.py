@@ -24,7 +24,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Iterator, List, Optional, Set, Union
 
 from repro.cache.block import BlockEntry, Medium
-from repro.cache.policy import EvictionPolicy, make_policy
+from repro.cache.policy import EvictionPolicy, _make_policy
 from repro.cache.stats import CacheStats
 from repro.errors import CacheError
 
@@ -43,6 +43,7 @@ class BlockStore:
         "stats",
         "_pinned",
         "_touch",
+        "_refs",
         "obs_hook",
     )
 
@@ -65,7 +66,7 @@ class BlockStore:
         self.lifetime_insertions = 0
         self.lifetime_departures = 0
         if isinstance(policy, str):
-            policy = make_policy(policy, capacity_blocks)
+            policy = _make_policy(policy, capacity_blocks)
         self._policy = policy
         self.stats = CacheStats()
         # Persistent victim-selection predicate: ``_entries`` is never
@@ -75,6 +76,9 @@ class BlockStore:
         # Bound-method shortcut for the per-lookup promote (the policy
         # never changes after construction).
         self._touch = self._policy.touch
+        #: per-block reference ledger for probationary flash admission;
+        #: None (and zero-cost) unless :meth:`enable_ref_ledger` ran.
+        self._refs: Optional[Dict[int, int]] = None
         #: observability sink (a repro.obs StoreObserver); None when
         #: tracing is off, so the eviction/invalidation/writeback paths
         #: pay one branch each.
@@ -203,6 +207,10 @@ class BlockStore:
         entry = self._entries.pop(block)
         self._policy.remove(block)
         self._dirty.discard(block)
+        if self._refs is not None:
+            # Probation resets on departure: a block evicted from this
+            # tier must re-earn its references after re-insertion.
+            self._refs.pop(block, None)
         self.lifetime_departures += 1
         return entry
 
@@ -239,6 +247,35 @@ class BlockStore:
     @property
     def dirty_count(self) -> int:
         return len(self._dirty)
+
+    # --- reference ledger ----------------------------------------------
+
+    def enable_ref_ledger(self) -> None:
+        """Track per-block reference counts for probationary admission.
+
+        Off (and zero-cost: ``_touch`` stays the raw policy method) by
+        default.  When enabled, every touching :meth:`get` hit counts
+        one reference; the count resets when the block leaves the store
+        (see :meth:`_remove_entry`).  Idempotent.
+        """
+        if self._refs is not None:
+            return
+        refs: Dict[int, int] = {}
+        self._refs = refs
+        policy_touch = self._policy.touch
+
+        def touch_and_count(block: int) -> None:
+            refs[block] = refs.get(block, 0) + 1
+            policy_touch(block)
+
+        self._touch = touch_and_count
+
+    def ref_count(self, block: int) -> int:
+        """References since insertion (0 when absent or ledger off)."""
+        refs = self._refs
+        if refs is None:
+            return 0
+        return refs.get(block, 0)
 
     # --- pinning -------------------------------------------------------
 

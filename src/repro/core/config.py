@@ -2,8 +2,11 @@
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
+from typing import Union
 
+from repro import policies as policy_registry
 from repro._units import GB, NS, blocks_for_bytes, format_bytes
 from repro.core.architectures import Architecture
 from repro.core.policies import WritebackPolicy
@@ -11,6 +14,8 @@ from repro.errors import ConfigError
 from repro.filer.timing import FilerTiming
 from repro.flash.timing import FlashTiming
 from repro.net.link import NetworkTiming
+from repro.policies.admission import AdmissionPolicy
+from repro.policies.cleaning import CleaningPolicy
 
 
 @dataclass(frozen=True)
@@ -95,6 +100,21 @@ class SimConfig:
     model_invalidation_traffic: bool = False
     #: eviction policy name for all stores ("lru" is the paper's choice)
     eviction_policy: str = "lru"
+    #: flash admission policy — a ``repro.policies`` spec string
+    #: (``"always"``, ``"probationary:2"``, ``"budget:8M"``) or an
+    #: :class:`~repro.policies.admission.AdmissionPolicy` instance;
+    #: normalized to the instance.  The paper default admits everything.
+    flash_admission: Union[str, AdmissionPolicy] = "always"
+    #: flash cleaning policy — spec string (``"periodic"``,
+    #: ``"alru:30"``, ``"acp:0.5:0.25"``) or a
+    #: :class:`~repro.policies.cleaning.CleaningPolicy` instance;
+    #: normalized to the instance.  The paper default keeps the flash
+    #: writeback policy's own periodic syncer.
+    flash_cleaning: Union[str, CleaningPolicy] = "periodic"
+    #: rated program/erase cycles per flash block for the
+    #: ``device_lifetime_days`` estimate (MLC-class default; only
+    #: meaningful with ``ftl_model``).
+    ftl_rated_erase_cycles: int = 3000
     #: run the :mod:`repro.invariants` sanitizer during replay (also
     #: enabled by REPRO_CHECK_INVARIANTS=1 or the CLI's ``--check``)
     check_invariants: bool = False
@@ -115,6 +135,35 @@ class SimConfig:
     name: str = ""
 
     def __post_init__(self) -> None:
+        # Normalize the policy fields: spec strings and instances are
+        # both accepted, instances are stored (strings for eviction,
+        # which is a per-store mutable object).
+        object.__setattr__(
+            self, "ram_policy",
+            policy_registry.resolve("writeback", self.ram_policy),
+        )
+        object.__setattr__(
+            self, "flash_policy",
+            policy_registry.resolve("writeback", self.flash_policy),
+        )
+        if not isinstance(self.eviction_policy, str):
+            raise ConfigError(
+                "SimConfig.eviction_policy takes the spec string (eviction "
+                "policies are per-store mutable objects); got %r"
+                % type(self.eviction_policy).__name__
+            )
+        object.__setattr__(
+            self, "eviction_policy",
+            policy_registry.resolve("eviction", self.eviction_policy),
+        )
+        object.__setattr__(
+            self, "flash_admission",
+            policy_registry.resolve("admission", self.flash_admission),
+        )
+        object.__setattr__(
+            self, "flash_cleaning",
+            policy_registry.resolve("cleaning", self.flash_cleaning),
+        )
         if self.ram_bytes < 0 or self.flash_bytes < 0:
             raise ConfigError("cache sizes must be non-negative")
         if self.ram_bytes == 0 and self.flash_bytes == 0:
@@ -126,6 +175,23 @@ class SimConfig:
             raise ConfigError("FTL overprovision must be in [0, 1)")
         if self.invariant_check_interval < 1:
             raise ConfigError("invariant check interval must be >= 1")
+        if self.ftl_rated_erase_cycles < 1:
+            raise ConfigError("rated erase cycles must be >= 1")
+        if self.architecture.needs_integrated_management:
+            # Unified/exclusive manage flash inside the single LRU chain;
+            # the admission/cleaning hooks live in the layered stacks.
+            if not self.flash_admission.is_always:
+                raise ConfigError(
+                    "flash admission policies apply to the layered "
+                    "architectures (naive, lookaside); the %s architecture "
+                    "has no separate flash fill path" % self.architecture
+                )
+            if not self.flash_cleaning.is_periodic:
+                raise ConfigError(
+                    "flash cleaning policies apply to the layered "
+                    "architectures (naive, lookaside); the %s architecture "
+                    "has no separate flash syncer" % self.architecture
+                )
         if self.ftl_model and self.flash_parallelism > 0:
             raise ConfigError("the FTL model serializes internally; "
                               "flash_parallelism must be 0 with ftl_model")
@@ -165,9 +231,62 @@ class SimConfig:
     # --- variants ---------------------------------------------------------
 
     def with_policies(
-        self, ram: WritebackPolicy, flash: WritebackPolicy
+        self,
+        *args: WritebackPolicy,
+        eviction: object = None,
+        ram_writeback: object = None,
+        flash_writeback: object = None,
+        flash_admission: object = None,
+        flash_cleaning: object = None,
     ) -> "SimConfig":
-        return replace(self, ram_policy=ram, flash_policy=flash)
+        """A copy with any subset of the policy axes replaced.
+
+        Each axis accepts a spec string or a policy instance (see
+        :mod:`repro.policies`)::
+
+            config.with_policies(ram_writeback="p1", flash_writeback="a",
+                                 flash_admission="probationary:2",
+                                 flash_cleaning="alru:30")
+
+        The pre-registry positional form ``with_policies(ram, flash)``
+        still works but warns; it maps to
+        ``ram_writeback=``/``flash_writeback=``.
+        """
+        if args:
+            warnings.warn(
+                "with_policies(ram, flash) with positional writeback "
+                "policies is deprecated; use with_policies("
+                "ram_writeback=..., flash_writeback=...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if len(args) > 2:
+                raise ConfigError(
+                    "with_policies takes at most two positional "
+                    "(writeback) policies"
+                )
+            if ram_writeback is not None or (
+                len(args) == 2 and flash_writeback is not None
+            ):
+                raise ConfigError(
+                    "with_policies got writeback policies both "
+                    "positionally and by keyword"
+                )
+            ram_writeback = args[0]
+            if len(args) == 2:
+                flash_writeback = args[1]
+        overrides = {}
+        if eviction is not None:
+            overrides["eviction_policy"] = eviction
+        if ram_writeback is not None:
+            overrides["ram_policy"] = ram_writeback
+        if flash_writeback is not None:
+            overrides["flash_policy"] = flash_writeback
+        if flash_admission is not None:
+            overrides["flash_admission"] = flash_admission
+        if flash_cleaning is not None:
+            overrides["flash_cleaning"] = flash_cleaning
+        return replace(self, **overrides)
 
     def with_architecture(self, architecture: Architecture) -> "SimConfig":
         return replace(self, architecture=architecture)
@@ -198,14 +317,24 @@ class SimConfig:
         return replace(self, **overrides)
 
     def describe(self) -> str:
-        """One-line description for experiment logs."""
+        """One-line description for experiment logs.
+
+        Byte-identical to the pre-registry format at the paper-default
+        admission/cleaning policies (the differential harness folds this
+        string into result signatures).
+        """
+        extras = " persistent" if self.persistent_flash else ""
+        if not self.flash_admission.is_always:
+            extras += " admission=%s" % self.flash_admission.label
+        if not self.flash_cleaning.is_periodic:
+            extras += " cleaning=%s" % self.flash_cleaning.label
         return "%s ram=%s flash=%s ram_policy=%s flash_policy=%s%s" % (
             self.architecture,
             format_bytes(self.ram_bytes),
             format_bytes(self.flash_bytes),
             self.ram_policy,
             self.flash_policy,
-            " persistent" if self.persistent_flash else "",
+            extras,
         )
 
     # --- presets ----------------------------------------------------------

@@ -208,6 +208,21 @@ class LayeredStack(HostStack):
         self._flash_direct = (
             self.flash is not None and self.flash_device.unlimited_parallelism
         )
+        # Admission/cleaning controllers: None at the paper defaults
+        # (always-admit, periodic cleaning), so the default hot paths
+        # pay one ``is not None`` branch each and replay bit-identically
+        # to the pre-policy-API build.
+        self._admission = None
+        self._cleaning = None
+        if self.flash is not None:
+            admission = config.flash_admission
+            if not admission.is_always:
+                self._admission = admission.controller()
+                if self._admission.needs_ref_ledger:
+                    self.ram.enable_ref_ledger()
+            cleaning = config.flash_cleaning
+            if not cleaning.is_periodic:
+                self._cleaning = cleaning.controller(self)
 
     # --- presence bookkeeping for the consistency directory ---------------
 
@@ -261,6 +276,17 @@ class LayeredStack(HostStack):
         if self._has_ram:
             entry = self.ram.get(block)
             if entry is not None:
+                admission = self._admission
+                if (
+                    admission is not None
+                    and admission.promote_on_hit(self.ram.ref_count(block))
+                    and self._flash_online()
+                    and self.flash.peek(block) is None
+                ):
+                    # Probation served: this hit crosses the reference
+                    # threshold, so promote the block into flash (the
+                    # program is charged to this reader).
+                    yield from self._install_flash(block, dirty=False)
                 yield self._ram_read_ns
                 return
         if self.flash is not None and self._flash_online():
@@ -365,11 +391,21 @@ class LayeredStack(HostStack):
     # --- flash tier internals -----------------------------------------------
 
     def _install_flash(self, block: int, dirty: bool) -> Iterator:
-        """Write a block's data into the flash cache (fill or update)."""
+        """Write a block's data into the flash cache (fill or update).
+
+        Returns the admission verdict: False when the admission policy
+        rejected a *fill* (nothing was written to flash), True in every
+        other case (updates of resident blocks are never rejected).
+        """
         if self.flash is None or not self._flash_online():
-            return
+            return True
         existing = self.flash.peek(block)
+        admission = self._admission
         if existing is None:
+            if admission is not None and not admission.admit_fill(
+                block, self.ram.ref_count(block), self.sim.now
+            ):
+                return False
             yield from self._make_flash_room(block)
             if self.flash.peek(block) is None:
                 self.flash.put(
@@ -378,6 +414,8 @@ class LayeredStack(HostStack):
                 self._note_present(block)
         else:
             self.flash.get(block)  # touch
+            if admission is not None:
+                admission.note_update(self.sim.now)
         if self._flash_direct:
             yield self.flash_device.write_service_ns(block)
         else:
@@ -390,6 +428,10 @@ class LayeredStack(HostStack):
             self.flash_device.trim_block(block)
         elif dirty:
             self.flash.mark_dirty(block)
+            cleaning = self._cleaning
+            if cleaning is not None:
+                cleaning.note_dirtied(block, self.sim.now)
+        return True
 
     def _write_into_flash(self, block: int) -> Iterator:
         """Write *dirty* data into flash, then honor the flash policy."""
@@ -398,7 +440,13 @@ class LayeredStack(HostStack):
             # data goes straight to the filer (§3.8's availability gap).
             yield from self._filer_write()
             return
-        yield from self._install_flash(block, dirty=True)
+        admitted = yield from self._install_flash(block, dirty=True)
+        if not admitted:
+            # The admission policy kept this dirty block out of flash;
+            # its data still needs durability, so it writes through to
+            # the filer (charged to this writer, like an eviction).
+            yield from self._filer_write()
+            return
         policy = self.config.flash_policy
         if policy.kind is PolicyKind.SYNC:
             yield from self._flush_flash_block(block)
@@ -451,6 +499,12 @@ class LayeredStack(HostStack):
                 self._syncer_loop(ram_policy, self.ram, self._flush_ram_block),
                 "ram-syncer",
             )
+        if self._cleaning is not None:
+            # A non-default cleaning policy *replaces* the flash tier's
+            # periodic syncer (the write-path behavior of the flash
+            # writeback policy is unchanged).
+            self._cleaning.start()
+            return
         flash_policy = self.config.flash_policy
         if flash_policy.has_syncer and self.flash is not None:
             self._spawn(

@@ -91,6 +91,7 @@ class System:
                         timing=config.timing.flash,
                         persistent_metadata=config.persistent_flash,
                         overprovision=config.ftl_overprovision,
+                        rated_erase_cycles=config.ftl_rated_erase_cycles,
                         name="flash.h%d" % host_id,
                     )
                 else:
@@ -604,6 +605,85 @@ class System:
         if not factors:
             return None
         return sum(factors) / len(factors)
+
+    # --- endurance reporting -------------------------------------------
+
+    def total_flash_program_bytes(self) -> int:
+        """Bytes physically programmed across all flash devices during
+        the measurement phase (GC relocations included with the FTL
+        model; plain host traffic without)."""
+        return sum(
+            d.program_bytes() for d in self.flash_devices if d is not None
+        )
+
+    def total_flash_erases(self) -> int:
+        """Erase operations across all flash devices during the
+        measurement phase (0 without the FTL model)."""
+        return sum(
+            d.erase_count() for d in self.flash_devices if d is not None
+        )
+
+    def measured_write_amplification(self) -> Optional[float]:
+        """Measurement-window write amplification (flash page programs
+        per host page write), aggregated over the fleet's FTL devices.
+        None without the FTL model; 0.0 when nothing was written."""
+        host_pages = 0
+        flash_pages = 0
+        seen_ftl = False
+        for device in self.flash_devices:
+            if not isinstance(device, FTLFlashDevice):
+                continue
+            seen_ftl = True
+            host_pages += device.ftl.host_writes - device._host_writes_at_reset
+            flash_pages += device.ftl.flash_writes - device._flash_writes_at_reset
+        if not seen_ftl:
+            return None
+        if host_pages == 0:
+            return 0.0
+        return flash_pages / host_pages
+
+    def device_lifetime_days(self) -> Optional[float]:
+        """Projected device lifetime at the measured erase rate.
+
+        The fleet's worst (minimum) estimate: each FTL device's rated
+        erase budget (``rated_erase_cycles x n_blocks``) divided by its
+        measured erase rate over the measurement window.  ``inf`` when
+        no erase happened; None without the FTL model or before the
+        measurement phase produced any simulated time.
+        """
+        window_ns = self.measured_ns()
+        if window_ns <= 0:
+            return None
+        day_ns = 86_400 * 1_000_000_000
+        lifetimes: List[float] = []
+        for device in self.flash_devices:
+            if not isinstance(device, FTLFlashDevice):
+                continue
+            erases = device.erase_count()
+            if erases == 0:
+                lifetimes.append(float("inf"))
+                continue
+            budget = device.ftl.config.rated_total_erases
+            lifetimes.append(budget / erases * window_ns / day_ns)
+        if not lifetimes:
+            return None
+        return min(lifetimes)
+
+    def admission_stats(self) -> Optional[Dict[str, int]]:
+        """Summed admission-verdict counters across hosts (None when
+        the paper-default always-admit policy is active everywhere)."""
+        totals: Optional[Dict[str, int]] = None
+        for host in self.hosts:
+            controller = getattr(host, "_admission", None)
+            if controller is None:
+                continue
+            counters = controller.counters()
+            if totals is None:
+                totals = dict(counters)
+            else:
+                for key, value in counters.items():
+                    totals[key] = totals.get(key, 0) + value
+        return totals
 
 
 def _stores_of(host: HostStack):

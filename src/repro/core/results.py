@@ -46,6 +46,22 @@ class SimulationResults:
     #: mean write amplification across hosts' FTL-modeled flash devices
     #: (None unless the run used SimConfig.ftl_model)
     flash_write_amplification: Optional[float] = None
+    # --- endurance metrics (measurement phase) ---
+    #: bytes physically programmed into flash (GC relocations included
+    #: with the FTL model; host traffic only without)
+    flash_program_bytes: int = 0
+    #: flash erase-block erases (0 without the FTL model)
+    flash_erase_count: int = 0
+    #: measurement-window write amplification: flash page programs per
+    #: host page write, fleet-aggregated (None without the FTL model)
+    flash_write_amp: Optional[float] = None
+    #: projected device lifetime at the measured erase rate, against the
+    #: rated_erase_cycles budget (inf with zero erases; None without the
+    #: FTL model)
+    device_lifetime_days: Optional[float] = None
+    #: flash admission verdict counters (checks/admits/rejects summed
+    #: over hosts; None under the paper-default always-admit policy)
+    flash_admission_stats: Optional[Dict[str, int]] = None
     # network
     network_utilization: float = 0.0
     #: optional read-latency timeline (present when the run was invoked
@@ -143,6 +159,30 @@ class SimulationResults:
                 "flash traffic:     %d block reads, %d block writes"
                 % (self.flash_blocks_read, self.flash_blocks_written)
             )
+        if self.flash_program_bytes:
+            endurance = "flash endurance:   %.1f MB programmed" % (
+                self.flash_program_bytes / (1024 * 1024)
+            )
+            if self.flash_write_amp is not None:
+                endurance += ", WA %.2f, %d erases" % (
+                    self.flash_write_amp, self.flash_erase_count
+                )
+            if self.device_lifetime_days is not None:
+                if self.device_lifetime_days == float("inf"):
+                    endurance += ", lifetime inf"
+                else:
+                    endurance += ", lifetime %.0f days" % self.device_lifetime_days
+            lines.append(endurance)
+        if self.flash_admission_stats is not None:
+            stats = self.flash_admission_stats
+            lines.append(
+                "flash admission:   %d checks, %d admits, %d rejects"
+                % (
+                    stats.get("checks", 0),
+                    stats.get("admits", 0),
+                    stats.get("rejects", 0),
+                )
+            )
         lines.append("network util:      %.1f%%" % (100 * self.network_utilization))
         if len(self.per_host) > 1:
             for row in self.per_host:
@@ -189,7 +229,15 @@ class SimulationResults:
             "filer_writes": self.filer_writes,
             "network_utilization": self.network_utilization,
             "invalidation_fraction": self.invalidation_fraction,
+            "flash_program_bytes": self.flash_program_bytes,
+            "flash_erase_count": self.flash_erase_count,
         }
+        if self.flash_write_amp is not None:
+            payload["flash_write_amp"] = self.flash_write_amp
+        if self.device_lifetime_days is not None:
+            payload["device_lifetime_days"] = self.device_lifetime_days
+        if self.flash_admission_stats is not None:
+            payload["flash_admission_stats"] = dict(self.flash_admission_stats)
         if self.breakdown is not None:
             payload["breakdown"] = self.breakdown.as_dict()
         if self.obs_counters is not None:

@@ -141,6 +141,11 @@ def run_simulation(
         flash_blocks_read=flash_reads,
         flash_blocks_written=flash_writes,
         flash_write_amplification=system.mean_write_amplification(),
+        flash_program_bytes=system.total_flash_program_bytes(),
+        flash_erase_count=system.total_flash_erases(),
+        flash_write_amp=system.measured_write_amplification(),
+        device_lifetime_days=system.device_lifetime_days(),
+        flash_admission_stats=system.admission_stats(),
         network_utilization=system.mean_network_utilization(),
         read_timeline=metrics.read_timeline,
         per_host=system.per_host_summary(),

@@ -98,6 +98,7 @@ _EXTENSION_NAMES: Tuple[str, ...] = (
     "section74",
     "consistency_traffic",
     "ablations",
+    "endurance",
 )
 
 _REGISTRY = {

@@ -56,7 +56,7 @@ def run(
     for label in labels:
         policy = scaled_policy(WritebackPolicy.parse(label), scale)
         config = baseline_config(scale=scale)
-        configs.append(config.with_policies(policy, config.flash_policy))
+        configs.append(config.with_policies(ram_writeback=policy))
     for label, res in zip(labels, run_sweep(trace, configs, workers=workers)):
         ram_stats = res.tier_stats.get("ram", {})
         result.add_row(

@@ -70,7 +70,8 @@ def run(
         baseline_config(scale=scale)
         .with_architecture(arch)
         .with_policies(
-            scaled_policy(ram_policy, scale), scaled_policy(flash_policy, scale)
+            ram_writeback=scaled_policy(ram_policy, scale),
+            flash_writeback=scaled_policy(flash_policy, scale),
         )
         for arch, ram_policy, flash_policy in grid
     ]

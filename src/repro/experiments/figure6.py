@@ -96,7 +96,7 @@ def run(
             config = baseline_config(scale=scale)
             config = config.with_sizes(ram_bytes, config.flash_bytes)
             configs.append(
-                config.with_policies(scaled_policy(policy, scale), config.flash_policy)
+                config.with_policies(ram_writeback=scaled_policy(policy, scale))
             )
     results = iter(run_sweep(trace, configs, workers=workers))
     for paper_bytes, ram_bytes in zip(sweep, ram_sizes):

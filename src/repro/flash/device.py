@@ -147,6 +147,30 @@ class FlashDevice:
         self.blocks_read = 0
         self.blocks_written = 0
 
+    # --- endurance accounting -----------------------------------------
+
+    def program_bytes(self) -> int:
+        """Bytes physically programmed since the last counter reset.
+
+        The base model has no FTL, so this is exactly the host traffic
+        (doubled in persistent mode for the metadata page); the
+        FTL-backed subclass counts relocation traffic too.
+        """
+        from repro._units import BLOCK_SIZE
+
+        per_block = 2 * BLOCK_SIZE if self.persistent_metadata else BLOCK_SIZE
+        return self.blocks_written * per_block
+
+    def erase_count(self) -> int:
+        """Erase operations since the last counter reset (0 without an
+        FTL model — the base device never surfaces erases)."""
+        return 0
+
+    def measured_write_amplification(self) -> Optional[float]:
+        """Write amplification over the measurement window (None when
+        the device has no FTL to measure it with)."""
+        return None
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "<FlashDevice %s read=%dns write=%dns>" % (
             self.name,

@@ -38,6 +38,9 @@ class FTLConfig:
     overprovision: float = 0.07
     #: GC runs when free erase blocks drop to this count
     gc_threshold_blocks: int = 2
+    #: rated program/erase cycles per erase block (MLC-class default);
+    #: feeds the device-lifetime estimate in the endurance metrics
+    rated_erase_cycles: int = 3000
 
     def __post_init__(self) -> None:
         if self.n_blocks < 4 or self.pages_per_block < 1:
@@ -46,6 +49,13 @@ class FTLConfig:
             raise ConfigError("overprovision must be in [0, 1)")
         if self.gc_threshold_blocks < 1:
             raise ConfigError("gc threshold must be >= 1")
+        if self.rated_erase_cycles < 1:
+            raise ConfigError("rated erase cycles must be >= 1")
+
+    @property
+    def rated_total_erases(self) -> int:
+        """The device's whole erase budget (cycles x erase blocks)."""
+        return self.rated_erase_cycles * self.n_blocks
 
     @property
     def physical_pages(self) -> int:
@@ -126,13 +136,29 @@ class PageMappedFTL:
 
     @property
     def write_amplification(self) -> float:
-        """Total flash page writes per host page write (>= 1.0)."""
+        """Total flash page writes per host page write.
+
+        0.0 before any host write (an idle device amplifies nothing —
+        not NaN, not a ZeroDivisionError); >= 1.0 afterwards, since
+        every host write lands at least one flash page program.
+        """
         if self.host_writes == 0:
-            return 1.0
+            return 0.0
         return self.flash_writes / self.host_writes
 
     def wear_stats(self) -> Dict[str, float]:
-        """Min/max/mean erase counts across erase blocks."""
+        """Erase-count distribution across erase blocks.
+
+        Returns a dict with exactly three keys, all floats:
+
+        * ``"min"``  — fewest erases of any erase block;
+        * ``"max"``  — most erases of any erase block;
+        * ``"mean"`` — ``erases / n_blocks`` (the average cycles
+          consumed; ``max - min`` measures how well the greedy GC's
+          wear-aware tie-breaking levels the device).
+
+        All zero on a fresh device.
+        """
         counts = [blk.erase_count for blk in self._blocks]
         return {
             "min": float(min(counts)),

@@ -48,6 +48,7 @@ class FTLFlashDevice(FlashDevice):
         overprovision: float = 0.07,
         pages_per_block: int = 64,
         erase_ns: int = DEFAULT_ERASE_NS,
+        rated_erase_cycles: int = 3000,
         name: str = "ftl-flash",
     ) -> None:
         super().__init__(
@@ -68,6 +69,7 @@ class FTLFlashDevice(FlashDevice):
                 n_blocks=n_blocks,
                 pages_per_block=pages_per_block,
                 overprovision=overprovision,
+                rated_erase_cycles=rated_erase_cycles,
             )
         )
         self.erase_ns = erase_ns
@@ -75,6 +77,11 @@ class FTLFlashDevice(FlashDevice):
         # cache block number -> logical page
         self._lpn_of: Dict[int, int] = {}
         self._free_lpns = list(range(min(self.ftl.config.logical_pages, capacity_blocks)))
+        # FTL counter snapshots at the last reset_counters() call, so
+        # the endurance metrics cover the measurement window only.
+        self._host_writes_at_reset = 0
+        self._flash_writes_at_reset = 0
+        self._erases_at_reset = 0
 
     # --- address management ----------------------------------------------
 
@@ -137,9 +144,42 @@ class FTLFlashDevice(FlashDevice):
 
     # --- reporting ---------------------------------------------------------------
 
+    def reset_counters(self) -> None:
+        """Zero traffic counters and snapshot the FTL's lifetime
+        counters so endurance metrics cover the measurement window."""
+        super().reset_counters()
+        self._host_writes_at_reset = self.ftl.host_writes
+        self._flash_writes_at_reset = self.ftl.flash_writes
+        self._erases_at_reset = self.ftl.erases
+
     @property
     def write_amplification(self) -> float:
         return self.ftl.write_amplification
 
     def wear_stats(self):
         return self.ftl.wear_stats()
+
+    # --- endurance accounting ------------------------------------------
+
+    def program_bytes(self) -> int:
+        """Bytes physically programmed since the last counter reset —
+        host pages *and* GC relocations, plus the metadata page per
+        host write in persistent mode."""
+        from repro._units import BLOCK_SIZE
+
+        pages = self.ftl.flash_writes - self._flash_writes_at_reset
+        total = pages * BLOCK_SIZE
+        if self.persistent_metadata:
+            total += (
+                self.ftl.host_writes - self._host_writes_at_reset
+            ) * BLOCK_SIZE
+        return total
+
+    def erase_count(self) -> int:
+        return self.ftl.erases - self._erases_at_reset
+
+    def measured_write_amplification(self) -> Optional[float]:
+        host = self.ftl.host_writes - self._host_writes_at_reset
+        if host == 0:
+            return 0.0
+        return (self.ftl.flash_writes - self._flash_writes_at_reset) / host

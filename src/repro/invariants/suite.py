@@ -103,6 +103,10 @@ class CacheTierChecker(Checker):
             Architecture.LOOKASIDE,
         ):
             return
+        if not system.config.flash_admission.is_always:
+            # A selective admission policy legitimately leaves clean
+            # RAM-resident blocks without flash copies (rejected fills).
+            return
         for host in system.hosts:
             flash = getattr(host, "flash", None)
             if flash is None or host.flash_online_at != 0:
@@ -290,6 +294,86 @@ class KernelChecker(Checker):
             )
 
 
+class AdmissionChecker(Checker):
+    """Flash-admission accounting: every verdict is an admit or a
+    reject, and no flash insertion happens without an admit verdict
+    ("no flash write without an admission verdict")."""
+
+    name = "admission"
+
+    def check(self, system) -> None:
+        now = system.sim.now
+        for host in system.hosts:
+            controller = getattr(host, "_admission", None)
+            if controller is None:
+                continue
+            if controller.checks != controller.admits + controller.rejects:
+                fail(
+                    self.name,
+                    "host %d: %d admission checks != %d admits + %d rejects"
+                    % (
+                        host.host_id,
+                        controller.checks,
+                        controller.admits,
+                        controller.rejects,
+                    ),
+                    now,
+                    host=host.host_id,
+                    checks=controller.checks,
+                    admits=controller.admits,
+                    rejects=controller.rejects,
+                )
+            flash = getattr(host, "flash", None)
+            if flash is not None and flash.lifetime_insertions > controller.admits:
+                fail(
+                    self.name,
+                    "host %d: %d flash insertions exceed %d admission admits"
+                    % (host.host_id, flash.lifetime_insertions, controller.admits),
+                    now,
+                    host=host.host_id,
+                    insertions=flash.lifetime_insertions,
+                    admits=controller.admits,
+                )
+
+
+class CleaningChecker(Checker):
+    """Cleaning-policy invariants: under the aggressive (ACP-style)
+    policy the dirty backlog net of in-flight drains never exceeds the
+    high watermark."""
+
+    name = "cleaning"
+
+    def check(self, system) -> None:
+        from repro.policies.cleaning import AggressiveCleanController
+
+        now = system.sim.now
+        for host in system.hosts:
+            controller = getattr(host, "_cleaning", None)
+            if not isinstance(controller, AggressiveCleanController):
+                continue
+            store = controller.store
+            if store is None:
+                continue
+            backlog = store.dirty_count - controller.pending
+            if backlog > controller.high_blocks:
+                fail(
+                    self.name,
+                    "host %d: dirty backlog %d (net of %d draining) exceeds "
+                    "high watermark %d"
+                    % (
+                        host.host_id,
+                        store.dirty_count,
+                        controller.pending,
+                        controller.high_blocks,
+                    ),
+                    now,
+                    host=host.host_id,
+                    dirty=store.dirty_count,
+                    pending=controller.pending,
+                    high_blocks=controller.high_blocks,
+                )
+
+
 # --- registry and suite -------------------------------------------------
 
 #: ``system -> iterable of checkers``; factories run at suite build time.
@@ -297,7 +381,13 @@ CheckerFactory = Callable[[object], Iterable[Checker]]
 
 
 def _default_checkers(_system) -> Iterable[Checker]:
-    return [CacheTierChecker(), FTLChecker(), KernelChecker()]
+    return [
+        CacheTierChecker(),
+        FTLChecker(),
+        KernelChecker(),
+        AdmissionChecker(),
+        CleaningChecker(),
+    ]
 
 
 _factories: List[CheckerFactory] = [_default_checkers]

@@ -176,6 +176,14 @@ class _ObsLayeredMixin(_ObsStackMixin):
             if entry is not None:
                 if rec is not None:
                     rec.emit(sim.now, _TIER_HIT, self.host_id, block, tier="ram")
+                admission = self._admission
+                if (
+                    admission is not None
+                    and admission.promote_on_hit(self.ram.ref_count(block))
+                    and self._flash_online()
+                    and self.flash.peek(block) is None
+                ):
+                    yield from self._install_flash_obs(block, False, span)
                 yield self._ram_read_ns
                 span.ram += self._ram_read_ns
                 return
@@ -289,10 +297,15 @@ class _ObsLayeredMixin(_ObsStackMixin):
     def _install_flash_obs(self, block: int, dirty: bool, span: Span) -> Iterator:
         """Instrumented twin of LayeredStack._install_flash."""
         if self.flash is None or not self._flash_online():
-            return
+            return True
         sim = self.sim
         existing = self.flash.peek(block)
+        admission = self._admission
         if existing is None:
+            if admission is not None and not admission.admit_fill(
+                block, self.ram.ref_count(block), sim.now
+            ):
+                return False
             yield from self._make_flash_room_obs(block, span)
             if self.flash.peek(block) is None:
                 self.flash.put(
@@ -301,6 +314,8 @@ class _ObsLayeredMixin(_ObsStackMixin):
                 self._note_present(block)
         else:
             self.flash.get(block)  # touch
+            if admission is not None:
+                admission.note_update(sim.now)
         if self._flash_direct:
             service = self.flash_device.write_service_ns(block)
             yield service
@@ -313,13 +328,20 @@ class _ObsLayeredMixin(_ObsStackMixin):
             self.flash_device.trim_block(block)
         elif dirty:
             self.flash.mark_dirty(block)
+            cleaning = self._cleaning
+            if cleaning is not None:
+                cleaning.note_dirtied(block, sim.now)
+        return True
 
     def _write_into_flash_obs(self, block: int, span: Span) -> Iterator:
         """Instrumented twin of LayeredStack._write_into_flash."""
         if self.flash is not None and not self._flash_online():
             yield from self._filer_write_obs(block, span)
             return
-        yield from self._install_flash_obs(block, True, span)
+        admitted = yield from self._install_flash_obs(block, True, span)
+        if not admitted:
+            yield from self._filer_write_obs(block, span)
+            return
         policy = self.config.flash_policy
         if policy.kind is PolicyKind.SYNC:
             yield from self._flush_flash_block_obs(block, span)

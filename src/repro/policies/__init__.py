@@ -1,0 +1,353 @@
+"""The unified policy registry.
+
+Historically "policy" meant three unrelated surfaces in this codebase:
+``SimConfig.eviction_policy`` (a bare string), ``WritebackPolicy``
+dataclasses imported from :mod:`repro.core.policies`, and the flash
+syncer hardcoded into the host stacks.  This package unifies them — and
+adds the two new axes, flash *admission* and flash *cleaning* — behind
+one registry:
+
+>>> import repro.policies as policies
+>>> policies.get("admission", "probationary", min_refs=3)
+ProbationaryAdmit(min_refs=3)
+>>> policies.resolve("cleaning", "alru:30").label
+'alru:30s'
+>>> policies.resolve("writeback", "p5").label
+'p5'
+
+Four kinds:
+
+``eviction``
+    :class:`~repro.cache.policy.EvictionPolicy` orderings (``lru``,
+    ``fifo``, ``clock``, ``slru[:fraction]``).  Constructed per store —
+    ``get`` takes an optional ``capacity_blocks`` to size SLRU's
+    protected segment.
+``admission``
+    :class:`~repro.policies.admission.AdmissionPolicy` specs gating
+    entry to the flash tier (``always``, ``probationary[:min_refs]``,
+    ``budget:<bytes/s>[:<burst>]``; sizes accept K/M/G suffixes).
+``cleaning``
+    :class:`~repro.policies.cleaning.CleaningPolicy` specs for flushing
+    dirty flash blocks (``periodic``, ``alru[:idle_seconds]``,
+    ``acp[:high[:low]]``).
+``writeback``
+    :class:`~repro.core.policies.WritebackPolicy` in the paper's
+    notation (``s``, ``a``, ``p<seconds>``, ``n``, plus the ``t``/``d``
+    extensions) or by long name (``sync``, ``async``, ``periodic``...).
+
+Everywhere a policy is consumed (``SimConfig``, ``BlockStore``), either
+the spec *string* or a policy *instance* is accepted; strings round-trip
+through :func:`resolve`.  ``WritebackPolicy`` is also re-exported here,
+its new canonical import location.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+from repro.errors import ConfigError
+from repro.policies.admission import (
+    AdmissionController,
+    AdmissionPolicy,
+    AlwaysAdmit,
+    ProbationaryAdmit,
+    WriteBudgetAdmit,
+)
+from repro.policies.cleaning import (
+    AggressiveClean,
+    AgedClean,
+    CleaningController,
+    CleaningPolicy,
+    PeriodicClean,
+)
+
+__all__ = [
+    "KINDS",
+    "get",
+    "resolve",
+    "available",
+    "AdmissionPolicy",
+    "AlwaysAdmit",
+    "ProbationaryAdmit",
+    "WriteBudgetAdmit",
+    "AdmissionController",
+    "CleaningPolicy",
+    "PeriodicClean",
+    "AgedClean",
+    "AggressiveClean",
+    "CleaningController",
+    "WritebackPolicy",
+    "EvictionPolicy",
+]
+
+KINDS = ("eviction", "admission", "cleaning", "writeback")
+
+
+def __getattr__(name: str):
+    # Lazy: repro.core.__init__ -> config -> repro.policies would cycle
+    # if WritebackPolicy (or EvictionPolicy, via repro.cache) were
+    # imported eagerly here.
+    if name == "WritebackPolicy":
+        from repro.core.policies import WritebackPolicy
+
+        return WritebackPolicy
+    if name == "EvictionPolicy":
+        from repro.cache.policy import EvictionPolicy
+
+        return EvictionPolicy
+    raise AttributeError("module %r has no attribute %r" % (__name__, name))
+
+
+# --- helpers --------------------------------------------------------------
+
+_SIZE_SUFFIXES = {"k": 1024, "m": 1024 ** 2, "g": 1024 ** 3, "t": 1024 ** 4}
+
+
+def _parse_size(text: str) -> float:
+    """Parse ``"8388608"``, ``"8M"``, ``"0.5G"``, ``"64MB"`` to bytes."""
+    lowered = text.strip().lower()
+    if lowered.endswith("b"):
+        lowered = lowered[:-1]
+    multiplier = 1
+    if lowered and lowered[-1] in _SIZE_SUFFIXES:
+        multiplier = _SIZE_SUFFIXES[lowered[-1]]
+        lowered = lowered[:-1]
+    try:
+        return float(lowered) * multiplier
+    except ValueError:
+        raise ConfigError("bad size %r (expected e.g. 8388608, 8M, 0.5G)" % text) from None
+
+
+def _check_kind(kind: str) -> str:
+    lowered = str(kind).lower()
+    if lowered not in KINDS:
+        raise ConfigError(
+            "unknown policy kind %r (choose from %s)" % (kind, ", ".join(KINDS))
+        )
+    return lowered
+
+
+def _split_spec(spec: str):
+    parts = spec.strip().lower().split(":")
+    return parts[0], parts[1:]
+
+
+def _parse_admission(spec: str) -> AdmissionPolicy:
+    name, params = _split_spec(spec)
+    try:
+        if name == "always" and not params:
+            return AlwaysAdmit()
+        if name == "probationary" and len(params) <= 1:
+            if params:
+                return ProbationaryAdmit(min_refs=int(params[0]))
+            return ProbationaryAdmit()
+        if name == "budget" and 1 <= len(params) <= 2:
+            rate = _parse_size(params[0])
+            if len(params) == 2:
+                return WriteBudgetAdmit(
+                    bytes_per_second=rate, burst_bytes=_parse_size(params[1])
+                )
+            return WriteBudgetAdmit(bytes_per_second=rate)
+    except (ValueError, TypeError):
+        raise ConfigError("bad admission policy spec %r" % spec) from None
+    raise ConfigError(
+        "unknown admission policy %r (expected always, "
+        "probationary[:min_refs], or budget:<bytes/s>[:<burst>])" % spec
+    )
+
+
+def _parse_cleaning(spec: str) -> CleaningPolicy:
+    from repro._units import SECOND
+
+    name, params = _split_spec(spec)
+    try:
+        if name == "periodic" and not params:
+            return PeriodicClean()
+        if name == "alru" and len(params) <= 1:
+            if params:
+                return AgedClean(idle_ns=int(float(params[0]) * SECOND))
+            return AgedClean()
+        if name == "acp" and len(params) <= 2:
+            if len(params) == 2:
+                return AggressiveClean(
+                    high_fraction=float(params[0]), low_fraction=float(params[1])
+                )
+            if len(params) == 1:
+                return AggressiveClean(high_fraction=float(params[0]))
+            return AggressiveClean()
+    except (ValueError, TypeError):
+        raise ConfigError("bad cleaning policy spec %r" % spec) from None
+    raise ConfigError(
+        "unknown cleaning policy %r (expected periodic, "
+        "alru[:idle_seconds], or acp[:high[:low]])" % spec
+    )
+
+
+_WRITEBACK_LONG_NAMES = {
+    "sync": "s",
+    "async": "a",
+    "asynchronous": "a",
+    "none": "n",
+}
+
+
+def _parse_writeback(spec: str):
+    from repro.core.policies import WritebackPolicy
+
+    name, params = _split_spec(spec)
+    name = _WRITEBACK_LONG_NAMES.get(name, name)
+    if params:
+        factories = {
+            "periodic": WritebackPolicy.periodic,
+            "trickle": WritebackPolicy.trickle,
+            "delayed": WritebackPolicy.delayed,
+        }
+        if name in factories and len(params) == 1:
+            try:
+                return factories[name](float(params[0]))
+            except ValueError:
+                raise ConfigError("bad writeback policy spec %r" % spec) from None
+        raise ConfigError("bad writeback policy spec %r" % spec)
+    if name in ("periodic", "trickle", "delayed"):
+        raise ConfigError(
+            "writeback policy %r needs a period, e.g. %s:5" % (spec, name)
+        )
+    return WritebackPolicy.parse(name)
+
+
+# --- the registry API -----------------------------------------------------
+
+def get(kind: str, name: str, **params):
+    """Construct a policy by kind and name with keyword parameters.
+
+    >>> get("admission", "probationary", min_refs=4).min_refs
+    4
+    >>> get("writeback", "periodic", seconds=5).label
+    'p5'
+    >>> type(get("eviction", "clock")).__name__
+    'ClockPolicy'
+    """
+    kind = _check_kind(kind)
+    if kind == "eviction":
+        from repro.cache.policy import _make_policy
+
+        capacity = params.pop("capacity_blocks", 0)
+        fraction = params.pop("protected_fraction", None)
+        if params:
+            raise ConfigError(
+                "eviction policies take only capacity_blocks/"
+                "protected_fraction, got %s" % ", ".join(sorted(params))
+            )
+        spec = name if fraction is None else "%s:%g" % (name, fraction)
+        return _make_policy(spec, capacity)
+    if kind == "writeback":
+        from repro.core.policies import WritebackPolicy
+
+        seconds = params.pop("seconds", None)
+        if params:
+            raise ConfigError(
+                "writeback policies take only seconds=, got %s"
+                % ", ".join(sorted(params))
+            )
+        if seconds is not None:
+            return _parse_writeback("%s:%g" % (name, seconds))
+        return _parse_writeback(name)
+    classes = {
+        "admission": {
+            "always": AlwaysAdmit,
+            "probationary": ProbationaryAdmit,
+            "budget": WriteBudgetAdmit,
+        },
+        "cleaning": {
+            "periodic": PeriodicClean,
+            "alru": AgedClean,
+            "acp": AggressiveClean,
+        },
+    }[kind]
+    lowered = str(name).lower()
+    if lowered not in classes:
+        raise ConfigError(
+            "unknown %s policy %r (choose from %s)"
+            % (kind, name, ", ".join(sorted(classes)))
+        )
+    return classes[lowered](**params)
+
+
+def resolve(kind: str, value):
+    """Accept a spec string or a policy instance; return the instance.
+
+    This is what ``SimConfig`` uses to normalize its policy fields, so
+    ``SimConfig(flash_admission="probationary:2")`` and
+    ``SimConfig(flash_admission=ProbationaryAdmit(min_refs=2))`` are the
+    same configuration.
+    """
+    kind = _check_kind(kind)
+    if kind == "admission":
+        if isinstance(value, AdmissionPolicy):
+            return value
+        if isinstance(value, str):
+            return _parse_admission(value)
+    elif kind == "cleaning":
+        if isinstance(value, CleaningPolicy):
+            return value
+        if isinstance(value, str):
+            return _parse_cleaning(value)
+    elif kind == "writeback":
+        from repro.core.policies import WritebackPolicy
+
+        if isinstance(value, WritebackPolicy):
+            return value
+        if isinstance(value, str):
+            return _parse_writeback(value)
+    else:  # eviction
+        from repro.cache.policy import EvictionPolicy
+
+        if isinstance(value, EvictionPolicy):
+            return value
+        if isinstance(value, str):
+            # Defer construction: eviction policies are per-store mutable
+            # objects sized by the store, so the *string* is the spec.
+            from repro.cache.policy import _make_policy
+
+            _make_policy(value, 0)  # validate eagerly
+            return value.lower()
+    raise ConfigError(
+        "%s policy must be a spec string or policy instance, got %r"
+        % (kind, type(value).__name__)
+    )
+
+
+def available(kind: Optional[str] = None) -> Dict[str, Dict[str, str]]:
+    """Registry listing: ``{kind: {name: synopsis}}`` for the CLI/docs."""
+    catalog = {
+        "eviction": {
+            "lru": "least-recently-used (the paper's choice)",
+            "fifo": "first-in-first-out, reuse-blind",
+            "clock": "second-chance approximation of LRU",
+            "slru[:fraction]": "segmented LRU, scan-resistant",
+        },
+        "admission": {
+            "always": "admit every block to flash (paper baseline)",
+            "probationary[:min_refs]": "admit only blocks with >= min_refs RAM references (Flashield-style)",
+            "budget:<bytes/s>[:<burst>]": "token-bucket budget on flash program bytes (WLFC-style)",
+        },
+        "cleaning": {
+            "periodic": "flash writeback policy's own syncer (paper baseline)",
+            "alru[:idle_seconds]": "flush dirty flash blocks idle >= threshold (Open-CAS ALRU)",
+            "acp[:high[:low]]": "drain dirty backlog between watermarks (Open-CAS ACP)",
+        },
+        "writeback": {
+            "s | sync": "blocking write-through",
+            "a | async": "non-blocking write-through",
+            "p<sec> | periodic:<sec>": "periodic syncer",
+            "n | none": "write back only on eviction",
+            "t<sec> | trickle:<sec>": "flushes spread across the period",
+            "d<sec> | delayed:<sec>": "per-block flush after a delay",
+        },
+    }
+    if kind is None:
+        return catalog
+    return {_check_kind(kind): catalog[_check_kind(kind)]}
+
+
+PolicyLike = Union[str, AdmissionPolicy, CleaningPolicy]

@@ -1,0 +1,295 @@
+"""Flash admission policies: who gets to *enter* the flash cache.
+
+The paper's flash tier admits every block it sees ("newly referenced
+blocks are first placed in flash"); the follow-on literature shows that
+gating admission is the main lever on device endurance — every rejected
+fill is a flash program (and eventually an erase) that never happens.
+Three policies are modeled:
+
+* :class:`AlwaysAdmit` — the paper's baseline.  Every fill is admitted;
+  the host stacks compile this down to *no admission code at all* (the
+  controller is ``None``), so the paper-default configuration replays
+  bit-identically to a build without this module.
+* :class:`ProbationaryAdmit` — Flashield-style "flashiness": a block
+  may enter flash only once it has proven itself in RAM, i.e. been
+  referenced at least ``min_refs`` times since its RAM insertion.  The
+  reference ledger lives in the RAM tier's
+  :class:`~repro.cache.store.BlockStore` (eviction from RAM resets the
+  count — a block must re-earn admission after falling out of RAM).
+* :class:`WriteBudgetAdmit` — WLFC-style write-limited caching: a token
+  bucket refilled at ``bytes_per_second`` of simulated time gates flash
+  fills.  Updates of already-resident blocks always proceed (rejecting
+  them would corrupt the cache) but debit the bucket, so heavy update
+  traffic starves future fills.
+
+A policy object is an immutable, hashable, picklable *spec* — it can
+sit in a frozen :class:`~repro.core.config.SimConfig` and travel to
+sweep worker processes.  Per-host mutable state lives in the
+*controller* built by :meth:`AdmissionPolicy.controller`, one per host
+stack.
+
+Admission verdicts are counted (``checks == admits + rejects``) and the
+:mod:`repro.invariants` suite asserts that no flash fill ever bypassed
+a verdict.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro._units import BLOCK_SIZE, SECOND, format_bytes
+from repro.errors import ConfigError
+
+
+class AdmissionPolicy:
+    """Spec base class for flash admission policies.
+
+    Subclasses take keyword-only constructor arguments, are immutable
+    and hashable (value semantics over ``_fields``), and build their
+    per-host runtime state via :meth:`controller`.
+    """
+
+    __slots__ = ()
+    #: registry name (the part before ``:`` in a spec string)
+    name = "admission"
+    #: constructor fields, in spec-string order
+    _fields: tuple = ()
+
+    @property
+    def is_always(self) -> bool:
+        """True for the paper-default admit-everything policy (which
+        the host stacks compile to a no-op)."""
+        return False
+
+    @property
+    def label(self) -> str:
+        params = tuple(getattr(self, f) for f in self._fields)
+        if not params:
+            return self.name
+        return "%s:%s" % (self.name, ":".join("%g" % p for p in params))
+
+    def controller(self) -> Optional["AdmissionController"]:
+        """Fresh per-host mutable state (None for always-admit)."""
+        raise NotImplementedError
+
+    def scaled(self, scale: int) -> "AdmissionPolicy":
+        """Spec adjusted for a geometry divided by ``scale`` (see
+        :func:`repro.experiments.common.scaled_policy`); admission
+        policies are rate/count based and mostly scale-invariant."""
+        return self
+
+    def _key(self):
+        return (type(self).__name__,) + tuple(
+            getattr(self, f) for f in self._fields
+        )
+
+    def __eq__(self, other) -> bool:
+        return type(other) is type(self) and other._key() == self._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        params = ", ".join(
+            "%s=%r" % (f, getattr(self, f)) for f in self._fields
+        )
+        return "%s(%s)" % (type(self).__name__, params)
+
+    # __slots__ classes need explicit state plumbing for pickle.
+    def __getstate__(self):
+        return {f: getattr(self, f) for f in self._fields}
+
+    def __setstate__(self, state) -> None:
+        for f, value in state.items():
+            object.__setattr__(self, f, value)
+
+
+class AlwaysAdmit(AdmissionPolicy):
+    """The paper's baseline: every block is admitted to flash."""
+
+    __slots__ = ()
+    name = "always"
+
+    @property
+    def is_always(self) -> bool:
+        return True
+
+    def controller(self) -> None:
+        return None
+
+
+class ProbationaryAdmit(AdmissionPolicy):
+    """Admit a block to flash only once RAM has seen it ``min_refs``
+    times (Flashield-style probation).
+
+    The count is the number of RAM-tier references (reads *and* write
+    hits both touch) since the block's RAM insertion; eviction from RAM
+    resets it.  Read misses therefore never fill flash directly — a
+    block is *promoted* into flash on the RAM hit that crosses the
+    threshold, and the flash program is charged to that reader.
+    """
+
+    __slots__ = ("min_refs",)
+    name = "probationary"
+    _fields = ("min_refs",)
+
+    def __init__(self, *, min_refs: int = 2) -> None:
+        if min_refs < 1:
+            raise ConfigError("probationary admission needs min_refs >= 1")
+        object.__setattr__(self, "min_refs", int(min_refs))
+
+    def __setattr__(self, key, value):  # immutability by convention
+        raise AttributeError("AdmissionPolicy specs are immutable")
+
+    def controller(self) -> "ProbationaryController":
+        return ProbationaryController(self)
+
+
+class WriteBudgetAdmit(AdmissionPolicy):
+    """Token-bucket budget on flash program bytes (WLFC-style).
+
+    Fills need a full block's worth of tokens; updates of resident
+    blocks always proceed but debit the bucket (the balance may go
+    negative, delaying future fills).  ``burst_bytes`` caps the bucket
+    (default: one second's refill).
+    """
+
+    __slots__ = ("bytes_per_second", "burst_bytes")
+    name = "budget"
+    _fields = ("bytes_per_second", "burst_bytes")
+
+    def __init__(
+        self, *, bytes_per_second: float, burst_bytes: Optional[float] = None
+    ) -> None:
+        if bytes_per_second <= 0:
+            raise ConfigError("write budget needs bytes_per_second > 0")
+        if burst_bytes is None:
+            burst_bytes = bytes_per_second
+        if burst_bytes < BLOCK_SIZE:
+            raise ConfigError(
+                "write-budget burst must cover at least one %d-byte block"
+                % BLOCK_SIZE
+            )
+        object.__setattr__(self, "bytes_per_second", float(bytes_per_second))
+        object.__setattr__(self, "burst_bytes", float(burst_bytes))
+
+    def __setattr__(self, key, value):
+        raise AttributeError("AdmissionPolicy specs are immutable")
+
+    @property
+    def label(self) -> str:
+        return "budget:%s/s" % format_bytes(int(self.bytes_per_second))
+
+    def scaled(self, scale: int) -> "WriteBudgetAdmit":
+        # A scaled trace moves ``scale``x less data in ``scale``x less
+        # simulated time, so the byte *rate* is scale-invariant; only
+        # the absolute burst shrinks with the geometry.
+        if scale <= 1:
+            return self
+        return WriteBudgetAdmit(
+            bytes_per_second=self.bytes_per_second,
+            burst_bytes=max(float(BLOCK_SIZE), self.burst_bytes / scale),
+        )
+
+    def controller(self) -> "WriteBudgetController":
+        return WriteBudgetController(self)
+
+
+class AdmissionController:
+    """Per-host mutable admission state plus verdict counters.
+
+    ``admit_fill`` is the formal verdict for inserting a *new* block
+    into flash; every call is counted, and the invariant suite checks
+    ``checks == admits + rejects`` and that the flash store's lifetime
+    insertions never exceed ``admits``.
+    """
+
+    __slots__ = ("spec", "checks", "admits", "rejects")
+    #: True when the RAM store must maintain the per-block ref ledger
+    needs_ref_ledger = False
+
+    def __init__(self, spec: AdmissionPolicy) -> None:
+        self.spec = spec
+        self.checks = 0
+        self.admits = 0
+        self.rejects = 0
+
+    def admit_fill(self, block: int, refs: int, now: int) -> bool:
+        """Verdict for filling ``block`` (RAM ref count ``refs``) into
+        flash at simulated time ``now``."""
+        raise NotImplementedError
+
+    def promote_on_hit(self, refs: int) -> bool:
+        """Cheap pre-check on the RAM hit path: should this hit attempt
+        a flash promotion?  (The attempt still goes through
+        :meth:`admit_fill` for the counted verdict.)"""
+        return False
+
+    def note_update(self, now: int) -> None:
+        """An update of an already-resident flash block happened."""
+
+    def counters(self) -> Dict[str, int]:
+        return {
+            "checks": self.checks,
+            "admits": self.admits,
+            "rejects": self.rejects,
+        }
+
+    def _admit(self) -> bool:
+        self.checks += 1
+        self.admits += 1
+        return True
+
+    def _reject(self) -> bool:
+        self.checks += 1
+        self.rejects += 1
+        return False
+
+
+class ProbationaryController(AdmissionController):
+    __slots__ = ("_min_refs",)
+    needs_ref_ledger = True
+
+    def __init__(self, spec: ProbationaryAdmit) -> None:
+        super().__init__(spec)
+        self._min_refs = spec.min_refs
+
+    def admit_fill(self, block: int, refs: int, now: int) -> bool:
+        if refs >= self._min_refs:
+            return self._admit()
+        return self._reject()
+
+    def promote_on_hit(self, refs: int) -> bool:
+        return refs >= self._min_refs
+
+
+class WriteBudgetController(AdmissionController):
+    __slots__ = ("_tokens", "_last_ns", "_rate_per_ns", "_burst")
+
+    def __init__(self, spec: WriteBudgetAdmit) -> None:
+        super().__init__(spec)
+        self._burst = spec.burst_bytes
+        self._tokens = spec.burst_bytes
+        self._last_ns = 0
+        self._rate_per_ns = spec.bytes_per_second / SECOND
+
+    def _refill(self, now: int) -> None:
+        elapsed = now - self._last_ns
+        if elapsed > 0:
+            self._tokens = min(
+                self._burst, self._tokens + elapsed * self._rate_per_ns
+            )
+            self._last_ns = now
+
+    def admit_fill(self, block: int, refs: int, now: int) -> bool:
+        self._refill(now)
+        if self._tokens >= BLOCK_SIZE:
+            self._tokens -= BLOCK_SIZE
+            return self._admit()
+        return self._reject()
+
+    def note_update(self, now: int) -> None:
+        # Updates are never blocked, but they consume budget (possibly
+        # driving the balance negative and starving future fills).
+        self._refill(now)
+        self._tokens -= BLOCK_SIZE

@@ -553,6 +553,36 @@ def run_sweep(
     return outcome.results
 
 
+def policy_grid(
+    base: SimConfig,
+    *,
+    flash_admission: Sequence = ("always",),
+    flash_cleaning: Sequence = ("periodic",),
+) -> List[Tuple[str, str, SimConfig]]:
+    """Expand a base config over the admission x cleaning policy matrix.
+
+    Each axis takes :mod:`repro.policies` spec strings or policy
+    instances; the result is ``(admission_label, cleaning_label,
+    config)`` rows in row-major order, ready for :func:`run_sweep`::
+
+        grid = policy_grid(base, flash_admission=["always", "probationary:2"],
+                           flash_cleaning=["periodic", "acp:0.5"])
+        results = run_sweep(trace, [config for _, _, config in grid])
+    """
+    from repro import policies as policy_registry
+
+    rows: List[Tuple[str, str, SimConfig]] = []
+    for admission in flash_admission:
+        admission = policy_registry.resolve("admission", admission)
+        for cleaning in flash_cleaning:
+            cleaning = policy_registry.resolve("cleaning", cleaning)
+            config = base.with_policies(
+                flash_admission=admission, flash_cleaning=cleaning
+            )
+            rows.append((admission.label, cleaning.label, config))
+    return rows
+
+
 def _execute_serial(
     points: Sequence[SweepPoint], pending: Sequence[Tuple[int, str]]
 ) -> List[Tuple[SimulationResults, float]]:

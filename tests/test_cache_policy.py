@@ -1,15 +1,22 @@
 """Tests for eviction policies (LRU, FIFO, CLOCK)."""
 
+import random
+
 import pytest
 
+import repro.policies as policies
 from repro.cache.policy import (
     ClockPolicy,
     FIFOPolicy,
     LRUPolicy,
     SLRUPolicy,
-    make_policy,
 )
 from repro.errors import CacheError
+
+
+def make_policy(name, capacity_blocks=0):
+    """Tests build evictors through the unified registry."""
+    return policies.get("eviction", name, capacity_blocks=capacity_blocks)
 
 
 class TestLRU:
@@ -232,3 +239,128 @@ class TestMakePolicy:
     def test_unknown_rejected(self):
         with pytest.raises(CacheError):
             make_policy("arc")
+
+    def test_legacy_entry_point_warns_but_works(self):
+        import repro.cache.policy as cache_policy
+
+        with pytest.warns(DeprecationWarning):
+            policy = cache_policy.make_policy("lru")
+        assert isinstance(policy, LRUPolicy)
+
+
+class TestVictimContract:
+    """The EvictionPolicy.victim(skip) contract, exercised the same way
+    across every unparameterized policy:
+
+    * empty policy -> victim() is None, with or without a skip filter;
+    * skip everything -> None (never an excluded key, never a crash);
+    * skip some -> the victim is a tracked, non-skipped key;
+    * no filter -> the victim is a tracked key;
+    * remove(victim) always succeeds afterwards (the store's usage).
+    """
+
+    POLICIES = [LRUPolicy, FIFOPolicy, ClockPolicy]
+
+    @pytest.mark.parametrize("cls", POLICIES)
+    def test_empty_policy_returns_none(self, cls):
+        policy = cls()
+        assert policy.victim() is None
+        assert policy.victim(skip=lambda k: False) is None
+        assert policy.victim(skip=lambda k: True) is None
+
+    @pytest.mark.parametrize("cls", POLICIES)
+    def test_all_pinned_returns_none(self, cls):
+        policy = cls()
+        for key in range(8):
+            policy.insert(key)
+        assert policy.victim(skip=lambda k: True) is None
+        # The scan must not disturb membership.
+        assert sorted(policy) == list(range(8))
+
+    @pytest.mark.parametrize("cls", POLICIES)
+    @pytest.mark.parametrize("seed", [1, 7, 42])
+    def test_random_workload_respects_skip(self, cls, seed):
+        rng = random.Random(seed)
+        policy = cls()
+        tracked = set()
+        for step in range(400):
+            action = rng.random()
+            if action < 0.45 or not tracked:
+                key = rng.randrange(64)
+                if key not in tracked:
+                    policy.insert(key)
+                    tracked.add(key)
+            elif action < 0.65:
+                policy.touch(rng.choice(sorted(tracked)))
+            elif action < 0.8:
+                key = rng.choice(sorted(tracked))
+                policy.remove(key)
+                tracked.discard(key)
+            else:
+                pinned = {k for k in tracked if rng.random() < 0.5}
+                victim = policy.victim(skip=lambda k: k in pinned)
+                if pinned == tracked:
+                    assert victim is None
+                else:
+                    assert victim in tracked - pinned
+                    policy.remove(victim)
+                    tracked.discard(victim)
+            assert len(policy) == len(tracked)
+        assert set(policy) == tracked
+
+
+class TestRefLedgerEvictionInterplay:
+    """The probationary admission ledger must track store membership:
+    eviction resets a block's reference count, so a block that cycles
+    out of RAM starts probation from scratch when it returns."""
+
+    def _store(self, capacity=4):
+        from repro.cache.store import BlockStore
+
+        store = BlockStore(capacity, policy="lru")
+        store.enable_ref_ledger()
+        return store
+
+    def test_touches_count_refs(self):
+        store = self._store()
+        store.put(1)
+        assert store.ref_count(1) == 0
+        store.get(1)
+        store.get(1)
+        assert store.ref_count(1) == 2
+
+    def test_eviction_resets_refs(self):
+        store = self._store(capacity=2)
+        store.put(1)
+        store.get(1)
+        store.get(1)
+        store.put(2)  # LRU order: 1 (older insert+touch), then 2 (MRU)
+        assert store.ref_count(1) == 2
+        victim = store.pop_victim()
+        assert victim.block == 1
+        assert store.ref_count(1) == 0
+        # Re-inserting starts probation from scratch.
+        store.put(1)
+        assert store.ref_count(1) == 0
+
+    def test_explicit_remove_resets_refs(self):
+        store = self._store()
+        store.put(5)
+        store.get(5)
+        assert store.ref_count(5) == 1
+        store.remove(5)
+        assert store.ref_count(5) == 0
+
+    def test_ledger_disabled_reports_zero(self):
+        from repro.cache.store import BlockStore
+
+        store = BlockStore(4, policy="lru")
+        store.put(1)
+        store.get(1)
+        assert store.ref_count(1) == 0
+
+    def test_enable_is_idempotent(self):
+        store = self._store()
+        touch = store._touch
+        store.enable_ref_ledger()
+        assert store._touch is touch

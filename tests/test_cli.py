@@ -97,6 +97,7 @@ class TestExperimentsRunner:
             "section74",
             "consistency_traffic",
             "ablations",
+            "endurance",
         }
 
     def test_chart_flag(self, capsys):

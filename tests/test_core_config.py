@@ -116,9 +116,19 @@ class TestSimConfig:
     def test_with_helpers(self):
         config = SimConfig.baseline()
         assert config.with_architecture(Architecture.UNIFIED).architecture is Architecture.UNIFIED
-        updated = config.with_policies(WritebackPolicy.sync(), WritebackPolicy.none())
+        updated = config.with_policies(
+            ram_writeback=WritebackPolicy.sync(),
+            flash_writeback=WritebackPolicy.none(),
+        )
         assert updated.ram_policy.label == "s"
         assert updated.flash_policy.label == "n"
+        # The legacy positional form still works, with a warning.
+        with pytest.warns(DeprecationWarning):
+            legacy = config.with_policies(
+                WritebackPolicy.sync(), WritebackPolicy.none()
+            )
+        assert legacy.ram_policy.label == "s"
+        assert legacy.flash_policy.label == "n"
         resized = config.with_sizes(MB, 2 * MB)
         assert resized.ram_bytes == MB
 

@@ -82,10 +82,25 @@ class TestGarbageCollection:
             for lpn in range(ftl.config.logical_pages):
                 ftl.write(lpn)
         wear = ftl.wear_stats()
+        assert set(wear) == {"min", "max", "mean"}
+        assert all(isinstance(value, float) for value in wear.values())
         assert wear["max"] >= wear["mean"] >= wear["min"] >= 0
+        assert wear["mean"] == ftl.erases / ftl.config.n_blocks
 
-    def test_no_host_writes_means_unit_amplification(self):
-        assert small_ftl().write_amplification == 1.0
+    def test_wear_stats_all_zero_on_fresh_device(self):
+        wear = small_ftl().wear_stats()
+        assert set(wear) == {"min", "max", "mean"}
+        assert wear == {"min": 0.0, "max": 0.0, "mean": 0.0}
+
+    def test_no_host_writes_means_zero_amplification(self):
+        # Before any host write there is no traffic to amplify: the
+        # ratio is defined as 0.0, not 1.0 (and not NaN).
+        assert small_ftl().write_amplification == 0.0
+
+    def test_first_host_write_brings_amplification_to_one(self):
+        ftl = small_ftl()
+        ftl.write(0)
+        assert ftl.write_amplification == 1.0
 
 
 class TestConfig:

@@ -328,9 +328,11 @@ class TestSilentFailureFixes:
         import tempfile as _tempfile
 
         monkeypatch.setattr(_tempfile, "tempdir", str(tmp_path))
-        bad = SimConfig(
-            ram_bytes=1 * MB, flash_bytes=4 * MB, eviction_policy="bogus"
-        )
+        # The registry validates eviction specs at construction time, so
+        # smuggle the bad name in afterwards: the point must fail inside
+        # the worker, mid-sweep, to exercise spool cleanup.
+        bad = SimConfig(ram_bytes=1 * MB, flash_bytes=4 * MB)
+        object.__setattr__(bad, "eviction_policy", "bogus")
         points = [
             SweepPoint(config=bad, trace=small_trace),
             SweepPoint(config=small_grid()[0], trace=small_trace),

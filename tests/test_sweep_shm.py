@@ -76,7 +76,10 @@ class TestShmLifecycle:
 
     def test_failing_point_leaks_nothing(self, small_trace):
         before = shm_names()
-        bad = SimConfig(ram_bytes=1 * MB, flash_bytes=4 * MB, eviction_policy="bogus")
+        # Eviction specs validate at construction time now; smuggle the
+        # bad name in so the failure happens inside the worker.
+        bad = SimConfig(ram_bytes=1 * MB, flash_bytes=4 * MB)
+        object.__setattr__(bad, "eviction_policy", "bogus")
         points = [
             SweepPoint(config=bad, trace=small_trace),
             SweepPoint(config=grid(1)[0], trace=small_trace),
@@ -262,7 +265,10 @@ class TestPersistentPool:
         shutdown_pool()
         run_sweep(small_trace, grid(2), workers=2)
         pool = sweep._POOL
-        bad = SimConfig(ram_bytes=1 * MB, flash_bytes=4 * MB, eviction_policy="bogus")
+        # Eviction specs validate at construction time now; smuggle the
+        # bad name in so the failure happens inside the worker.
+        bad = SimConfig(ram_bytes=1 * MB, flash_bytes=4 * MB)
+        object.__setattr__(bad, "eviction_policy", "bogus")
         with pytest.raises(ReproError):
             run_sweep_points(
                 [
