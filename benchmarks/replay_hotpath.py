@@ -211,6 +211,53 @@ def _bench_sweep(trace, scale: int, workers: int, repeats: int) -> Dict:
     }
 
 
+def _bench_chunked(trace, replay: Dict[str, Dict], scale: int) -> Dict:
+    """Streamed-replay identity gate: the same trace spooled into its
+    bounded-memory chunked form must reproduce every materialized
+    replay signature bit for bit (and we record its throughput).
+
+    The section is *additive* — not part of the required schema — so
+    older BENCH_replay.json files stay valid; but a signature mismatch
+    fails the benchmark run itself (see ``main``).
+    """
+    from repro.traces.chunked import ChunkedCompiledTrace
+
+    chunked = ChunkedCompiledTrace.from_trace(trace)
+    runs: Dict[str, Dict] = {}
+    mismatches: List[str] = []
+    try:
+        for architecture in ARCHITECTURES:
+            config = baseline_config(
+                scale=scale, architecture=Architecture.parse(architecture)
+            )
+            start = time.perf_counter()
+            result = run_simulation(chunked, config)
+            wall = time.perf_counter() - start
+            signature = result_signature(result)
+            reference = replay[architecture]["signature"]
+            identical = signature == reference
+            if not identical:
+                mismatches.extend(
+                    "%s.%s: %r != %r"
+                    % (architecture, key, reference.get(key), signature.get(key))
+                    for key in reference
+                    if reference.get(key) != signature.get(key)
+                )
+            blocks = replay[architecture]["blocks"]
+            runs[architecture] = {
+                "wall_s": round(wall, 4),
+                "blocks_per_sec": round(blocks / wall, 1),
+                "identical": identical,
+            }
+    finally:
+        chunked.delete()
+    return {
+        "replay": runs,
+        "identical": not mismatches,
+        "mismatches": mismatches[:10],
+    }
+
+
 def measure(scale: int, fast: bool, repeats: int, sweep_workers: int) -> Dict:
     """Run the whole benchmark once and return one baseline/post section."""
     volume_multiple = 2.0 if fast else 4.0
@@ -224,7 +271,8 @@ def measure(scale: int, fast: bool, repeats: int, sweep_workers: int) -> Dict:
         replay[architecture] = _bench_one(architecture, trace, config, repeats)
         profile[architecture] = _profile_one(architecture, trace, config)
     sweep = _bench_sweep(trace, scale, sweep_workers, max(1, repeats - 1))
-    return {"replay": replay, "sweep": sweep, "profile": profile}
+    chunked = _bench_chunked(trace, replay, scale)
+    return {"replay": replay, "sweep": sweep, "profile": profile, "chunked": chunked}
 
 
 # --- merging and drift checks -------------------------------------------
@@ -392,6 +440,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             sweep["parallel_speedup"],
         )
     )
+
+    chunked = payload["post"].get("chunked")
+    if chunked is not None:
+        if not chunked.get("identical", True):
+            print("chunked replay signature mismatch vs materialized:")
+            for problem in chunked.get("mismatches", [])[:10]:
+                print("  - %s" % problem)
+            return 3
+        walls = [run["wall_s"] for run in chunked["replay"].values()]
+        print(
+            "chunked    %d replays bit-identical to materialized "
+            "(%.3fs total streamed replay)" % (len(walls), sum(walls))
+        )
 
     drift = _signature_drift(payload["baseline"], payload["post"])
     if drift:

@@ -58,10 +58,17 @@ from repro.core import (
     run_simulation,
 )
 from repro.obs import Observation
-from repro.tracegen import TraceGenConfig, generate_trace
-from repro.traces import CompiledTrace, Trace, TraceOp, TraceRecord, compile_trace
+from repro.tracegen import TraceGenConfig, generate_trace, generate_trace_chunked
+from repro.traces import (
+    ChunkedCompiledTrace,
+    CompiledTrace,
+    Trace,
+    TraceOp,
+    TraceRecord,
+    compile_trace,
+)
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 
 def __getattr__(name: str):
@@ -117,10 +124,12 @@ __all__ = [
     "run_sweep_points",
     "TraceGenConfig",
     "generate_trace",
+    "generate_trace_chunked",
     "Trace",
     "TraceOp",
     "TraceRecord",
     "CompiledTrace",
     "compile_trace",
+    "ChunkedCompiledTrace",
     "__version__",
 ]

@@ -25,6 +25,7 @@ from repro.flash.device import FlashDevice
 from repro.flash.ftl_device import FTLFlashDevice
 from repro.invariants import build_suite, resolve_enabled
 from repro.net.link import NetworkSegment
+from repro.traces.chunked import ChunkedCompiledTrace
 from repro.traces.compiled import CompiledTrace
 from repro.traces.records import Trace, TraceRecord
 
@@ -196,12 +197,15 @@ class System:
     # --- replay -----------------------------------------------------------
 
     def replay(self, trace) -> None:
-        """Replay the whole trace (``Trace`` or ``CompiledTrace``) to
-        completion.  Compiled traces take the packed-column hot loop;
-        the instrumented (observability) path needs record objects, so
-        a compiled trace is materialized first when tracing is on.
+        """Replay the whole trace (``Trace``, ``CompiledTrace``, or
+        ``ChunkedCompiledTrace``) to completion.  Compiled traces —
+        in-memory or chunked/spooled — take the packed-column hot loop
+        (chunked ones feed it lazy row streams, so peak memory stays
+        bounded by chunk size); the instrumented (observability) path
+        needs record objects, so a compiled trace is materialized first
+        when tracing is on.
         """
-        if isinstance(trace, CompiledTrace):
+        if isinstance(trace, (CompiledTrace, ChunkedCompiledTrace)):
             if self.obs is not None:
                 trace = trace.to_trace()
             else:
@@ -236,9 +240,13 @@ class System:
         if self.invariants is not None:
             self.invariants.final()
 
-    def _replay_compiled(self, trace: CompiledTrace) -> None:
+    def _replay_compiled(self, trace) -> None:
         """Compiled-trace twin of :meth:`replay` (keep in sync): same
-        spawn order, same warmup accounting, bit-identical results."""
+        spawn order, same warmup accounting, bit-identical results.
+        ``trace`` is a ``CompiledTrace`` or ``ChunkedCompiledTrace``;
+        both expose the same ``issuer_plan()``/``warmup_blocks()``
+        contract, differing only in whether the row containers are
+        materialized lists or bounded streaming reads."""
         plan = trace.issuer_plan()
         self._blocks_until_measurement = trace.warmup_blocks()
         if self._blocks_until_measurement == 0:
@@ -279,11 +287,18 @@ class System:
     def _thread_process_compiled(
         self,
         stack: HostStack,
-        warmup_rows: List[Tuple[int, int, int]],
-        measured_rows: List[Tuple[int, int, int]],
+        warmup_rows,
+        measured_rows,
     ):
         """One application thread over packed rows — the compiled twin
         of :meth:`_thread_process` (keep in sync).
+
+        The row containers are any re-iterable of ``(op, start_block,
+        nblocks)`` int tuples: materialized lists from
+        ``CompiledTrace.issuer_plan`` or lazy run-buffer streams from
+        ``ChunkedCompiledTrace.issuer_plan``.  Each is iterated exactly
+        once per replay, in order, so both forms drive the identical
+        sequence of block operations.
 
         The warmup/measured split is precomputed (no per-record warmup
         test), rows are plain int tuples (no attribute or property
@@ -386,7 +401,7 @@ class System:
     def _measured_rows_generic(
         self,
         stack: HostStack,
-        measured_rows: List[Tuple[int, int, int]],
+        measured_rows,
     ):
         """Measured-phase loop through the metric wrappers — used when a
         latency timeline is collected (the wrapper owns the bucketing)

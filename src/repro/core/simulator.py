@@ -10,6 +10,7 @@ from repro.core.machine import System
 from repro.core.restart import RestartSpec
 from repro.core.results import SimulationResults
 from repro.errors import ConfigError
+from repro.traces.chunked import ChunkedCompiledTrace
 from repro.traces.compiled import CompiledTrace, compile_trace
 from repro.traces.records import Trace
 
@@ -39,7 +40,7 @@ def _auto_compile_min_records() -> int:
 
 
 def run_simulation(
-    trace: Union[Trace, CompiledTrace],
+    trace: Union[Trace, CompiledTrace, ChunkedCompiledTrace],
     config: SimConfig,
     *,
     n_hosts: Optional[int] = None,
@@ -58,11 +59,17 @@ def run_simulation(
     For batches of independent points, use :func:`repro.sweep.run_sweep`
     — it fans configurations across CPU cores and caches results.
 
-    ``trace`` may be a :class:`~repro.traces.records.Trace` or a
-    :class:`~repro.traces.compiled.CompiledTrace`.  Plain traces with at
-    least ``REPRO_COMPILE_MIN_RECORDS`` records (default
+    ``trace`` may be a :class:`~repro.traces.records.Trace`, a
+    :class:`~repro.traces.compiled.CompiledTrace`, or a
+    :class:`~repro.traces.chunked.ChunkedCompiledTrace` (a spooled
+    trace replayed with peak memory bounded by chunk size — see
+    ``docs/SCALING.md``).  Plain traces with at least
+    ``REPRO_COMPILE_MIN_RECORDS`` records (default
     ``AUTO_COMPILE_MIN_RECORDS``) are compiled automatically unless the
-    run attaches an Observation; results are bit-identical either way.
+    run attaches an Observation; results are bit-identical across all
+    three forms.  Observation runs need record objects, so a chunked
+    trace is materialized first in that case — attach observations to
+    traces that fit in memory.
 
     ``n_hosts`` defaults to the number of hosts appearing in the trace.
     ``cold_start=True`` removes the warmup phase instead of replaying

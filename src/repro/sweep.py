@@ -70,6 +70,7 @@ from repro.core.restart import RestartSpec
 from repro.core.results import SimulationResults
 from repro.core.simulator import run_simulation
 from repro.errors import ConfigError
+from repro.traces.chunked import ChunkedCompiledTrace
 from repro.traces.compiled import CompiledTrace, compile_trace
 from repro.traces.records import Trace
 
@@ -86,10 +87,11 @@ __all__ = [
     "set_default_cache_dir",
 ]
 
-TraceLike = Union[Trace, CompiledTrace, str, Path]
+TraceLike = Union[Trace, CompiledTrace, ChunkedCompiledTrace, str, Path]
 
 #: A picklable handle a worker resolves to a trace: ``("path", path)``
-#: for an on-disk trace (text/binary/pickle spool) or
+#: for an on-disk trace (text/binary/pickle spool, or a chunked-trace
+#: spool *directory* workers reopen with bounded memory) or
 #: ``("shm", segment_name, payload_bytes)`` for a compiled trace
 #: published in POSIX shared memory.
 TraceRef = Tuple
@@ -115,9 +117,11 @@ class SweepPoint:
     """One independent simulation point of a sweep.
 
     ``trace`` may be an in-memory :class:`Trace`, a pre-compiled
-    :class:`~repro.traces.compiled.CompiledTrace`, or a path to a saved
-    trace file (text, binary, or pickle spool).  The remaining fields
-    mirror :func:`repro.run_simulation`'s keyword-only options.
+    :class:`~repro.traces.compiled.CompiledTrace`, a bounded-memory
+    :class:`~repro.traces.chunked.ChunkedCompiledTrace`, or a path to a
+    saved trace file (text, binary, pickle spool, or a chunked-spool
+    directory).  The remaining fields mirror
+    :func:`repro.run_simulation`'s keyword-only options.
     """
 
     config: SimConfig
@@ -248,7 +252,7 @@ def _normalize_workers(workers: int) -> int:
 # --------------------------------------------------------------------------
 
 
-def trace_fingerprint(trace: Union[Trace, CompiledTrace]) -> str:
+def trace_fingerprint(trace: Union[Trace, CompiledTrace, ChunkedCompiledTrace]) -> str:
     """A stable content hash of a trace (records, geometry, warmup).
 
     Computed over the packed columnar form's flat buffers — a handful
@@ -259,7 +263,7 @@ def trace_fingerprint(trace: Union[Trace, CompiledTrace]) -> str:
     memoized, so fingerprinting a trace that is about to fan out is
     free work, not extra work.
     """
-    if isinstance(trace, CompiledTrace):
+    if isinstance(trace, (CompiledTrace, ChunkedCompiledTrace)):
         return trace.fingerprint
     cached = trace.__dict__.get("_sweep_fingerprint")
     if cached is not None:
@@ -301,7 +305,11 @@ _WORKER_TRACE_CACHE_MAX = 8
 
 
 def _load_trace_path(path: str):
-    """Load one trace file (pickle spool or text/binary format)."""
+    """Load one trace file (pickle spool, chunked spool dir, or text)."""
+    if os.path.isdir(path):
+        # A chunked-trace spool directory: reopen with bounded memory
+        # instead of materializing the records.
+        return ChunkedCompiledTrace.open(path)
     if path.endswith(".pkl"):
         with open(path, "rb") as handle:
             return pickle.load(handle)
@@ -358,6 +366,9 @@ def _load_trace_ref(ref: TraceRef):
         trace, cleanup = _attach_shm_trace(ref[1], ref[2])
     else:
         trace, cleanup = _load_trace_path(ref[1]), None
+        if isinstance(trace, ChunkedCompiledTrace):
+            # Eviction must release the spool's row-file handle.
+            cleanup = trace.close
     while len(_WORKER_TRACE_CACHE) >= _WORKER_TRACE_CACHE_MAX:
         oldest = next(iter(_WORKER_TRACE_CACHE))
         _, old_cleanup = _WORKER_TRACE_CACHE.pop(oldest)
@@ -483,7 +494,9 @@ def run_sweep_points(
         if cache_path is not None:
             trace_print = (
                 trace_fingerprint(point.trace)
-                if isinstance(point.trace, (Trace, CompiledTrace))
+                if isinstance(
+                    point.trace, (Trace, CompiledTrace, ChunkedCompiledTrace)
+                )
                 else _file_fingerprint(Path(point.trace))
             )
             key = _point_fingerprint(trace_print, point)
@@ -591,7 +604,7 @@ def _execute_serial(
     for index, _key in pending:
         point = points[index]
         trace = point.trace
-        if not isinstance(trace, (Trace, CompiledTrace)):
+        if not isinstance(trace, (Trace, CompiledTrace, ChunkedCompiledTrace)):
             trace = _load_trace_ref(("path", str(trace)))
         started = time.perf_counter()
         result = run_simulation(trace, point.config, **point.run_options())
@@ -885,8 +898,13 @@ def _trace_ref(
 
     In-memory traces are exported to shared memory once per distinct
     content fingerprint (``refs`` is the per-sweep dedupe table) with a
-    disk spool as fallback; path traces pass through untouched.
+    disk spool as fallback; path traces pass through untouched.  A
+    chunked trace is already on disk — workers reopen its spool
+    directory directly, so no export happens and each worker's replay
+    stays bounded by its chunk window.
     """
+    if isinstance(trace, ChunkedCompiledTrace):
+        return ("path", str(trace.spool_dir))
     if not isinstance(trace, (Trace, CompiledTrace)):
         return ("path", str(trace))
     fingerprint = trace_fingerprint(trace)
@@ -1011,7 +1029,18 @@ def _sweep_stale_tmp(directory: Path, max_age: float = _STALE_TMP_SECONDS) -> in
 
 
 def _file_fingerprint(path: Path) -> str:
-    """Content hash of an on-disk trace file (for cache keying)."""
+    """Content hash of an on-disk trace file (for cache keying).
+
+    A chunked-spool *directory* already carries its content fingerprint
+    in the manifest (computed at freeze over the column bytes), so it is
+    read back instead of re-hashing the multi-gigabyte spool.
+    """
+    if path.is_dir():
+        trace = ChunkedCompiledTrace.open(path)
+        try:
+            return trace.fingerprint
+        finally:
+            trace.close()
     digest = hashlib.sha256()
     digest.update(b"repro-trace-file-v1")
     with open(path, "rb") as handle:

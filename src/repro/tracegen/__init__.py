@@ -14,7 +14,7 @@ Pipeline: :func:`repro.fsmodel.generate_filesystem` →
 
 from repro.tracegen.config import TraceGenConfig
 from repro.tracegen.workingset import WorkingSet, WorkingSetPiece, build_working_set
-from repro.tracegen.generator import generate_trace
+from repro.tracegen.generator import generate_trace, generate_trace_chunked
 
 __all__ = [
     "TraceGenConfig",
@@ -22,4 +22,5 @@ __all__ = [
     "WorkingSetPiece",
     "build_working_set",
     "generate_trace",
+    "generate_trace_chunked",
 ]

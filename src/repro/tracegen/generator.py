@@ -14,11 +14,22 @@ For every I/O request (per §4 of the paper):
 Requests accumulate until the total volume reaches
 ``volume_multiple x working_set`` blocks; the first ``warmup_fraction``
 of that volume is flagged as warmup.
+
+Two entry points share one request iterator (and therefore one RNG
+consumption pattern, so their outputs are record-for-record identical):
+
+* :func:`generate_trace` materializes a :class:`Trace` of record
+  objects — fine up to a few million records;
+* :func:`generate_trace_chunked` streams the same requests directly
+  into a :class:`~repro.traces.chunked.ChunkedCompiledTrace` spool,
+  never building a ``TraceRecord``, with peak memory bounded by chunk
+  size — the paper-scale path (ROADMAP item 3).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.fsmodel.distributions import WeightedSampler, poisson_sample
 from repro.fsmodel.files import FileSystemModel
@@ -26,24 +37,18 @@ from repro.fsmodel.impressions import generate_filesystem
 from repro.engine.rng import RngStreams
 from repro.tracegen.config import TraceGenConfig
 from repro.tracegen.workingset import WorkingSet, build_working_set
+from repro.traces.chunked import ChunkedCompiledTrace, ChunkedTraceWriter
 from repro.traces.records import Trace, TraceOp, TraceRecord
 
+#: One generated request: (is_write, host, thread, file_id, start,
+#: length, is_warmup).
+Request = Tuple[bool, int, int, int, int, int, bool]
 
-def generate_trace(
-    config: TraceGenConfig, model: Optional[FileSystemModel] = None
-) -> Trace:
-    """Generate a synthetic trace.
 
-    ``model`` lets callers reuse one expensive file-system model across
-    many trace configurations (the experiments all share the paper's
-    single "1.4 TB file server model"); by default a model is generated
-    from ``config.fs``.
-    """
-    if model is None:
-        model = generate_filesystem(config.fs)
-    streams = RngStreams(config.seed)
-
-    # --- working sets -------------------------------------------------
+def _build_working_sets(
+    config: TraceGenConfig, model: FileSystemModel, streams: RngStreams
+) -> Dict[int, WorkingSet]:
+    """Per-host working sets (one shared set when configured)."""
     ws_rng = streams.stream("tracegen", "workingset")
     working_sets: Dict[int, WorkingSet] = {}
     if config.shared_working_set:
@@ -57,16 +62,25 @@ def generate_trace(
             working_sets[host] = build_working_set(
                 model, config.working_set_blocks, config.region_mean_blocks, ws_rng
             )
+    return working_sets
 
-    # --- request generation ----------------------------------------------
+
+def _iter_requests(
+    config: TraceGenConfig, model: FileSystemModel, streams: RngStreams
+) -> Iterator[Request]:
+    """Yield the request stream both generator entry points consume.
+
+    The RNG draw order here *is* the trace content contract: any
+    reordering changes every generated trace.  Both the materializing
+    and the chunked path run this exact iterator, which is what makes
+    their outputs (and fingerprints) bit-identical.
+    """
     io_rng = streams.stream("tracegen", "requests")
     file_sampler = WeightedSampler(model.popularities())
+    working_sets = _build_working_sets(config, model, streams)
 
-    records: List[TraceRecord] = []
     volume_blocks = 0
     warmup_boundary_blocks = int(config.target_volume_blocks * config.warmup_fraction)
-    warmup_records = 0
-
     while volume_blocks < config.target_volume_blocks:
         host = io_rng.randrange(config.n_hosts)
         thread = io_rng.randrange(config.threads_per_host)
@@ -87,6 +101,54 @@ def generate_trace(
             start = io_rng.randrange(spec.blocks - length + 1)
             file_id = spec.file_id
 
+        yield (
+            is_write,
+            host,
+            thread,
+            file_id,
+            start,
+            length,
+            volume_blocks < warmup_boundary_blocks,
+        )
+        volume_blocks += length
+
+
+def _trace_metadata(config: TraceGenConfig) -> Dict[str, str]:
+    return {
+        "generator": "repro.tracegen",
+        "working_set_bytes": str(config.working_set_bytes),
+        "n_hosts": str(config.n_hosts),
+        "threads_per_host": str(config.threads_per_host),
+        "write_fraction": "%g" % config.write_fraction,
+        "ws_fraction": "%g" % config.ws_fraction,
+        "seed": str(config.seed),
+        "shared_working_set": str(config.shared_working_set),
+    }
+
+
+def generate_trace(
+    config: TraceGenConfig, model: Optional[FileSystemModel] = None
+) -> Trace:
+    """Generate a synthetic trace as in-memory record objects.
+
+    ``model`` lets callers reuse one expensive file-system model across
+    many trace configurations (the experiments all share the paper's
+    single "1.4 TB file server model"); by default a model is generated
+    from ``config.fs``.
+
+    Peak memory is O(records); for traces that should not be
+    materialized, use :func:`generate_trace_chunked`, which produces
+    identical content.
+    """
+    if model is None:
+        model = generate_filesystem(config.fs)
+    streams = RngStreams(config.seed)
+
+    records: List[TraceRecord] = []
+    warmup_records = 0
+    for is_write, host, thread, file_id, start, length, is_warmup in _iter_requests(
+        config, model, streams
+    ):
         records.append(
             TraceRecord(
                 TraceOp.WRITE if is_write else TraceOp.READ,
@@ -97,23 +159,54 @@ def generate_trace(
                 length,
             )
         )
-        if volume_blocks < warmup_boundary_blocks:
+        if is_warmup:
             warmup_records += 1
-        volume_blocks += length
 
-    metadata = {
-        "generator": "repro.tracegen",
-        "working_set_bytes": str(config.working_set_bytes),
-        "n_hosts": str(config.n_hosts),
-        "threads_per_host": str(config.threads_per_host),
-        "write_fraction": "%g" % config.write_fraction,
-        "ws_fraction": "%g" % config.ws_fraction,
-        "seed": str(config.seed),
-        "shared_working_set": str(config.shared_working_set),
-    }
     return Trace(
         records,
         model.file_blocks(),
         warmup_records=warmup_records,
-        metadata=metadata,
+        metadata=_trace_metadata(config),
     )
+
+
+def generate_trace_chunked(
+    config: TraceGenConfig,
+    model: Optional[FileSystemModel] = None,
+    *,
+    spool_dir: Union[None, str, Path] = None,
+    chunk_records: Optional[int] = None,
+) -> ChunkedCompiledTrace:
+    """Generate the same synthetic trace directly into a chunked spool.
+
+    No ``TraceRecord`` objects are ever built: requests stream from the
+    shared iterator straight into a
+    :class:`~repro.traces.chunked.ChunkedTraceWriter`, so peak memory
+    is bounded by chunk size regardless of trace length.  Content — and
+    therefore the trace fingerprint and every replay signature — is
+    bit-identical to ``compile_trace(generate_trace(config, model))``.
+
+    ``spool_dir`` chooses where the spool lives (a temp directory by
+    default; call ``delete()`` on the result when done).
+    ``chunk_records`` overrides the chunk size (default
+    ``REPRO_TRACE_CHUNK_RECORDS`` or 65536).
+    """
+    if model is None:
+        model = generate_filesystem(config.fs)
+    streams = RngStreams(config.seed)
+
+    writer = ChunkedTraceWriter(
+        model.file_blocks(), spool_dir=spool_dir, chunk_records=chunk_records
+    )
+    warmup_records = 0
+    try:
+        for is_write, host, thread, file_id, start, length, is_warmup in _iter_requests(
+            config, model, streams
+        ):
+            writer.append(is_write, host, thread, file_id, start, length)
+            if is_warmup:
+                warmup_records += 1
+        return writer.freeze(warmup_records, _trace_metadata(config))
+    except BaseException:
+        writer.abort()
+        raise

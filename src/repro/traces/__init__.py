@@ -8,13 +8,17 @@ This package provides the in-memory representation
 (:class:`TraceRecord`, :class:`Trace`), the packed columnar form used
 by the replay fast path and zero-copy sweep fan-out
 (:class:`CompiledTrace`, :func:`compile_trace` in
-:mod:`repro.traces.compiled`), text and binary file formats with
-round-trip fidelity (:mod:`repro.traces.format`), and summary
-statistics used by validation tests (:mod:`repro.traces.stats`).
+:mod:`repro.traces.compiled`), the disk-backed bounded-memory form for
+traces too large to materialize (:class:`ChunkedCompiledTrace`,
+:class:`ChunkedTraceWriter` in :mod:`repro.traces.chunked`), text and
+binary file formats with round-trip fidelity
+(:mod:`repro.traces.format`), and summary statistics used by
+validation tests (:mod:`repro.traces.stats`).
 """
 
 from repro.traces.records import Trace, TraceOp, TraceRecord
 from repro.traces.compiled import CompiledTrace, compile_trace
+from repro.traces.chunked import ChunkedCompiledTrace, ChunkedTraceWriter
 from repro.traces.format import load_trace, save_trace
 from repro.traces.stats import TraceStats, compute_stats
 
@@ -24,6 +28,8 @@ __all__ = [
     "TraceRecord",
     "CompiledTrace",
     "compile_trace",
+    "ChunkedCompiledTrace",
+    "ChunkedTraceWriter",
     "load_trace",
     "save_trace",
     "TraceStats",

@@ -1,0 +1,875 @@
+"""Chunked compiled traces: the bounded-memory streaming trace form.
+
+:class:`~repro.traces.compiled.CompiledTrace` removed the per-record
+object cost but still materializes every column in RAM, so peak memory
+is O(trace length) — the wall ROADMAP item 3 names.  Week-long
+production block traces (MSR Cambridge, SPC) and "millions of users"
+synthetic runs do not fit that model.
+
+:class:`ChunkedCompiledTrace` keeps the *same* record content in an
+on-disk **spool directory** and holds only a bounded window of it in
+memory at a time:
+
+``manifest.json``
+    geometry (``file_blocks``), warmup counts, metadata, the chunk
+    index, the per-issuer run table, and the content fingerprint.
+
+``chunks.bin``
+    the six *stored* columns of the compiled format (``ops``,
+    ``hosts``, ``threads``, ``file_ids``, ``offsets``, ``nblocks`` —
+    25 bytes/record, little-endian), concatenated chunk by chunk.
+    ``start_blocks`` stays derived, exactly as in the flat wire format.
+
+``rows.bin``
+    replay rows ``(op, start_block, nblocks)`` packed as ``<BQI``
+    (13 bytes/row), grouped into per-issuer *runs* of at most
+    :data:`RUN_ROWS` rows.  :meth:`ChunkedCompiledTrace.issuer_plan`
+    hands the replay engine lazy row streams over these runs, so the
+    hot loop in ``System._thread_process_compiled`` runs unchanged
+    while peak memory stays at one run buffer per issuer.
+
+:class:`ChunkedTraceWriter` is the producer side: ``tracegen`` and the
+streaming importers append records one at a time (never building
+``TraceRecord`` objects), each full chunk is flushed to the spool, and
+:meth:`ChunkedTraceWriter.freeze` resolves the file geometry (deferred
+for importers, fixed for tracegen), partitions rows per issuer, and
+writes the manifest.
+
+The content fingerprint is **bit-identical** to
+:attr:`CompiledTrace.fingerprint` for the same records — the digest is
+fed the same header and the same column bytes in the same order, just
+read back from the spool in column-ordered passes.  That makes chunked
+traces first-class citizens of the sweep result cache and of the
+signature-drift gates (``repro.validation.differential``,
+``benchmarks/replay_hotpath.py``).
+
+Chunk size defaults to :data:`DEFAULT_CHUNK_RECORDS` records and is
+overridable via the ``REPRO_TRACE_CHUNK_RECORDS`` environment variable;
+see ``docs/SCALING.md`` ("Streaming traces and bounded-memory replay")
+for the memory model.
+"""
+
+from __future__ import annotations
+
+import atexit
+import hashlib
+import itertools
+import json
+import os
+import shutil
+import struct
+import sys
+import tempfile
+from array import array
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ConfigError, TraceFormatError
+from repro.traces.compiled import CompiledTrace, _column_bytes_le
+from repro.traces.records import Trace, TraceOp, TraceRecord
+
+__all__ = [
+    "ChunkedCompiledTrace",
+    "ChunkedTraceWriter",
+    "DEFAULT_CHUNK_RECORDS",
+    "CHUNK_RECORDS_ENV",
+    "RUN_ROWS",
+]
+
+#: Records per columnar chunk (the unit of spool I/O and of peak
+#: memory).  25 bytes/record stored, so the default is ~1.6 MB chunks.
+DEFAULT_CHUNK_RECORDS = 65_536
+
+#: Environment variable overriding :data:`DEFAULT_CHUNK_RECORDS`.
+CHUNK_RECORDS_ENV = "REPRO_TRACE_CHUNK_RECORDS"
+
+#: Rows per issuer run in ``rows.bin``: the replay-side memory unit.
+#: A stream holds at most one run buffer (13 B/row, ~106 KB) at a time.
+RUN_ROWS = 8192
+
+MANIFEST_NAME = "manifest.json"
+CHUNKS_NAME = "chunks.bin"
+ROWS_NAME = "rows.bin"
+_MANIFEST_VERSION = 1
+
+#: The stored columns in spool order: (name, typecode, width).  Must
+#: stay aligned with ``repro.traces.compiled._FINGERPRINT_COLUMNS`` —
+#: the fingerprint hashes these bytes in exactly this order.
+_CHUNK_COLUMNS: Tuple[Tuple[str, str, int], ...] = (
+    ("ops", "B", 1),
+    ("hosts", "I", 4),
+    ("threads", "I", 4),
+    ("file_ids", "I", 4),
+    ("offsets", "Q", 8),
+    ("nblocks", "I", 4),
+)
+
+_RECORD_BYTES = sum(width for _name, _tc, width in _CHUNK_COLUMNS)
+
+_ROW = struct.Struct("<BQI")  # (op, start_block, nblocks)
+_ROW_BYTES = _ROW.size
+
+
+def chunk_records_default() -> int:
+    """The configured chunk size (env knob with a validated fallback)."""
+    env = os.environ.get(CHUNK_RECORDS_ENV, "").strip()
+    if not env:
+        return DEFAULT_CHUNK_RECORDS
+    try:
+        value = int(env)
+    except ValueError:
+        raise ConfigError(
+            "%s must be an integer, got %r" % (CHUNK_RECORDS_ENV, env)
+        )
+    if value < 1:
+        raise ConfigError(
+            "%s must be >= 1, got %d" % (CHUNK_RECORDS_ENV, value)
+        )
+    return value
+
+
+def _array_from_le(typecode: str, data: bytes) -> array:
+    """Decode a little-endian column buffer into an array (the inverse
+    of ``_column_bytes_le``)."""
+    column = array(typecode)
+    column.frombytes(data)
+    if sys.byteorder != "little":  # pragma: no cover - BE only
+        column.byteswap()
+    return column
+
+
+def _column_offsets(n: int) -> Dict[str, Tuple[int, int]]:
+    """Byte (offset, length) of each column within an ``n``-record chunk."""
+    offsets: Dict[str, Tuple[int, int]] = {}
+    cursor = 0
+    for name, _tc, width in _CHUNK_COLUMNS:
+        offsets[name] = (cursor, n * width)
+        cursor += n * width
+    return offsets
+
+
+# Temp spools created for anonymous writers: removed at interpreter
+# exit if the owner never called delete() (crash-safety net, not the
+# primary cleanup path).
+_TEMP_SPOOLS: set = set()
+
+
+def _cleanup_temp_spools() -> None:  # pragma: no cover - exit hook
+    for path in list(_TEMP_SPOOLS):
+        shutil.rmtree(path, ignore_errors=True)
+
+
+atexit.register(_cleanup_temp_spools)
+
+
+class ChunkedTraceWriter:
+    """Streaming producer of a chunked-trace spool.
+
+    ``file_blocks`` fixes the geometry up front (tracegen: the
+    file-system model is known before the first record).  ``None``
+    defers it — the geometry grows to cover every extent seen, with
+    the same "starts at 1 block, grows to the largest end block" rule
+    as ``TraceBuilder`` — and freezes at :meth:`freeze` (importers:
+    the geometry is only known after the last line).
+
+    Records are appended one at a time; every ``chunk_records`` of
+    them are packed into a columnar chunk and flushed to
+    ``chunks.bin``, so writer memory is O(chunk), never O(trace).
+    """
+
+    def __init__(
+        self,
+        file_blocks: Optional[Sequence[int]] = None,
+        *,
+        spool_dir: Union[None, str, Path] = None,
+        chunk_records: Optional[int] = None,
+    ) -> None:
+        if chunk_records is None:
+            chunk_records = chunk_records_default()
+        if chunk_records < 1:
+            raise TraceFormatError(
+                "chunk_records must be >= 1, got %d" % chunk_records
+            )
+        self._chunk_records = chunk_records
+        self._deferred_geometry = file_blocks is None
+        self._file_blocks: List[int] = [] if file_blocks is None else list(file_blocks)
+        if self._deferred_geometry:
+            self._file_base: Optional[List[int]] = None
+        else:
+            for index, blocks in enumerate(self._file_blocks):
+                if blocks < 1:
+                    raise TraceFormatError(
+                        "file %d has non-positive size %d blocks" % (index, blocks)
+                    )
+        if spool_dir is None:
+            self._spool_dir = Path(tempfile.mkdtemp(prefix="repro-ctrace-"))
+            self._owns_temp = True
+            _TEMP_SPOOLS.add(str(self._spool_dir))
+        else:
+            self._spool_dir = Path(spool_dir)
+            self._spool_dir.mkdir(parents=True, exist_ok=True)
+            if (self._spool_dir / MANIFEST_NAME).exists():
+                raise TraceFormatError(
+                    "spool directory %s already holds a chunked trace"
+                    % self._spool_dir
+                )
+            self._owns_temp = False
+        self._chunks_file = open(self._spool_dir / CHUNKS_NAME, "wb")
+        self._chunk_index: List[Tuple[int, int]] = []  # (byte offset, records)
+        self._chunk_bytes = 0
+        self._n_records = 0
+        self._frozen = False
+        self._reset_columns()
+
+    def _reset_columns(self) -> None:
+        self._ops = array("B")
+        self._hosts = array("I")
+        self._threads = array("I")
+        self._file_ids = array("I")
+        self._offsets = array("Q")
+        self._nblocks = array("I")
+
+    @property
+    def spool_dir(self) -> Path:
+        return self._spool_dir
+
+    def __len__(self) -> int:
+        return self._n_records
+
+    def append(
+        self,
+        is_write: bool,
+        host: int,
+        thread: int,
+        file_id: int,
+        offset: int,
+        nblocks: int,
+    ) -> None:
+        """Append one record (same field semantics as ``TraceRecord``)."""
+        if self._frozen:
+            raise TraceFormatError("writer is frozen; no further appends")
+        if nblocks < 1:
+            raise TraceFormatError(
+                "record must cover >= 1 block, got %d" % nblocks
+            )
+        if min(host, thread, file_id, offset) < 0:
+            raise TraceFormatError("record fields must be non-negative")
+        if self._deferred_geometry:
+            file_blocks = self._file_blocks
+            while len(file_blocks) <= file_id:
+                file_blocks.append(1)
+            end = offset + nblocks
+            if end > file_blocks[file_id]:
+                file_blocks[file_id] = end
+        else:
+            if file_id >= len(self._file_blocks):
+                raise TraceFormatError(
+                    "record references file %d but the geometry has %d files"
+                    % (file_id, len(self._file_blocks))
+                )
+            if offset + nblocks > self._file_blocks[file_id]:
+                raise TraceFormatError(
+                    "record overruns file %d (%d blocks): offset=%d n=%d"
+                    % (file_id, self._file_blocks[file_id], offset, nblocks)
+                )
+        try:
+            self._ops.append(1 if is_write else 0)
+            self._hosts.append(host)
+            self._threads.append(thread)
+            self._file_ids.append(file_id)
+            self._offsets.append(offset)
+            self._nblocks.append(nblocks)
+        except OverflowError as exc:
+            raise TraceFormatError(
+                "record field too large for the compiled representation: %s" % exc
+            ) from exc
+        self._n_records += 1
+        if len(self._ops) >= self._chunk_records:
+            self._flush_chunk()
+
+    def append_record(self, record: TraceRecord) -> None:
+        """Convenience append from an existing record object."""
+        self.append(
+            record.op is TraceOp.WRITE,
+            record.host,
+            record.thread,
+            record.file_id,
+            record.offset,
+            record.nblocks,
+        )
+
+    def _flush_chunk(self) -> None:
+        n = len(self._ops)
+        if n == 0:
+            return
+        for column in (
+            self._ops,
+            self._hosts,
+            self._threads,
+            self._file_ids,
+            self._offsets,
+            self._nblocks,
+        ):
+            self._chunks_file.write(_column_bytes_le(column))
+        self._chunk_index.append((self._chunk_bytes, n))
+        self._chunk_bytes += n * _RECORD_BYTES
+        self._reset_columns()
+
+    def abort(self) -> None:
+        """Discard the spool (error paths; freeze() is the happy path)."""
+        if not self._chunks_file.closed:
+            self._chunks_file.close()
+        if self._owns_temp:
+            _TEMP_SPOOLS.discard(str(self._spool_dir))
+            shutil.rmtree(self._spool_dir, ignore_errors=True)
+
+    def freeze(
+        self,
+        warmup_records: int = 0,
+        metadata: Optional[Dict[str, str]] = None,
+    ) -> "ChunkedCompiledTrace":
+        """Resolve the geometry, partition rows per issuer, write the
+        manifest, and open the finished trace.
+
+        This is the single full pass over the spooled chunks: it
+        computes the derived ``start_blocks`` (file base + offset) for
+        every record and lays them out as per-issuer runs in
+        ``rows.bin``, so replay never touches the columnar chunks.
+        """
+        if self._frozen:
+            raise TraceFormatError("writer already frozen")
+        self._flush_chunk()
+        self._chunks_file.close()
+        self._frozen = True
+        if not 0 <= warmup_records <= self._n_records:
+            raise TraceFormatError(
+                "warmup_records %d out of range for %d records"
+                % (warmup_records, self._n_records)
+            )
+        file_base = list(
+            itertools.accumulate([0] + self._file_blocks[:-1])
+        ) if self._file_blocks else []
+
+        issuer_of: Dict[Tuple[int, int], int] = {}
+        issuers: List[List] = []  # [host, thread, warmup_rows, n_rows, runs]
+        buffers: List[bytearray] = []
+        buffered: List[int] = []
+        run_bytes = RUN_ROWS * _ROW_BYTES
+        pack = _ROW.pack
+        warmup_blocks = 0
+        global_index = 0
+
+        with open(self._spool_dir / ROWS_NAME, "wb") as rows_file:
+            rows_offset = 0
+
+            def flush_run(index: int) -> None:
+                nonlocal rows_offset
+                buf = buffers[index]
+                if not buf:
+                    return
+                rows_file.write(buf)
+                issuers[index][4].append([rows_offset, buffered[index]])
+                rows_offset += len(buf)
+                buffers[index] = bytearray()
+                buffered[index] = 0
+
+            for chunk_offset, n in self._chunk_index:
+                (
+                    ops,
+                    hosts,
+                    threads,
+                    file_ids,
+                    offsets,
+                    nblocks,
+                ) = self._read_chunk_columns(chunk_offset, n)
+                for op, host, thread, fid, offset, nb in zip(
+                    ops, hosts, threads, file_ids, offsets, nblocks
+                ):
+                    key = (host, thread)
+                    index = issuer_of.get(key)
+                    if index is None:
+                        index = len(issuers)
+                        issuer_of[key] = index
+                        issuers.append([host, thread, 0, 0, []])
+                        buffers.append(bytearray())
+                        buffered.append(0)
+                    buffers[index] += pack(op, file_base[fid] + offset, nb)
+                    buffered[index] += 1
+                    issuers[index][3] += 1
+                    if global_index < warmup_records:
+                        issuers[index][2] += 1
+                        warmup_blocks += nb
+                    if buffered[index] >= RUN_ROWS:
+                        flush_run(index)
+                    global_index += 1
+            for index in range(len(issuers)):
+                flush_run(index)
+
+        issuers.sort(key=lambda entry: (entry[0], entry[1]))
+        fingerprint = _spool_fingerprint(
+            self._spool_dir / CHUNKS_NAME,
+            self._chunk_index,
+            self._n_records,
+            warmup_records,
+            self._file_blocks,
+            dict(metadata or {}),
+        )
+        manifest = {
+            "version": _MANIFEST_VERSION,
+            "n_records": self._n_records,
+            "warmup_records": warmup_records,
+            "warmup_blocks": warmup_blocks,
+            "file_blocks": self._file_blocks,
+            "metadata": dict(metadata or {}),
+            "chunk_records": self._chunk_records,
+            "chunks": [list(entry) for entry in self._chunk_index],
+            "issuers": issuers,
+            "fingerprint": fingerprint,
+        }
+        manifest_path = self._spool_dir / MANIFEST_NAME
+        tmp_path = self._spool_dir / (MANIFEST_NAME + ".tmp")
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle)
+        os.replace(tmp_path, manifest_path)
+        trace = ChunkedCompiledTrace.open(self._spool_dir)
+        trace._owns_temp = self._owns_temp
+        return trace
+
+    def _read_chunk_columns(self, chunk_offset: int, n: int):
+        offsets = _column_offsets(n)
+        with open(self._spool_dir / CHUNKS_NAME, "rb") as handle:
+            handle.seek(chunk_offset)
+            data = handle.read(n * _RECORD_BYTES)
+        if len(data) != n * _RECORD_BYTES:
+            raise TraceFormatError("truncated chunk spool")
+        return tuple(
+            _array_from_le(tc, data[offsets[name][0] : offsets[name][0] + offsets[name][1]]).tolist()
+            for name, tc, _width in _CHUNK_COLUMNS
+        )
+
+
+def _spool_fingerprint(
+    chunks_path: Path,
+    chunk_index: Sequence[Tuple[int, int]],
+    n_records: int,
+    warmup_records: int,
+    file_blocks: Sequence[int],
+    metadata: Dict[str, str],
+    skip_records: int = 0,
+) -> str:
+    """The content fingerprint of a chunk spool — **bit-identical** to
+    :attr:`CompiledTrace.fingerprint` over the same records.
+
+    The digest sees the same preamble and the same column bytes in the
+    same order as the in-memory form; the only difference is that each
+    column is gathered chunk by chunk from disk (one seek pass per
+    column) instead of from one flat buffer.  ``skip_records`` drops a
+    record prefix, matching the fingerprint of the materialized
+    ``without_warmup()`` form.
+    """
+    digest = hashlib.sha256()
+    digest.update(b"repro-ctrace-v1")
+    digest.update(repr(sorted(metadata.items())).encode("utf-8"))
+    digest.update(struct.pack("<QQ", n_records - skip_records, warmup_records))
+    if file_blocks:
+        digest.update(struct.pack("<%dQ" % len(file_blocks), *file_blocks))
+    with open(chunks_path, "rb") as handle:
+        for name, _tc, width in _CHUNK_COLUMNS:
+            chunk_start = 0
+            for chunk_offset, n in chunk_index:
+                drop = min(max(skip_records - chunk_start, 0), n)
+                chunk_start += n
+                if drop == n:
+                    continue
+                column_offset, _length = _column_offsets(n)[name]
+                handle.seek(chunk_offset + column_offset + drop * width)
+                payload = handle.read((n - drop) * width)
+                if len(payload) != (n - drop) * width:
+                    raise TraceFormatError("truncated chunk spool")
+                digest.update(payload)
+    return digest.hexdigest()
+
+
+class _RowStream:
+    """A re-iterable, lazily-read stream of replay rows.
+
+    Each iteration reads the issuer's runs from ``rows.bin`` one run
+    buffer at a time (≤ ``RUN_ROWS`` × 13 bytes held at once) and
+    yields ``(op, start_block, nblocks)`` int tuples — exactly the row
+    shape ``System._thread_process_compiled`` consumes.  Re-iterable
+    because sweep workers replay one cached trace for many points.
+    """
+
+    __slots__ = ("_trace", "_runs", "_skip_rows", "_n_rows")
+
+    def __init__(self, trace, runs, skip_rows, n_rows):
+        self._trace = trace
+        self._runs = runs
+        self._skip_rows = skip_rows
+        self._n_rows = n_rows
+
+    def __len__(self) -> int:
+        return self._n_rows
+
+    def __iter__(self) -> Iterator[Tuple[int, int, int]]:
+        remaining = self._n_rows
+        if remaining <= 0:
+            return
+        to_skip = self._skip_rows
+        read_rows = self._trace._read_rows
+        for run_offset, run_rows in self._runs:
+            if remaining <= 0:
+                return
+            if to_skip >= run_rows:
+                to_skip -= run_rows
+                continue
+            take = min(run_rows - to_skip, remaining)
+            buffer = read_rows(run_offset + to_skip * _ROW_BYTES, take * _ROW_BYTES)
+            to_skip = 0
+            remaining -= take
+            yield from _ROW.iter_unpack(buffer)
+
+
+class ChunkedCompiledTrace:
+    """A compiled trace living in a spool directory, replayed with
+    peak memory bounded by chunk/run size instead of trace length.
+
+    Mirrors the :class:`CompiledTrace` surface the simulation driver
+    uses (``__len__``, ``hosts()``, ``warmup_blocks()``,
+    ``without_warmup()``, ``issuer_plan()``, ``fingerprint``,
+    ``total_file_blocks``, ``to_trace()``), so
+    :func:`repro.run_simulation` and :mod:`repro.sweep` accept it
+    anywhere they accept a compiled trace.  Pickles as its spool path —
+    sweep workers on the same machine reopen the spool instead of
+    shipping records.
+    """
+
+    __slots__ = (
+        "spool_dir",
+        "file_blocks",
+        "metadata",
+        "_n_records",
+        "_warmup_records",
+        "_warmup_blocks",
+        "_chunk_index",
+        "_issuers",
+        "_chunk_records",
+        "_stored_fingerprint",
+        "_skip",
+        "_fingerprint",
+        "_plan",
+        "_rows_handle",
+        "_owns_temp",
+    )
+
+    def __init__(self, spool_dir: Path, manifest: Dict, skip: int = 0) -> None:
+        self.spool_dir = Path(spool_dir)
+        if manifest.get("version") != _MANIFEST_VERSION:
+            raise TraceFormatError(
+                "unsupported chunked trace manifest version %r in %s"
+                % (manifest.get("version"), spool_dir)
+            )
+        self.file_blocks: List[int] = list(manifest["file_blocks"])
+        self.metadata: Dict[str, str] = dict(manifest["metadata"])
+        self._n_records: int = manifest["n_records"]
+        self._warmup_records: int = manifest["warmup_records"]
+        self._warmup_blocks: int = manifest["warmup_blocks"]
+        self._chunk_index: List[Tuple[int, int]] = [
+            (entry[0], entry[1]) for entry in manifest["chunks"]
+        ]
+        self._issuers: List[Tuple[int, int, int, int, List[Tuple[int, int]]]] = [
+            (
+                entry[0],
+                entry[1],
+                entry[2],
+                entry[3],
+                [(run[0], run[1]) for run in entry[4]],
+            )
+            for entry in manifest["issuers"]
+        ]
+        self._chunk_records: int = manifest.get(
+            "chunk_records", DEFAULT_CHUNK_RECORDS
+        )
+        self._stored_fingerprint: str = manifest["fingerprint"]
+        if not 0 <= skip <= self._n_records:
+            raise TraceFormatError(
+                "skip %d out of range for %d records" % (skip, self._n_records)
+            )
+        self._skip = skip
+        self._fingerprint: Optional[str] = None
+        self._plan: Optional[list] = None
+        self._rows_handle = None
+        self._owns_temp = False
+
+    @classmethod
+    def open(
+        cls, spool_dir: Union[str, Path], skip: int = 0
+    ) -> "ChunkedCompiledTrace":
+        """Open an existing spool directory."""
+        spool_dir = Path(spool_dir)
+        manifest_path = spool_dir / MANIFEST_NAME
+        try:
+            with open(manifest_path, "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except FileNotFoundError:
+            raise TraceFormatError(
+                "%s is not a chunked trace spool (no %s)"
+                % (spool_dir, MANIFEST_NAME)
+            )
+        except ValueError as exc:
+            raise TraceFormatError(
+                "corrupt chunked trace manifest %s: %s" % (manifest_path, exc)
+            ) from exc
+        return cls(spool_dir, manifest, skip=skip)
+
+    @classmethod
+    def from_trace(
+        cls,
+        trace: Union[Trace, CompiledTrace],
+        *,
+        spool_dir: Union[None, str, Path] = None,
+        chunk_records: Optional[int] = None,
+    ) -> "ChunkedCompiledTrace":
+        """Spool an in-memory trace (object or compiled form) into the
+        chunked representation.  Content-preserving: the result's
+        fingerprint equals ``compile_trace(trace).fingerprint``."""
+        writer = ChunkedTraceWriter(
+            trace.file_blocks, spool_dir=spool_dir, chunk_records=chunk_records
+        )
+        try:
+            if isinstance(trace, CompiledTrace):
+                append = writer.append
+                for op, host, thread, fid, offset, nb in zip(
+                    trace.ops,
+                    trace.hosts_col,
+                    trace.threads_col,
+                    trace.file_ids,
+                    trace.offsets,
+                    trace.nblocks,
+                ):
+                    append(bool(op), host, thread, fid, offset, nb)
+            else:
+                append_record = writer.append_record
+                for record in trace.records:
+                    append_record(record)
+            return writer.freeze(trace.warmup_records, dict(trace.metadata))
+        except BaseException:
+            writer.abort()
+            raise
+
+    # --- Trace-compatible surface --------------------------------------
+
+    def __len__(self) -> int:
+        return self._n_records - self._skip
+
+    @property
+    def warmup_records(self) -> int:
+        return 0 if self._skip else self._warmup_records
+
+    @property
+    def total_file_blocks(self) -> int:
+        return sum(self.file_blocks)
+
+    def hosts(self) -> List[int]:
+        """Sorted list of host ids appearing in the (remaining) trace."""
+        if self._skip:
+            return sorted(
+                {
+                    host
+                    for host, _thread, w_rows, n_rows, _runs in self._issuers
+                    if n_rows - w_rows > 0
+                }
+            )
+        return sorted({host for host, *_rest in self._issuers})
+
+    def warmup_blocks(self) -> int:
+        """Total block volume of the warmup prefix."""
+        return 0 if self._skip else self._warmup_blocks
+
+    def without_warmup(self) -> "ChunkedCompiledTrace":
+        """The trace with warmup records removed (cold start, §7.8).
+
+        Chunked traces strip warmup by *offsetting into the spool*
+        (each issuer stream starts after its warmup rows) — no data is
+        copied or rewritten, matching the zero-copy slicing of the
+        in-memory compiled form.
+        """
+        if self.warmup_records == 0:
+            return self
+        stripped = ChunkedCompiledTrace.open(
+            self.spool_dir, skip=self._warmup_records
+        )
+        return stripped
+
+    # --- replay plan ----------------------------------------------------
+
+    def issuer_plan(self):
+        """Per-(host, thread) lazy row streams with the warmup split.
+
+        Same contract as :meth:`CompiledTrace.issuer_plan` — sorted by
+        ``(host, thread)``, rows in trace order, warmup prefix split —
+        but the row containers are :class:`_RowStream` objects that
+        read run buffers from ``rows.bin`` on demand instead of
+        materialized tuple lists.  The replay hot loop only ever
+        iterates the containers, so it runs unchanged; memory stays at
+        one run buffer per concurrently-replaying issuer.
+        """
+        if self._plan is not None:
+            return self._plan
+        plan = []
+        if self._skip:
+            for host, thread, w_rows, n_rows, runs in self._issuers:
+                measured = n_rows - w_rows
+                if measured <= 0:
+                    # An issuer confined to the stripped warmup prefix
+                    # does not exist in the cold-start trace — the
+                    # materialized path drops it the same way, keeping
+                    # spawn order and thread accounting identical.
+                    continue
+                plan.append(
+                    (
+                        host,
+                        thread,
+                        _RowStream(self, runs, 0, 0),
+                        _RowStream(self, runs, w_rows, measured),
+                    )
+                )
+        else:
+            for host, thread, w_rows, n_rows, runs in self._issuers:
+                plan.append(
+                    (
+                        host,
+                        thread,
+                        _RowStream(self, runs, 0, w_rows),
+                        _RowStream(self, runs, w_rows, n_rows - w_rows),
+                    )
+                )
+        self._plan = plan
+        return plan
+
+    def _read_rows(self, offset: int, nbytes: int) -> bytes:
+        handle = self._rows_handle
+        if handle is None or handle.closed:
+            handle = open(self.spool_dir / ROWS_NAME, "rb")
+            self._rows_handle = handle
+        handle.seek(offset)
+        buffer = handle.read(nbytes)
+        if len(buffer) != nbytes:
+            raise TraceFormatError("truncated row spool in %s" % self.spool_dir)
+        return buffer
+
+    # --- streaming record access ----------------------------------------
+
+    def iter_records(self) -> Iterator[Tuple[int, int, int, int, int, int]]:
+        """Stream ``(op, host, thread, file_id, offset, nblocks)``
+        tuples in trace order, decoding one chunk at a time."""
+        skip = self._skip
+        chunk_start = 0
+        for chunk_offset, n in self._chunk_index:
+            drop = min(max(skip - chunk_start, 0), n)
+            chunk_start += n
+            if drop == n:
+                continue
+            columns = self._read_chunk(chunk_offset, n)
+            yield from itertools.islice(zip(*columns), drop, None)
+
+    def _read_chunk(self, chunk_offset: int, n: int):
+        offsets = _column_offsets(n)
+        with open(self.spool_dir / CHUNKS_NAME, "rb") as handle:
+            handle.seek(chunk_offset)
+            data = handle.read(n * _RECORD_BYTES)
+        if len(data) != n * _RECORD_BYTES:
+            raise TraceFormatError("truncated chunk spool in %s" % self.spool_dir)
+        return tuple(
+            _array_from_le(
+                tc, data[offsets[name][0] : offsets[name][0] + offsets[name][1]]
+            ).tolist()
+            for name, tc, _width in _CHUNK_COLUMNS
+        )
+
+    def to_trace(self) -> Trace:
+        """Materialize back into the object representation.
+
+        This is O(trace) memory by definition — it exists for the
+        observability replay path and for small-trace tests, not for
+        the streaming pipeline."""
+        records = [
+            TraceRecord(
+                TraceOp.WRITE if op else TraceOp.READ,
+                host,
+                thread,
+                file_id,
+                offset,
+                nb,
+            )
+            for op, host, thread, file_id, offset, nb in self.iter_records()
+        ]
+        return Trace(
+            records,
+            self.file_blocks,
+            warmup_records=self.warmup_records,
+            metadata=dict(self.metadata),
+        )
+
+    # --- fingerprint ----------------------------------------------------
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable content hash, bit-identical to the fingerprint of the
+        equivalent :class:`CompiledTrace` (see
+        :func:`_spool_fingerprint`).  The freeze-time value is stored
+        in the manifest; only warmup-stripped views recompute."""
+        if self._skip == 0:
+            return self._stored_fingerprint
+        cached = self._fingerprint
+        if cached is not None:
+            return cached
+        self._fingerprint = _spool_fingerprint(
+            self.spool_dir / CHUNKS_NAME,
+            self._chunk_index,
+            self._n_records,
+            0,
+            self.file_blocks,
+            self.metadata,
+            skip_records=self._skip,
+        )
+        return self._fingerprint
+
+    # --- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the spool file handle (reopened lazily on next use)."""
+        handle = self._rows_handle
+        self._rows_handle = None
+        if handle is not None and not handle.closed:
+            handle.close()
+
+    def delete(self) -> None:
+        """Close and remove the spool directory from disk."""
+        self.close()
+        _TEMP_SPOOLS.discard(str(self.spool_dir))
+        shutil.rmtree(self.spool_dir, ignore_errors=True)
+
+    def __reduce__(self):
+        # Pickle as the spool path: workers reopen the spool (same
+        # machine, shared filesystem) instead of shipping record data.
+        return (_reopen, (str(self.spool_dir), self._skip))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, (ChunkedCompiledTrace, CompiledTrace)):
+            return NotImplemented
+        return self.fingerprint == other.fingerprint
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<ChunkedCompiledTrace %d records, %d files, %d chunks, warmup=%d at %s>" % (
+            len(self),
+            len(self.file_blocks),
+            len(self._chunk_index),
+            self.warmup_records,
+            self.spool_dir,
+        )
+
+
+def _reopen(spool_dir: str, skip: int) -> ChunkedCompiledTrace:
+    """Unpickle helper (module-level so pickle can address it)."""
+    return ChunkedCompiledTrace.open(spool_dir, skip=skip)

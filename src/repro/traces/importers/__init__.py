@@ -16,18 +16,38 @@ All importers share the same conventions: byte offsets are rounded down
 to 4 KB block boundaries, sizes round up to whole blocks, each distinct
 device/ASU becomes a "file" in the trace geometry, and requesters map
 to (host, thread) ids.  Use :func:`load_any` to auto-detect.
+
+Every importer exists in two forms sharing one line parser: the plain
+form materializes a :class:`~repro.traces.records.Trace` (O(records)
+memory), and the ``*_chunked`` form streams into a
+:class:`~repro.traces.chunked.ChunkedCompiledTrace` spool (O(chunk)
+memory — for week-long full-length captures; see ``docs/SCALING.md``).
+Both produce record-for-record identical output.
 """
 
-from repro.traces.importers.base import ImportStats
-from repro.traces.importers.msr import import_msr_csv
-from repro.traces.importers.blkparse import import_blkparse
-from repro.traces.importers.spc import import_spc
-from repro.traces.importers.detect import load_any
+from repro.traces.importers.base import (
+    ImportStats,
+    StreamingTraceBuilder,
+    TraceBuilder,
+)
+from repro.traces.importers.msr import import_msr_csv, import_msr_csv_chunked
+from repro.traces.importers.blkparse import (
+    import_blkparse,
+    import_blkparse_chunked,
+)
+from repro.traces.importers.spc import import_spc, import_spc_chunked
+from repro.traces.importers.detect import load_any, load_any_chunked
 
 __all__ = [
     "ImportStats",
+    "StreamingTraceBuilder",
+    "TraceBuilder",
     "import_msr_csv",
+    "import_msr_csv_chunked",
     "import_blkparse",
+    "import_blkparse_chunked",
     "import_spc",
+    "import_spc_chunked",
     "load_any",
+    "load_any_chunked",
 ]

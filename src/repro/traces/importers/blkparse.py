@@ -16,15 +16,25 @@ hit the device — and map:
 * ``sector`` (512-byte units) ``+ nsectors`` → a byte extent;
 * ``rwbs`` containing ``W`` → write, containing ``R`` → read (discard
   and flush records are skipped).
+
+:func:`import_blkparse` materializes a :class:`Trace`;
+:func:`import_blkparse_chunked` streams the same parser into a
+bounded-memory chunked spool.
 """
 
 from __future__ import annotations
 
 import re
 from pathlib import Path
-from typing import Tuple, Union
+from typing import Optional, Tuple, Union
 
-from repro.traces.importers.base import TraceBuilder
+from repro.traces.importers.base import (
+    ExtentMapperBase,
+    ImportStats,
+    StreamingTraceBuilder,
+    TraceBuilder,
+)
+from repro.traces.chunked import ChunkedCompiledTrace
 from repro.traces.records import Trace
 
 PathLike = Union[str, Path]
@@ -44,6 +54,47 @@ _LINE = re.compile(
 )
 
 
+def _parse_blkparse_lines(handle, builder: ExtentMapperBase, action: str) -> None:
+    """Stream lines from ``handle`` into ``builder``, keeping only
+    ``action`` events."""
+    stats = builder.stats
+    for line in handle:
+        stats.lines_total += 1
+        match = _LINE.match(line)
+        if not match:
+            stats.skip("unparsed line")
+            continue
+        if match.group("action") != action:
+            stats.skip("other action")
+            continue
+        rwbs = match.group("rwbs")
+        if "W" in rwbs:
+            is_write = True
+        elif "R" in rwbs:
+            is_write = False
+        else:
+            stats.skip("non-data rwbs %r" % rwbs)
+            continue
+        nsectors = int(match.group("nsectors"))
+        if nsectors == 0:
+            stats.skip("zero-length I/O")
+            continue
+        process = match.group("process") or ("pid%s" % match.group("pid"))
+        thread = builder.thread_id(0, process)
+        builder.add_bytes_extent(
+            is_write,
+            0,
+            thread,
+            match.group("dev"),
+            int(match.group("sector")) * SECTOR,
+            nsectors * SECTOR,
+        )
+
+
+def _metadata(path: PathLike) -> dict:
+    return {"source": "blkparse", "path": str(path)}
+
+
 def import_blkparse(
     path: PathLike,
     action: str = "C",
@@ -52,38 +103,30 @@ def import_blkparse(
     """Import a blkparse text file, keeping only ``action`` events
     (default ``C`` = completions; use ``Q`` for queue events)."""
     builder = TraceBuilder(warmup_fraction)
-    stats = builder.stats
     with open(path, "r", encoding="utf-8", errors="replace") as handle:
-        for line in handle:
-            stats.lines_total += 1
-            match = _LINE.match(line)
-            if not match:
-                stats.skip("unparsed line")
-                continue
-            if match.group("action") != action:
-                stats.skip("other action")
-                continue
-            rwbs = match.group("rwbs")
-            if "W" in rwbs:
-                is_write = True
-            elif "R" in rwbs:
-                is_write = False
-            else:
-                stats.skip("non-data rwbs %r" % rwbs)
-                continue
-            nsectors = int(match.group("nsectors"))
-            if nsectors == 0:
-                stats.skip("zero-length I/O")
-                continue
-            process = match.group("process") or ("pid%s" % match.group("pid"))
-            thread = builder.thread_id(0, process)
-            builder.add_bytes_extent(
-                is_write,
-                0,
-                thread,
-                match.group("dev"),
-                int(match.group("sector")) * SECTOR,
-                nsectors * SECTOR,
-            )
-    trace = builder.build({"source": "blkparse", "path": str(path)})
-    return trace, stats
+        _parse_blkparse_lines(handle, builder, action)
+    trace = builder.build(_metadata(path))
+    return trace, builder.stats
+
+
+def import_blkparse_chunked(
+    path: PathLike,
+    action: str = "C",
+    warmup_fraction: float = 0.0,
+    *,
+    spool_dir: Union[None, str, Path] = None,
+    chunk_records: Optional[int] = None,
+) -> Tuple[ChunkedCompiledTrace, "ImportStats"]:
+    """Bounded-memory twin of :func:`import_blkparse`; returns
+    ``(chunked_trace, stats)``."""
+    builder = StreamingTraceBuilder(
+        warmup_fraction, spool_dir=spool_dir, chunk_records=chunk_records
+    )
+    try:
+        with open(path, "r", encoding="utf-8", errors="replace") as handle:
+            _parse_blkparse_lines(handle, builder, action)
+        trace = builder.build(_metadata(path))
+    except BaseException:
+        builder.abort()
+        raise
+    return trace, builder.stats

@@ -16,9 +16,9 @@ from repro.errors import TraceFormatError
 from repro.traces.format import BINARY_MAGIC, TEXT_MAGIC, load_trace
 from repro.traces.importers.base import ImportStats
 from repro.traces.importers.blkparse import _LINE as _BLKPARSE_LINE
-from repro.traces.importers.blkparse import import_blkparse
-from repro.traces.importers.msr import import_msr_csv
-from repro.traces.importers.spc import import_spc
+from repro.traces.importers.blkparse import import_blkparse, import_blkparse_chunked
+from repro.traces.importers.msr import import_msr_csv, import_msr_csv_chunked
+from repro.traces.importers.spc import import_spc, import_spc_chunked
 from repro.traces.records import Trace
 
 PathLike = Union[str, Path]
@@ -94,4 +94,29 @@ def load_any(
         return import_blkparse(path, warmup_fraction=warmup_fraction)
     if fmt == "spc":
         return import_spc(path, warmup_fraction)
+    raise AssertionError("unreachable: %s" % fmt)
+
+
+def load_any_chunked(path: PathLike, warmup_fraction: float = 0.0, **spool_options):
+    """Bounded-memory twin of :func:`load_any`: foreign formats stream
+    into a chunked spool via the ``*_chunked`` importers.
+
+    Native-format files still load materialized (they were saved from
+    memory-resident traces); ``spool_options`` (``spool_dir``,
+    ``chunk_records``) pass through to the streaming importers.
+    Returns ``(trace, import_stats)`` where ``trace`` is a
+    :class:`~repro.traces.chunked.ChunkedCompiledTrace` for foreign
+    formats and a :class:`Trace` for native ones.
+    """
+    fmt = detect_format(path)
+    if fmt == "native":
+        return load_trace(path), None
+    if fmt == "msr":
+        return import_msr_csv_chunked(path, warmup_fraction, **spool_options)
+    if fmt == "blkparse":
+        return import_blkparse_chunked(
+            path, warmup_fraction=warmup_fraction, **spool_options
+        )
+    if fmt == "spc":
+        return import_spc_chunked(path, warmup_fraction, **spool_options)
     raise AssertionError("unreachable: %s" % fmt)

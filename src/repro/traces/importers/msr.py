@@ -12,17 +12,66 @@ Format (one I/O per line, no header in the original release)::
 
 Lines with a header, wrong field counts, or unparsable numbers are
 counted and skipped, not fatal.
+
+Two entry points share one streaming line parser:
+:func:`import_msr_csv` materializes a :class:`Trace`;
+:func:`import_msr_csv_chunked` streams into a bounded-memory chunked
+spool (for the multi-day full-length captures) — record-for-record
+identical output.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Tuple, Union
+from typing import Optional, Tuple, Union
 
-from repro.traces.importers.base import TraceBuilder
+from repro.traces.importers.base import (
+    ExtentMapperBase,
+    ImportStats,
+    StreamingTraceBuilder,
+    TraceBuilder,
+)
+from repro.traces.chunked import ChunkedCompiledTrace
 from repro.traces.records import Trace
 
 PathLike = Union[str, Path]
+
+
+def _parse_msr_lines(handle, builder: ExtentMapperBase, single_host: bool) -> None:
+    """Stream lines from ``handle`` into ``builder`` — one line at a
+    time, so memory is the builder's, not the file's."""
+    stats = builder.stats
+    for line in handle:
+        stats.lines_total += 1
+        line = line.strip()
+        if not line or line.startswith("#"):
+            stats.skip("blank or comment")
+            continue
+        fields = line.split(",")
+        if len(fields) < 6:
+            stats.skip("too few fields")
+            continue
+        _ts, hostname, disk, op, offset, size = fields[:6]
+        op = op.strip().lower()
+        if op not in ("read", "write"):
+            stats.skip("unknown op %r" % op)
+            continue
+        try:
+            offset_bytes = int(offset)
+            size_bytes = int(size)
+        except ValueError:
+            stats.skip("non-numeric offset/size")
+            continue
+        host = 0 if single_host else builder.host_id(hostname.strip())
+        thread = builder.thread_id(host, disk.strip())
+        device = "%s.%s" % (hostname.strip(), disk.strip())
+        builder.add_bytes_extent(
+            op == "write", host, thread, device, offset_bytes, size_bytes
+        )
+
+
+def _metadata(path: PathLike) -> dict:
+    return {"source": "msr-csv", "path": str(path)}
 
 
 def import_msr_csv(
@@ -37,34 +86,31 @@ def import_msr_csv(
     Returns ``(trace, import_stats)``.
     """
     builder = TraceBuilder(warmup_fraction)
-    stats = builder.stats
     with open(path, "r", encoding="utf-8", errors="replace") as handle:
-        for line in handle:
-            stats.lines_total += 1
-            line = line.strip()
-            if not line or line.startswith("#"):
-                stats.skip("blank or comment")
-                continue
-            fields = line.split(",")
-            if len(fields) < 6:
-                stats.skip("too few fields")
-                continue
-            _ts, hostname, disk, op, offset, size = fields[:6]
-            op = op.strip().lower()
-            if op not in ("read", "write"):
-                stats.skip("unknown op %r" % op)
-                continue
-            try:
-                offset_bytes = int(offset)
-                size_bytes = int(size)
-            except ValueError:
-                stats.skip("non-numeric offset/size")
-                continue
-            host = 0 if single_host else builder.host_id(hostname.strip())
-            thread = builder.thread_id(host, disk.strip())
-            device = "%s.%s" % (hostname.strip(), disk.strip())
-            builder.add_bytes_extent(
-                op == "write", host, thread, device, offset_bytes, size_bytes
-            )
-    trace = builder.build({"source": "msr-csv", "path": str(path)})
-    return trace, stats
+        _parse_msr_lines(handle, builder, single_host)
+    trace = builder.build(_metadata(path))
+    return trace, builder.stats
+
+
+def import_msr_csv_chunked(
+    path: PathLike,
+    warmup_fraction: float = 0.0,
+    single_host: bool = False,
+    *,
+    spool_dir: Union[None, str, Path] = None,
+    chunk_records: Optional[int] = None,
+) -> Tuple[ChunkedCompiledTrace, "ImportStats"]:
+    """Bounded-memory twin of :func:`import_msr_csv`: same parser, but
+    records stream into a chunked spool (never ``TraceRecord``
+    objects).  Returns ``(chunked_trace, import_stats)``."""
+    builder = StreamingTraceBuilder(
+        warmup_fraction, spool_dir=spool_dir, chunk_records=chunk_records
+    )
+    try:
+        with open(path, "r", encoding="utf-8", errors="replace") as handle:
+            _parse_msr_lines(handle, builder, single_host)
+        trace = builder.build(_metadata(path))
+    except BaseException:
+        builder.abort()
+        raise
+    return trace, builder.stats

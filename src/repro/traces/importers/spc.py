@@ -14,14 +14,24 @@ repository traces) is one I/O per line::
 Everything lands on host 0; ASU doubles as the thread id so requests to
 different units can overlap, mirroring how SPC workloads drive units
 concurrently.
+
+:func:`import_spc` materializes a :class:`Trace`;
+:func:`import_spc_chunked` streams the same parser into a
+bounded-memory chunked spool.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Tuple, Union
+from typing import Optional, Tuple, Union
 
-from repro.traces.importers.base import TraceBuilder
+from repro.traces.importers.base import (
+    ExtentMapperBase,
+    ImportStats,
+    StreamingTraceBuilder,
+    TraceBuilder,
+)
+from repro.traces.chunked import ChunkedCompiledTrace
 from repro.traces.records import Trace
 
 PathLike = Union[str, Path]
@@ -29,41 +39,72 @@ PathLike = Union[str, Path]
 SECTOR = 512
 
 
+def _parse_spc_lines(handle, builder: ExtentMapperBase) -> None:
+    """Stream lines from ``handle`` into ``builder``."""
+    stats = builder.stats
+    for line in handle:
+        stats.lines_total += 1
+        line = line.strip()
+        if not line or line.startswith(("#", "*")):
+            stats.skip("blank or comment")
+            continue
+        fields = line.split(",")
+        if len(fields) < 4:
+            stats.skip("too few fields")
+            continue
+        asu, lba, size, opcode = (field.strip() for field in fields[:4])
+        if opcode.lower() == "r":
+            is_write = False
+        elif opcode.lower() == "w":
+            is_write = True
+        else:
+            stats.skip("unknown opcode %r" % opcode)
+            continue
+        try:
+            asu_number = int(asu)
+            offset_bytes = int(lba) * SECTOR
+            size_bytes = int(size)
+        except ValueError:
+            stats.skip("non-numeric field")
+            continue
+        thread = builder.thread_id(0, "asu%d" % asu_number)
+        builder.add_bytes_extent(
+            is_write, 0, thread, "asu%d" % asu_number, offset_bytes, size_bytes
+        )
+
+
+def _metadata(path: PathLike) -> dict:
+    return {"source": "spc", "path": str(path)}
+
+
 def import_spc(
     path: PathLike, warmup_fraction: float = 0.0
 ) -> Tuple[Trace, "ImportStats"]:
     """Import an SPC-1-style ASCII trace; returns (trace, stats)."""
     builder = TraceBuilder(warmup_fraction)
-    stats = builder.stats
     with open(path, "r", encoding="utf-8", errors="replace") as handle:
-        for line in handle:
-            stats.lines_total += 1
-            line = line.strip()
-            if not line or line.startswith(("#", "*")):
-                stats.skip("blank or comment")
-                continue
-            fields = line.split(",")
-            if len(fields) < 4:
-                stats.skip("too few fields")
-                continue
-            asu, lba, size, opcode = (field.strip() for field in fields[:4])
-            if opcode.lower() == "r":
-                is_write = False
-            elif opcode.lower() == "w":
-                is_write = True
-            else:
-                stats.skip("unknown opcode %r" % opcode)
-                continue
-            try:
-                asu_number = int(asu)
-                offset_bytes = int(lba) * SECTOR
-                size_bytes = int(size)
-            except ValueError:
-                stats.skip("non-numeric field")
-                continue
-            thread = builder.thread_id(0, "asu%d" % asu_number)
-            builder.add_bytes_extent(
-                is_write, 0, thread, "asu%d" % asu_number, offset_bytes, size_bytes
-            )
-    trace = builder.build({"source": "spc", "path": str(path)})
-    return trace, stats
+        _parse_spc_lines(handle, builder)
+    trace = builder.build(_metadata(path))
+    return trace, builder.stats
+
+
+def import_spc_chunked(
+    path: PathLike,
+    warmup_fraction: float = 0.0,
+    *,
+    spool_dir: Union[None, str, Path] = None,
+    chunk_records: Optional[int] = None,
+) -> Tuple[ChunkedCompiledTrace, "ImportStats"]:
+    """Bounded-memory twin of :func:`import_spc`; returns
+    ``(chunked_trace, stats)``."""
+    builder = StreamingTraceBuilder(
+        warmup_fraction, spool_dir=spool_dir, chunk_records=chunk_records
+    )
+    try:
+        with open(path, "r", encoding="utf-8", errors="replace") as handle:
+            _parse_spc_lines(handle, builder)
+        trace = builder.build(_metadata(path))
+    except BaseException:
+        builder.abort()
+        raise
+    return trace, builder.stats

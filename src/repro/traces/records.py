@@ -171,6 +171,12 @@ class Trace:
         """Sorted list of thread ids used by one host."""
         return sorted({r.thread for r in self.records if r.host == host})
 
+    def issuers(self) -> List[Tuple[int, int]]:
+        """Sorted distinct ``(host, thread)`` pairs — the concurrent
+        issuer streams the replay engine will spawn (one simulation
+        process each, at most one I/O in flight per stream)."""
+        return sorted({(r.host, r.thread) for r in self.records})
+
     def split_by_issuer(self) -> Dict[Tuple[int, int], List[Tuple[int, TraceRecord]]]:
         """Group records by (host, thread), keeping each record's global
         index so the replay engine can tell warmup records apart."""

@@ -10,25 +10,51 @@ traces down to experiment size:
 * :func:`slice_records` — keep a contiguous record range;
 * :func:`subsample` — keep every k-th record (cheap thinning);
 * :func:`remap_host` — move all of a trace's records to one host id.
+
+Folding semantics: replay concurrency is defined by distinct
+``(host, thread)`` issuer streams (see :meth:`Trace.issuers`), so any
+operation that folds several hosts onto one — :func:`merge_traces`
+folding each input onto its slot host, :func:`remap_host` folding a
+whole trace onto one host — must also remap thread ids.  Otherwise
+``(host 0, thread 0)`` and ``(host 1, thread 0)`` would collapse into a
+single stream and previously concurrent requests would silently
+serialize, changing replay timing.  Both functions therefore assign
+each original ``(host, thread)`` pair a unique thread id on the target
+host, preserving the issuer-stream count exactly.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
 from repro.errors import TraceFormatError
 from repro.traces.records import Trace, TraceRecord
 
 
+def _fold_thread_map(trace: Trace) -> Dict[Tuple[int, int], int]:
+    """Unique per-target-host thread ids for a host fold.
+
+    Each distinct ``(host, thread)`` issuer pair maps to its index in
+    the sorted pair list, so folding N hosts onto one host keeps N×T
+    distinct issuer streams instead of collapsing same-numbered threads
+    from different hosts into one.
+    """
+    return {pair: index for index, pair in enumerate(trace.issuers())}
+
+
 def merge_traces(traces: Sequence[Trace], interleave: bool = True) -> Trace:
     """Merge traces onto distinct hosts over a combined geometry.
 
-    Trace ``i``'s records all land on host ``i`` (their original host
-    ids are folded); file ids are offset so each input keeps a private
-    region of the combined file list.  ``interleave=True`` (default)
-    round-robins records proportionally to each input's length so the
-    merged replay overlaps the workloads, as concurrent hosts would;
-    ``False`` concatenates.
+    Trace ``i``'s records all land on host ``i``; file ids are offset
+    so each input keeps a private region of the combined file list.
+    When an input itself spans several hosts, its ``(host, thread)``
+    issuer pairs are remapped to unique thread ids on the slot host, so
+    the merged trace preserves every input's issuer-stream count (see
+    the module docstring; previously same-numbered threads from
+    different hosts were silently collapsed into one stream).
+    ``interleave=True`` (default) round-robins records proportionally
+    to each input's length so the merged replay overlaps the workloads,
+    as concurrent hosts would; ``False`` concatenates.
 
     The merged warmup is the sum of the inputs' warmup record counts
     (interleaving preserves each record's phase only approximately; the
@@ -42,12 +68,16 @@ def merge_traces(traces: Sequence[Trace], interleave: bool = True) -> Trace:
     for host_id, trace in enumerate(traces):
         offset = len(file_blocks)
         file_blocks.extend(trace.file_blocks)
+        multi_host = len({record.host for record in trace.records}) > 1
+        thread_map = _fold_thread_map(trace) if multi_host else None
         rebased.append(
             [
                 TraceRecord(
                     record.op,
                     host_id,
-                    record.thread,
+                    record.thread
+                    if thread_map is None
+                    else thread_map[(record.host, record.thread)],
                     record.file_id + offset,
                     record.offset,
                     record.nblocks,
@@ -110,18 +140,31 @@ def subsample(trace: Trace, keep_every: int) -> Trace:
     ``keep_every=1`` keeps everything and returns ``trace`` itself —
     the common "no thinning needed" configuration must not copy a
     multi-million-record list.
+
+    The surviving warmup count is computed arithmetically: records
+    ``0, k, 2k, ...`` survive, so ``ceil(warmup / k)`` of them fall
+    below the original warmup boundary.  (Previously this sliced the
+    whole warmup prefix into a temporary list just to count it —
+    an O(warmup) copy on the multi-million-record imports this
+    function exists to thin.)
     """
     if keep_every < 1:
         raise TraceFormatError("keep_every must be >= 1")
     if keep_every == 1:
         return trace
     records = trace.records[::keep_every]
-    warmup = len(trace.records[: trace.warmup_records : keep_every])
+    warmup = -(-trace.warmup_records // keep_every)
     return Trace(records, trace.file_blocks, warmup, dict(trace.metadata))
 
 
 def remap_host(trace: Trace, host: int) -> Trace:
     """Move every record to one host id (fold a multi-host trace).
+
+    When the source spans several hosts, each ``(host, thread)`` issuer
+    pair gets a unique thread id on the target host, preserving the
+    issuer-stream count — and therefore replay concurrency — exactly
+    (see the module docstring).  Single-host sources keep their thread
+    ids unchanged.
 
     Returns ``trace`` itself when every record already lives on
     ``host`` (single-host imports remapped to host 0, the common case).
@@ -130,8 +173,17 @@ def remap_host(trace: Trace, host: int) -> Trace:
         raise TraceFormatError("host id must be non-negative")
     if all(r.host == host for r in trace.records):
         return trace
+    multi_host = len({r.host for r in trace.records}) > 1
+    thread_map = _fold_thread_map(trace) if multi_host else None
     records = [
-        TraceRecord(r.op, host, r.thread, r.file_id, r.offset, r.nblocks)
+        TraceRecord(
+            r.op,
+            host,
+            r.thread if thread_map is None else thread_map[(r.host, r.thread)],
+            r.file_id,
+            r.offset,
+            r.nblocks,
+        )
         for r in trace.records
     ]
     return Trace(records, trace.file_blocks, trace.warmup_records, dict(trace.metadata))

@@ -29,7 +29,19 @@ distinct configurations must provably coincide:
    ``dirty_count == 0`` on every store after *every* trace record of a
    single-threaded replay.
 
-All three run over the sweep engine (:func:`repro.sweep.run_sweep`)
+4. **Chunked replay is the materialized replay.**  Every matrix trace,
+   spooled into its bounded-memory chunked form, must replay to a
+   bit-identical :func:`full_signature` under every matrix config —
+   the streaming pipeline is an implementation of the same semantics,
+   not an approximation.
+
+5. **The percentile sketch honors its error bound.**  The streaming
+   log-bucket sketch's quantile estimates must land within the
+   configured relative error of exact order statistics (merges
+   included), so memory-bounded percentile reporting never silently
+   degrades.
+
+The sweep-backed identities run over :func:`repro.sweep.run_sweep`
 with the :mod:`repro.invariants` sanitizer enabled, so one differential
 pass also exercises the full invariant suite.  Run from the command
 line with ``python -m repro.validation.differential [--fast]``.
@@ -158,65 +170,75 @@ def full_signature(result: SimulationResults) -> Dict[str, object]:
     }
 
 
-def matrix_signatures(
-    scale: int = DEFAULT_SCALE, workers: Optional[int] = None
-) -> Dict[str, Dict[str, object]]:
-    """Full signatures for every point of the differential matrix.
+def _matrix_families(scale: int):
+    """The differential matrix: ``(family, trace, configs, names)`` rows.
 
     Covers the three degenerate families (flash=0 collapse, read-only,
     s/s single-thread) plus the standard baseline, across every
-    architecture — the fixed set a performance PR must reproduce
-    bit-identically.  Dump/compare via the CLI's ``--dump-signatures``
-    and ``--compare-signatures``.
+    architecture — the fixed 15-point set a performance PR must
+    reproduce bit-identically.  Shared by :func:`matrix_signatures`
+    (dump/compare) and :func:`check_chunked_replay_identity` (the
+    streaming-replay identity), so both gates always cover the same
+    points with the same traces.
+    """
+    base = baseline_trace(scale=scale)
+    all_names = [architecture.value for architecture in ALL_ARCHITECTURES]
+    return [
+        (
+            "baseline",
+            base,
+            [
+                baseline_config(scale=scale, architecture=architecture)
+                for architecture in ALL_ARCHITECTURES
+            ],
+            all_names,
+        ),
+        (
+            "flash-zero",
+            base,
+            [
+                baseline_config(flash_gb=0, scale=scale, architecture=architecture)
+                for architecture in COLLAPSING_ARCHITECTURES
+            ],
+            [architecture.value for architecture in COLLAPSING_ARCHITECTURES],
+        ),
+        (
+            "read-only",
+            baseline_trace(write_fraction=0.0, scale=scale),
+            [
+                baseline_config(scale=scale, architecture=architecture)
+                for architecture in ALL_ARCHITECTURES
+            ],
+            all_names,
+        ),
+        (
+            "sync-single-thread",
+            _single_thread_trace(scale),
+            [
+                baseline_config(
+                    scale=scale,
+                    architecture=architecture,
+                    ram_policy=WritebackPolicy.sync(),
+                    flash_policy=WritebackPolicy.sync(),
+                )
+                for architecture in ALL_ARCHITECTURES
+            ],
+            all_names,
+        ),
+    ]
+
+
+def matrix_signatures(
+    scale: int = DEFAULT_SCALE, workers: Optional[int] = None
+) -> Dict[str, Dict[str, object]]:
+    """Full signatures for every point of the differential matrix (see
+    :func:`_matrix_families`).  Dump/compare via the CLI's
+    ``--dump-signatures`` and ``--compare-signatures``.
     """
     signatures: Dict[str, Dict[str, object]] = {}
-
-    def add(family: str, trace: Trace, configs, names) -> None:
+    for family, trace, configs, names in _matrix_families(scale):
         for name, result in zip(names, run_sweep(trace, configs, workers=workers)):
             signatures["%s/%s" % (family, name)] = full_signature(result)
-
-    base = baseline_trace(scale=scale)
-    add(
-        "baseline",
-        base,
-        [
-            baseline_config(scale=scale, architecture=architecture)
-            for architecture in ALL_ARCHITECTURES
-        ],
-        [architecture.value for architecture in ALL_ARCHITECTURES],
-    )
-    add(
-        "flash-zero",
-        base,
-        [
-            baseline_config(flash_gb=0, scale=scale, architecture=architecture)
-            for architecture in COLLAPSING_ARCHITECTURES
-        ],
-        [architecture.value for architecture in COLLAPSING_ARCHITECTURES],
-    )
-    add(
-        "read-only",
-        baseline_trace(write_fraction=0.0, scale=scale),
-        [
-            baseline_config(scale=scale, architecture=architecture)
-            for architecture in ALL_ARCHITECTURES
-        ],
-        [architecture.value for architecture in ALL_ARCHITECTURES],
-    )
-    add(
-        "sync-single-thread",
-        _single_thread_trace(scale),
-        [
-            baseline_config(
-                scale=scale,
-                architecture=architecture,
-                ram_policy=WritebackPolicy.sync(),
-                flash_policy=WritebackPolicy.sync(),
-            )
-            for architecture in ALL_ARCHITECTURES
-        ],
-        [architecture.value for architecture in ALL_ARCHITECTURES],
-    )
     return signatures
 
 
@@ -421,6 +443,118 @@ def check_sync_policies_zero_dirty(
     )
 
 
+def check_chunked_replay_identity(
+    scale: int = DEFAULT_SCALE, workers: Optional[int] = None
+) -> DifferentialCheck:
+    """Chunked (bounded-memory) replay must be bit-identical to the
+    materialized replay across the whole differential matrix.
+
+    Every matrix trace is spooled into its chunked form (same content
+    fingerprint, asserted) and replayed under every matrix config; the
+    :func:`full_signature` of each streamed point must equal the
+    materialized one down to histogram buckets and per-host breakdowns.
+    This is the gate that lets the streaming pipeline share the sweep
+    result cache and the signature-drift tooling with the in-memory
+    path.
+    """
+    from repro.traces.chunked import ChunkedCompiledTrace
+    from repro.traces.compiled import compile_trace
+
+    problems: List[str] = []
+    points = 0
+    for family, trace, configs, names in _matrix_families(scale):
+        chunked = ChunkedCompiledTrace.from_trace(trace)
+        try:
+            if chunked.fingerprint != compile_trace(trace).fingerprint:
+                problems.append("%s: spool fingerprint drift" % family)
+                continue
+            materialized = run_sweep(trace, configs, workers=workers)
+            streamed = run_sweep(chunked, configs, workers=workers)
+        finally:
+            chunked.delete()
+        for name, mat, chk in zip(names, materialized, streamed):
+            points += 1
+            reference, candidate = full_signature(mat), full_signature(chk)
+            if reference != candidate:
+                drifted = [
+                    key for key in reference if reference[key] != candidate[key]
+                ]
+                problems.append(
+                    "%s/%s: %s" % (family, name, ", ".join(drifted[:3]))
+                )
+    if problems:
+        return DifferentialCheck(
+            "chunked-replay-identity", False, "; ".join(problems[:4])
+        )
+    return DifferentialCheck(
+        "chunked-replay-identity",
+        True,
+        "%d matrix points bit-identical to materialized replay" % points,
+    )
+
+
+def check_percentile_sketch(scale: int = DEFAULT_SCALE) -> DifferentialCheck:
+    """The streaming percentile sketch must agree with exact quantiles
+    to within its configured relative error.
+
+    Deterministic heavy-tailed samples (seeded lognormal — the shape of
+    a latency distribution) are fed to :class:`~repro.core.metrics.\
+PercentileSketch` at two error settings and to a sorted exact list; the
+    sketch's p50/p90/p99/p999 must land within ``relative_error`` of the
+    exact order statistics, merged sketches included.  Also asserts the
+    :class:`~repro.core.metrics.LatencyStat` integration (the
+    ``REPRO_METRICS_SKETCH`` path) reports through ``as_dict``.
+    """
+    import random
+
+    from repro.core.metrics import LatencyStat, PercentileSketch
+
+    rng = random.Random(0xD5EC7 + scale)
+    samples = [int(rng.lognormvariate(10.0, 2.0)) + 1 for _ in range(20_000)]
+    ordered = sorted(samples)
+    quantiles = (0.5, 0.9, 0.99, 0.999)
+    problems: List[str] = []
+    for error in (0.01, 0.05):
+        whole = PercentileSketch(error)
+        left, right = PercentileSketch(error), PercentileSketch(error)
+        for index, value in enumerate(samples):
+            whole.record(value)
+            (left if index % 2 else right).record(value)
+        left.merge(right)
+        for label, sketch in (("direct", whole), ("merged", left)):
+            for fraction in quantiles:
+                exact = ordered[int(fraction * (len(ordered) - 1))]
+                estimate = sketch.percentile(fraction)
+                if abs(estimate - exact) > error * exact:
+                    problems.append(
+                        "e=%g %s p%g: estimate %.1f vs exact %d"
+                        % (error, label, fraction * 100, estimate, exact)
+                    )
+    stat = LatencyStat(sketch=PercentileSketch(0.01))
+    for value in samples[:2000]:
+        stat.record(value)
+    summary = stat.as_dict()
+    if "sketch_p99_us" not in summary:
+        problems.append("LatencyStat.as_dict missing sketch percentiles")
+    else:
+        exact_p99 = sorted(samples[:2000])[int(0.99 * 1999)] / 1000.0
+        if abs(summary["sketch_p99_us"] - exact_p99) > 0.011 * exact_p99:
+            problems.append(
+                "LatencyStat sketch p99 %.2f us vs exact %.2f us"
+                % (summary["sketch_p99_us"], exact_p99)
+            )
+    if problems:
+        return DifferentialCheck(
+            "percentile-sketch-bounds", False, "; ".join(problems[:4])
+        )
+    return DifferentialCheck(
+        "percentile-sketch-bounds",
+        True,
+        "%d samples, %d quantiles within bounds at 2 error settings"
+        % (len(samples), len(quantiles)),
+    )
+
+
 # --- harness ------------------------------------------------------------
 
 
@@ -433,6 +567,8 @@ def run_differential(
             check_flash_zero_collapse(scale=scale, workers=workers),
             check_read_only_zero_writebacks(scale=scale, workers=workers),
             check_sync_policies_zero_dirty(scale=scale),
+            check_chunked_replay_identity(scale=scale, workers=workers),
+            check_percentile_sketch(scale=scale),
         ]
     )
 

@@ -1,8 +1,20 @@
 """Tests for latency statistics."""
 
+import pickle
+import random
+
 import pytest
 
-from repro.core.metrics import LatencyStat, MetricsCollector, TimelineStat
+from repro.core.metrics import (
+    DEFAULT_SKETCH_ERROR,
+    LatencyStat,
+    MetricsCollector,
+    PercentileSketch,
+    SKETCH_ENV,
+    TimelineStat,
+    _sketch_error_from_env,
+)
+from repro.errors import ConfigError
 
 
 class TestLatencyStat:
@@ -130,6 +142,198 @@ class TestLatencyStat:
             stat = LatencyStat()
             stat.record(latency)
             assert stat._buckets[expected] == 1, latency
+
+
+class TestPercentileSketch:
+    def test_empty(self):
+        sketch = PercentileSketch(0.01)
+        assert sketch.count == 0
+        assert sketch.percentile(0.5) == 0.0
+
+    def test_relative_error_bound_holds(self):
+        rng = random.Random(1234)
+        samples = [int(rng.lognormvariate(8.0, 1.5)) + 1 for _ in range(5000)]
+        for error in (0.01, 0.05, 0.2):
+            sketch = PercentileSketch(error)
+            for value in samples:
+                sketch.record(value)
+            ordered = sorted(samples)
+            for fraction in (0.0, 0.25, 0.5, 0.9, 0.99, 1.0):
+                exact = ordered[int(fraction * (len(ordered) - 1))]
+                estimate = sketch.percentile(fraction)
+                assert abs(estimate - exact) <= error * exact, (
+                    "e=%g p%g" % (error, fraction)
+                )
+
+    def test_zero_values(self):
+        sketch = PercentileSketch(0.01)
+        for value in (0, 0, 0, 100):
+            sketch.record(value)
+        assert sketch.percentile(0.5) == 0.0
+        assert sketch.percentile(1.0) == pytest.approx(100, rel=0.01)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            PercentileSketch(0.01).record(-1)
+
+    def test_rejects_bad_error(self):
+        with pytest.raises(ValueError):
+            PercentileSketch(0.0)
+        with pytest.raises(ValueError):
+            PercentileSketch(1.0)
+
+    def test_merge_matches_single_sketch(self):
+        rng = random.Random(99)
+        samples = [int(rng.expovariate(0.001)) + 1 for _ in range(2000)]
+        whole = PercentileSketch(0.02)
+        left, right = PercentileSketch(0.02), PercentileSketch(0.02)
+        for index, value in enumerate(samples):
+            whole.record(value)
+            (left if index % 2 else right).record(value)
+        left.merge(right)
+        assert left.count == whole.count
+        for fraction in (0.5, 0.9, 0.99):
+            assert left.percentile(fraction) == whole.percentile(fraction)
+
+    def test_merge_rejects_mismatched_error(self):
+        with pytest.raises(ValueError):
+            PercentileSketch(0.01).merge(PercentileSketch(0.02))
+
+    def test_memory_bounded_by_bucket_cap(self):
+        sketch = PercentileSketch(0.01, max_buckets=16)
+        rng = random.Random(7)
+        for _ in range(5000):
+            sketch.record(rng.uniform(1, 1e12))
+        assert len(sketch._buckets) <= 16
+        assert sketch.count == 5000
+        # High percentiles keep their bound (collapse eats the low tail).
+        assert sketch.percentile(0.99) > 0
+
+    def test_pickle_round_trip(self):
+        sketch = PercentileSketch(0.03)
+        for value in (10, 100, 1000):
+            sketch.record(value)
+        clone = pickle.loads(pickle.dumps(sketch))
+        assert clone.count == 3
+        assert clone.percentile(0.5) == sketch.percentile(0.5)
+        clone.record(5)  # still usable after unpickle
+        assert clone.count == 4
+
+    def test_as_dict(self):
+        sketch = PercentileSketch(0.01)
+        sketch.record(500)
+        summary = sketch.as_dict()
+        assert summary["count"] == 1
+        assert summary["p50"] == pytest.approx(500, rel=0.01)
+
+
+class TestSketchEnvKnob:
+    def test_off_by_default(self, monkeypatch):
+        monkeypatch.delenv(SKETCH_ENV, raising=False)
+        assert _sketch_error_from_env() is None
+        assert MetricsCollector().read_latency.sketch is None
+
+    def test_flag_values(self, monkeypatch):
+        for value in ("0", "off", "false", "no", ""):
+            monkeypatch.setenv(SKETCH_ENV, value)
+            assert _sketch_error_from_env() is None
+        for value in ("1", "on", "true", "yes"):
+            monkeypatch.setenv(SKETCH_ENV, value)
+            assert _sketch_error_from_env() == DEFAULT_SKETCH_ERROR
+
+    def test_explicit_error(self, monkeypatch):
+        monkeypatch.setenv(SKETCH_ENV, "0.05")
+        assert _sketch_error_from_env() == 0.05
+
+    def test_bad_values_raise(self, monkeypatch):
+        for value in ("nope", "-0.1", "1.5"):
+            monkeypatch.setenv(SKETCH_ENV, value)
+            with pytest.raises(ConfigError):
+                _sketch_error_from_env()
+
+    def test_collector_env_enables_all_stats(self, monkeypatch):
+        monkeypatch.setenv(SKETCH_ENV, "0.02")
+        collector = MetricsCollector()
+        for stat in (
+            collector.read_latency,
+            collector.write_latency,
+            collector.read_request_latency,
+            collector.write_request_latency,
+        ):
+            assert stat.sketch is not None
+            assert stat.sketch.relative_error == 0.02
+
+    def test_collector_explicit_error_wins(self, monkeypatch):
+        monkeypatch.delenv(SKETCH_ENV, raising=False)
+        collector = MetricsCollector(sketch_error=0.1)
+        assert collector.read_latency.sketch.relative_error == 0.1
+
+
+class TestLatencyStatSketchIntegration:
+    def test_record_feeds_sketch(self):
+        stat = LatencyStat(sketch=PercentileSketch(0.01))
+        for value in (1000, 2000, 3000):
+            stat.record(value)
+        assert stat.sketch.count == 3
+        assert stat.sketch.percentile(0.5) == pytest.approx(2000, rel=0.01)
+
+    def test_as_dict_includes_sketch_percentiles(self):
+        stat = LatencyStat(sketch=PercentileSketch(0.01))
+        stat.record(5_000)
+        summary = stat.as_dict()
+        assert summary["sketch_p50_us"] == pytest.approx(5.0, rel=0.01)
+        assert "sketch_p99_us" in summary
+        assert "sketch_p50_us" not in LatencyStat().as_dict()
+
+    def test_merge_merges_sketches(self):
+        a = LatencyStat(sketch=PercentileSketch(0.01))
+        b = LatencyStat(sketch=PercentileSketch(0.01))
+        a.record(100)
+        b.record(300)
+        a.merge(b)
+        assert a.sketch.count == 2
+
+    def test_merge_tolerates_sketchless_peer(self):
+        a = LatencyStat(sketch=PercentileSketch(0.01))
+        b = LatencyStat()
+        a.record(100)
+        b.record(300)
+        a.merge(b)  # must not raise
+        assert a.count == 2
+        assert a.sketch.count == 1
+
+    def test_pickle_round_trip_with_sketch(self):
+        stat = LatencyStat(sketch=PercentileSketch(0.01))
+        stat.record(1000)
+        clone = pickle.loads(pickle.dumps(stat))
+        assert clone.count == 1
+        assert clone.sketch is not None
+        assert clone.sketch.count == 1
+
+    def test_unpickles_pre_sketch_payload(self):
+        # A LatencyStat pickled before the sketch slot existed has no
+        # "sketch" key in its state dict; __setstate__ must default it.
+        stat = LatencyStat()
+        stat.record(1000)
+        state = stat.__getstate__()
+        del state["sketch"]
+        revived = LatencyStat()
+        revived.__setstate__(state)
+        assert revived.count == 1
+        assert revived.sketch is None
+        revived.record(2000)  # still records without a sketch
+
+    def test_sketch_absent_from_signature_fields(self):
+        # The drift gates hash count/total/min/max/buckets only; the
+        # sketch must not leak into that set.
+        from repro.validation.differential import _latency_fingerprint
+
+        plain = LatencyStat()
+        sketched = LatencyStat(sketch=PercentileSketch(0.01))
+        for value in (100, 900, 42_000):
+            plain.record(value)
+            sketched.record(value)
+        assert _latency_fingerprint(plain) == _latency_fingerprint(sketched)
 
 
 class TestTimelineStat:

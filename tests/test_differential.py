@@ -4,7 +4,9 @@ from repro.experiments.common import DEFAULT_SCALE
 from repro.validation.differential import (
     DifferentialCheck,
     DifferentialReport,
+    check_chunked_replay_identity,
     check_flash_zero_collapse,
+    check_percentile_sketch,
     check_read_only_zero_writebacks,
     check_sync_policies_zero_dirty,
     main,
@@ -29,16 +31,27 @@ class TestIdentities:
         check = check_sync_policies_zero_dirty(scale=FAST_SCALE)
         assert check.passed, check.detail
 
+    def test_chunked_replay_matches_materialized(self):
+        check = check_chunked_replay_identity(scale=FAST_SCALE)
+        assert check.passed, check.detail
+        assert "15 matrix points" in check.detail
+
+    def test_percentile_sketch_within_bounds(self):
+        check = check_percentile_sketch(scale=FAST_SCALE)
+        assert check.passed, check.detail
+
 
 class TestHarness:
     def test_run_differential_aggregates(self):
         report = run_differential(scale=FAST_SCALE)
         assert report.passed, report.summary()
-        assert len(report.checks) == 3
+        assert len(report.checks) == 5
         assert {c.name for c in report.checks} == {
             "flash-zero-collapse",
             "read-only-zero-writebacks",
             "sync-policies-zero-dirty",
+            "chunked-replay-identity",
+            "percentile-sketch-bounds",
         }
 
     def test_report_fails_when_any_check_fails(self):
@@ -55,7 +68,7 @@ class TestHarness:
     def test_main_fast(self, capsys):
         assert main(["--scale", str(FAST_SCALE)]) == 0
         out = capsys.readouterr().out
-        assert out.count("PASS") == 3
+        assert out.count("PASS") == 5
 
 
 class TestSignature:

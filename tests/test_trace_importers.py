@@ -6,11 +6,15 @@ from repro.errors import TraceFormatError
 from repro.traces.format import save_trace
 from repro.traces.importers import (
     import_blkparse,
+    import_blkparse_chunked,
     import_msr_csv,
+    import_msr_csv_chunked,
     import_spc,
+    import_spc_chunked,
     load_any,
+    load_any_chunked,
 )
-from repro.traces.importers.base import TraceBuilder
+from repro.traces.importers.base import StreamingTraceBuilder, TraceBuilder
 from repro.traces.importers.detect import detect_format
 from repro.traces.records import Trace, TraceOp, TraceRecord
 
@@ -203,6 +207,128 @@ class TestBuilder:
         assert results.read_latency.count + results.write_latency.count == sum(
             r.nblocks for r in trace.records
         )
+
+
+class TestAccountingInvariant:
+    """Every importer must satisfy ``records_imported + lines_skipped ==
+    lines_total`` at build time; a parser that drops a line without
+    accounting for it now raises instead of silently shrinking the
+    trace."""
+
+    def test_consistent_imports_pass(self, msr_file, blkparse_file, spc_file):
+        for importer, path in (
+            (import_msr_csv, msr_file),
+            (import_blkparse, blkparse_file),
+            (import_spc, spc_file),
+        ):
+            _trace, stats = importer(path)
+            assert stats.lines_total > 0
+            assert stats.records_imported + stats.lines_skipped == stats.lines_total
+
+    def test_deliberate_drift_raises(self):
+        builder = TraceBuilder()
+        builder.stats.lines_total = 5  # parser claims 5 lines read...
+        builder.add_bytes_extent(False, 0, 0, "d", 0, 4096)  # ...1 imported
+        builder.stats.skip("bad")  # ...1 skipped; 3 unaccounted
+        with pytest.raises(TraceFormatError, match="accounting drift"):
+            builder.build()
+
+    def test_streaming_builder_drift_raises(self):
+        builder = StreamingTraceBuilder()
+        builder.stats.lines_total = 3
+        builder.add_bytes_extent(False, 0, 0, "d", 0, 4096)
+        with pytest.raises(TraceFormatError, match="accounting drift"):
+            builder.build()
+        builder.abort()
+
+    def test_direct_builder_use_unaffected(self):
+        # TraceBuilder used programmatically (lines_total never set)
+        # must keep working — the invariant only applies to line-fed
+        # imports.
+        builder = TraceBuilder()
+        builder.add_bytes_extent(False, 0, 0, "d", 0, 4096)
+        assert len(builder.build()) == 1
+
+
+class TestChunkedImporters:
+    """The streaming ``*_chunked`` importers must be record-for-record
+    and stats-for-stats identical to the materialized ones — including
+    on inputs that exercise the skip paths."""
+
+    @pytest.mark.parametrize(
+        "plain,chunked",
+        [
+            (import_msr_csv, import_msr_csv_chunked),
+            (import_blkparse, import_blkparse_chunked),
+            (import_spc, import_spc_chunked),
+        ],
+        ids=["msr", "blkparse", "spc"],
+    )
+    def test_parity_with_materialized(self, plain, chunked, msr_file,
+                                      blkparse_file, spc_file):
+        from repro.traces.compiled import compile_trace
+
+        path = {
+            import_msr_csv: msr_file,
+            import_blkparse: blkparse_file,
+            import_spc: spc_file,
+        }[plain]
+        trace, stats = plain(path, warmup_fraction=0.4)
+        streamed, streamed_stats = chunked(path, warmup_fraction=0.4)
+        try:
+            assert streamed.fingerprint == compile_trace(trace).fingerprint
+            rows = [
+                (1 if r.is_write else 0, r.host, r.thread, r.file_id,
+                 r.offset, r.nblocks)
+                for r in trace.records
+            ]
+            assert rows == list(streamed.iter_records())
+            assert streamed.warmup_records == trace.warmup_records
+            assert streamed.file_blocks == trace.file_blocks
+            assert streamed_stats.records_imported == stats.records_imported
+            assert streamed_stats.lines_skipped == stats.lines_skipped
+            assert streamed_stats.lines_total == stats.lines_total
+            assert stats.lines_skipped > 0  # skip paths exercised
+        finally:
+            streamed.delete()
+
+    def test_chunked_import_replays(self, msr_file):
+        from repro.core.simulator import run_simulation
+        from repro.validation.differential import full_signature
+        from tests.helpers import tiny_config
+
+        trace, _ = import_msr_csv(msr_file, single_host=True)
+        streamed, _ = import_msr_csv_chunked(msr_file, single_host=True)
+        try:
+            assert full_signature(
+                run_simulation(trace, tiny_config())
+            ) == full_signature(run_simulation(streamed, tiny_config()))
+        finally:
+            streamed.delete()
+
+    def test_explicit_spool_dir(self, msr_file, tmp_path):
+        spool = tmp_path / "spool"
+        streamed, _ = import_msr_csv_chunked(msr_file, spool_dir=spool)
+        assert spool.is_dir()
+        streamed.close()
+        # Explicit spools are owned by the caller: close() keeps them.
+        assert (spool / "manifest.json").exists()
+
+    def test_load_any_chunked_foreign_and_native(self, msr_file, tmp_path):
+        from repro.traces.compiled import compile_trace
+
+        streamed, stats = load_any_chunked(msr_file)
+        trace, _ = load_any(msr_file)
+        try:
+            assert stats is not None
+            assert streamed.fingerprint == compile_trace(trace).fingerprint
+        finally:
+            streamed.delete()
+        native = tmp_path / "native.trace"
+        save_trace(Trace([TraceRecord(TraceOp.READ, 0, 0, 0, 0, 1)], [8]), native)
+        loaded, native_stats = load_any_chunked(native)
+        assert native_stats is None
+        assert len(loaded) == 1
 
 
 class TestDetectStrictDecoding:

@@ -63,6 +63,26 @@ class TestMerge:
         results = run_simulation(merged, tiny_config())
         assert results.read_latency.count == 12
 
+    def test_multi_host_input_preserves_issuer_streams(self):
+        # Regression: folding a multi-host input onto its slot host used
+        # to keep the original thread ids, collapsing (host 0, thread 0)
+        # and (host 1, thread 0) into one issuer stream and silently
+        # serializing previously concurrent requests.
+        multi = merge_traces([simple_trace(4), simple_trace(4)])
+        assert len(multi.issuers()) == 4  # 2 hosts x 2 threads
+        merged = merge_traces([multi, simple_trace(4)])
+        slot0_issuers = {i for i in merged.issuers() if i[0] == 0}
+        assert len(slot0_issuers) == 4, (
+            "multi-host input lost issuer streams in the fold: %r"
+            % sorted(merged.issuers())
+        )
+        assert len(merged.issuers()) == 4 + 2
+
+    def test_single_host_input_threads_unchanged(self):
+        merged = merge_traces([simple_trace(4), simple_trace(4, host=5)])
+        # Single-host inputs keep their thread ids verbatim.
+        assert {i[1] for i in merged.issuers()} == {0, 1}
+
 
 class TestSlice:
     def test_basic_slice(self):
@@ -112,6 +132,33 @@ class TestSubsample:
         with pytest.raises(TraceFormatError):
             subsample(simple_trace(), 0)
 
+    def test_warmup_zero(self):
+        assert subsample(simple_trace(8, warmup=0), 3).warmup_records == 0
+
+    def test_warmup_equals_length(self):
+        # All 8 records are warmup; 0, 3, 6 survive and all of them are
+        # below the original boundary.
+        thinned = subsample(simple_trace(8, warmup=8), 3)
+        assert len(thinned) == 3
+        assert thinned.warmup_records == 3
+
+    def test_warmup_not_multiple_of_keep_every(self):
+        # warmup=5, k=3: surviving indices 0 and 3 are < 5 -> ceil(5/3)=2.
+        thinned = subsample(simple_trace(9, warmup=5), 3)
+        assert thinned.warmup_records == 2
+        # Exhaustive cross-check against the definition for a range of
+        # (warmup, keep_every) combinations.
+        for warmup in range(0, 13):
+            for keep_every in range(2, 6):
+                thinned = subsample(simple_trace(12, warmup=warmup), keep_every)
+                expected = sum(
+                    1 for i in range(0, 12, keep_every) if i < warmup
+                )
+                assert thinned.warmup_records == expected, (
+                    "warmup=%d keep_every=%d" % (warmup, keep_every)
+                )
+                assert thinned.warmup_records <= len(thinned)
+
 
 class TestRemapHost:
     def test_all_records_moved(self):
@@ -128,6 +175,24 @@ class TestRemapHost:
         trace = simple_trace(4, host=2)
         assert remap_host(trace, 2) is trace
         assert remap_host(trace, 0) is not trace
+
+    def test_fold_preserves_issuer_streams(self):
+        # Regression: remapping a multi-host trace onto one host used to
+        # keep thread ids as-is, so same-numbered threads from different
+        # hosts collapsed into one issuer stream.
+        trace = merge_traces([simple_trace(4), simple_trace(4)])
+        before = len(trace.issuers())
+        assert before == 4
+        folded = remap_host(trace, 0)
+        assert folded.hosts() == [0]
+        assert len(folded.issuers()) == before, (
+            "host fold collapsed issuer streams: %r" % folded.issuers()
+        )
+
+    def test_single_host_move_keeps_thread_ids(self):
+        trace = simple_trace(4, host=3)
+        moved = remap_host(trace, 0)
+        assert sorted({r.thread for r in moved.records}) == [0, 1]
 
 
 class TestWithoutWarmupNoCopy:
