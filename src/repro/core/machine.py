@@ -246,7 +246,18 @@ class System:
         ``trace`` is a ``CompiledTrace`` or ``ChunkedCompiledTrace``;
         both expose the same ``issuer_plan()``/``warmup_blocks()``
         contract, differing only in whether the row containers are
-        materialized lists or bounded streaming reads."""
+        materialized lists or bounded streaming reads.
+
+        Eligible configurations take the table-driven compiled kernel
+        (:mod:`repro.engine.compiled`) instead of spawning generator
+        processes; it replays bit-identically (the differential gates
+        compare the two every CI run) and exists purely for speed.
+        ``REPRO_COMPILE_KERNEL=0`` forces the generator path."""
+        from repro.engine.compiled import kernel_eligible, replay_compiled_kernel
+
+        if kernel_eligible(self):
+            replay_compiled_kernel(self, trace)
+            return
         plan = trace.issuer_plan()
         self._blocks_until_measurement = trace.warmup_blocks()
         if self._blocks_until_measurement == 0:

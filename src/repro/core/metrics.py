@@ -142,8 +142,15 @@ class PercentileSketch:
         return 2.0 * gamma ** last_index / (gamma + 1.0)
 
     def merge(self, other: "PercentileSketch") -> None:
-        """Fold another sketch into this one (must share gamma)."""
-        if abs(other._gamma - self._gamma) > 1e-12:
+        """Fold another sketch into this one (must share gamma).
+
+        The check is exact, not tolerance-based: two sketches built from
+        distinct ``relative_error`` values use different bucket
+        geometries even when their gammas agree to within float noise,
+        and folding one's bucket indices into the other silently
+        corrupts every quantile.
+        """
+        if other.relative_error != self.relative_error:
             raise ValueError(
                 "cannot merge sketches with different relative errors "
                 "(%g vs %g)" % (self.relative_error, other.relative_error)

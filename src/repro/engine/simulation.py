@@ -75,6 +75,15 @@ class Process:
         sim._seq += 1
         heappush(sim._heap, (sim.now, sim._seq, self, value))
 
+    def _finish(self, result: Any) -> None:
+        """Mark the generator returned, delivering ``result`` to joiners."""
+        self._finished = True
+        done = self._completion
+        if done is not None:
+            done.fire(result)
+        else:
+            self._result = result
+
     def _step(self, send_value: Any) -> None:
         """Advance the generator until it suspends on future work.
 
@@ -88,19 +97,41 @@ class Process:
         preserving the kernel's deterministic (time, sequence) order
         for everything that actually waits.
         """
+        try:
+            command = self._gen.send(send_value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        self._dispatch(command)
+
+    def _throw_step(self, exc: BaseException) -> None:
+        """Throw ``exc`` into the generator and keep stepping.
+
+        A process may *catch* the thrown error and yield a new command;
+        that command must be handled exactly like any other suspension
+        (both run loops delegate here, so the semantics cannot drift).
+        Catch-and-``return`` finishes the process normally; an uncaught
+        exception propagates to the caller of ``run()``.
+        """
+        try:
+            command = self._gen.throw(exc)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        self._dispatch(command)
+
+    def _dispatch(self, command: Any) -> None:
+        """Trampoline with the first command already in hand.
+
+        Shared continuation of :meth:`_step` (after a ``send``) and
+        :meth:`_throw_step` (after a ``throw``): processes ``command``,
+        and keeps sending for as long as suspensions can be answered in
+        place (fast-forwarded delays, fired completions).
+        """
         sim = self._sim
-        send = self._gen.send
+        gen = self._gen
+        send = gen.send
         while True:
-            try:
-                command = send(send_value)
-            except StopIteration as stop:
-                self._finished = True
-                done = self._completion
-                if done is not None:
-                    done.fire(stop.value)
-                else:
-                    self._result = stop.value
-                return
             if type(command) is int:
                 if command > 0:
                     when = sim.now + command
@@ -113,41 +144,56 @@ class Process:
                         # it would run it next anyway with nothing in
                         # between.  Advance time in place instead.
                         sim.now = when
-                        send_value = None
-                        continue
+                        value = None
+                    else:
+                        sim._seq += 1
+                        heappush(heap, (when, sim._seq, self, None))
+                        return
+                elif command < 0:
+                    try:
+                        command = gen.throw(
+                            SimulationError("negative timeout %d" % command)
+                        )
+                    except StopIteration as stop:
+                        self._finish(stop.value)
+                        return
+                    continue
+                else:
+                    # A zero delay is an explicit reschedule: it must let
+                    # already-queued same-time events run first, so it goes
+                    # through the heap like any other suspension.
                     sim._seq += 1
-                    heappush(heap, (when, sim._seq, self, None))
+                    heappush(sim._heap, (sim.now, sim._seq, self, None))
                     return
-                if command < 0:
-                    self._gen.throw(
-                        SimulationError("negative timeout %d" % command)
-                    )
-                    return
-                # A zero delay is an explicit reschedule: it must let
-                # already-queued same-time events run first, so it goes
-                # through the heap like any other suspension.
-                sim._seq += 1
-                heappush(sim._heap, (sim.now, sim._seq, self, None))
-                return
-            if isinstance(command, Completion):
+            elif isinstance(command, Completion):
                 if command.fired:
                     # Same-time wakeup fast path: resume in place.
-                    send_value = command.value
-                    continue
-                # Track waiters on unfired completions: a non-zero count
-                # once the event queue drains means a process leaked
-                # (deadlocked on a completion nobody will fire).
-                self._blocked = True
-                sim.blocked_processes += 1
-                command._waiters.append(self)
+                    value = command.value
+                else:
+                    # Track waiters on unfired completions: a non-zero
+                    # count once the event queue drains means a process
+                    # leaked (deadlocked on a completion nobody fires).
+                    self._blocked = True
+                    sim.blocked_processes += 1
+                    command._waiters.append(self)
+                    return
+            else:
+                try:
+                    command = gen.throw(
+                        SimulationError(
+                            "process %r yielded %r; expected int delay or"
+                            " Completion" % (self.name, command)
+                        )
+                    )
+                except StopIteration as stop:
+                    self._finish(stop.value)
+                    return
+                continue
+            try:
+                command = send(value)
+            except StopIteration as stop:
+                self._finish(stop.value)
                 return
-            self._gen.throw(
-                SimulationError(
-                    "process %r yielded %r; expected int delay or Completion"
-                    % (self.name, command)
-                )
-            )
-            return
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "finished" if self.finished else "running"
@@ -242,7 +288,7 @@ class Simulator:
                                 heappush(heap, (when, self._seq, process, None))
                                 break
                             if command < 0:
-                                process._gen.throw(
+                                process._throw_step(
                                     SimulationError("negative timeout %d" % command)
                                 )
                                 break
@@ -257,7 +303,7 @@ class Simulator:
                             self.blocked_processes += 1
                             command._waiters.append(process)
                             break
-                        process._gen.throw(
+                        process._throw_step(
                             SimulationError(
                                 "process %r yielded %r; expected int delay or"
                                 " Completion" % (process.name, command)
@@ -267,7 +313,12 @@ class Simulator:
             else:
                 while heap:
                     if heap[0][0] > until:
-                        self.now = until
+                        # Advance to the horizon, but never rewind: a
+                        # bounded run whose horizon is already in the
+                        # past must leave ``now`` untouched, matching
+                        # the unbounded loop (which only moves forward).
+                        if until > self.now:
+                            self.now = until
                         break
                     when, _seq, process, value = heappop(heap)
                     self.now = when

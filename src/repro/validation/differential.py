@@ -493,6 +493,93 @@ def check_chunked_replay_identity(
     )
 
 
+def check_compiled_kernel_identity(
+    scale: int = DEFAULT_SCALE,
+) -> DifferentialCheck:
+    """The table-driven compiled kernel must replay bit-identically to
+    the generator kernel.
+
+    Every point of the differential matrix plus a 7x7 writeback-policy
+    grid (sync/async/periodic 10, 30, 60/trickle/delayed on each tier)
+    and admission/cleaning-controller points is replayed twice — once
+    with ``REPRO_COMPILE_KERNEL=0`` (the generator reference) and once
+    with the compiled kernel — and the :func:`full_signature` of the
+    two runs must agree down to histogram buckets and per-host
+    breakdowns.  Runs serially in-process: the env toggle is read at
+    replay time, and the sweep result cache must not short-circuit the
+    second run.
+    """
+    import os
+
+    from repro.core.simulator import run_simulation
+    from repro.engine.compiled import COMPILE_KERNEL_ENV
+    from repro.traces.compiled import compile_trace
+
+    problems: List[str] = []
+    points = 0
+
+    def compare(label: str, trace, config) -> None:
+        nonlocal points
+        points += 1
+        saved = os.environ.get(COMPILE_KERNEL_ENV)
+        try:
+            os.environ[COMPILE_KERNEL_ENV] = "0"
+            reference = full_signature(run_simulation(trace, config))
+            os.environ[COMPILE_KERNEL_ENV] = "1"
+            candidate = full_signature(run_simulation(trace, config))
+        finally:
+            if saved is None:
+                os.environ.pop(COMPILE_KERNEL_ENV, None)
+            else:
+                os.environ[COMPILE_KERNEL_ENV] = saved
+        if reference != candidate:
+            drifted = [
+                key for key in reference if reference[key] != candidate[key]
+            ]
+            problems.append("%s: %s" % (label, ", ".join(drifted[:3])))
+
+    for family, trace, configs, names in _matrix_families(scale):
+        compiled = compile_trace(trace)
+        for name, config in zip(names, configs):
+            compare("%s/%s" % (family, name), compiled, config)
+
+    grid_trace = compile_trace(
+        baseline_trace(n_hosts=2, scale=scale, volume_multiple=2.0)
+    )
+    grid = ("s", "a", "p10", "p30", "p60", "t30", "d30")
+    for ram_spec in grid:
+        for flash_spec in grid:
+            compare(
+                "grid/%s-%s" % (ram_spec, flash_spec),
+                grid_trace,
+                baseline_config(
+                    scale=scale,
+                    ram_policy=WritebackPolicy.parse(ram_spec),
+                    flash_policy=WritebackPolicy.parse(flash_spec),
+                ),
+            )
+    for label, overrides in (
+        ("admission-probationary", {"flash_admission": "probationary:2"}),
+        ("admission-budget", {"flash_admission": "budget:8M"}),
+        ("cleaning-alru", {"flash_cleaning": "alru:30"}),
+        ("cleaning-acp", {"flash_cleaning": "acp:0.5:0.25"}),
+    ):
+        compare(
+            "controller/%s" % label,
+            grid_trace,
+            baseline_config(scale=scale, **overrides),
+        )
+    if problems:
+        return DifferentialCheck(
+            "compiled-kernel-identity", False, "; ".join(problems[:4])
+        )
+    return DifferentialCheck(
+        "compiled-kernel-identity",
+        True,
+        "%d points bit-identical across both kernels" % points,
+    )
+
+
 def check_percentile_sketch(scale: int = DEFAULT_SCALE) -> DifferentialCheck:
     """The streaming percentile sketch must agree with exact quantiles
     to within its configured relative error.
@@ -568,6 +655,7 @@ def run_differential(
             check_read_only_zero_writebacks(scale=scale, workers=workers),
             check_sync_policies_zero_dirty(scale=scale),
             check_chunked_replay_identity(scale=scale, workers=workers),
+            check_compiled_kernel_identity(scale=scale),
             check_percentile_sketch(scale=scale),
         ]
     )

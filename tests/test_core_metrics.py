@@ -199,6 +199,48 @@ class TestPercentileSketch:
         with pytest.raises(ValueError):
             PercentileSketch(0.01).merge(PercentileSketch(0.02))
 
+    def test_merge_rejects_near_identical_gamma(self):
+        # Pre-fix, the check tolerated |gamma_a - gamma_b| <= 1e-12,
+        # which let sketches built from *distinct* relative errors merge
+        # silently when both gammas were within float noise of each
+        # other — mixing incompatible bucket geometries.
+        near_a, near_b = 1e-13, 3e-13
+        sketch_a = PercentileSketch(near_a)
+        sketch_b = PercentileSketch(near_b)
+        assert abs(sketch_a._gamma - sketch_b._gamma) <= 1e-12
+        with pytest.raises(ValueError):
+            sketch_a.merge(sketch_b)
+
+    def test_merge_accepts_equal_error(self):
+        sketch_a = PercentileSketch(0.01)
+        sketch_b = PercentileSketch(0.01)
+        sketch_a.record(10)
+        sketch_b.record(20)
+        sketch_a.merge(sketch_b)
+        assert sketch_a.count == 2
+
+    def test_collapse_preserves_bound_above_collapsed_region(self):
+        # The max_buckets collapse folds the lowest bucket upward; the
+        # cumulative counts at and above the surviving buckets are
+        # unchanged, so quantiles that resolve above the collapsed
+        # region must keep the relative-error bound — and match an
+        # uncapped sketch fed the same stream exactly.
+        error = 0.01
+        rng = random.Random(1234)
+        samples = [rng.uniform(1, 1e9) for _ in range(4000)]
+        capped = PercentileSketch(error, max_buckets=64)
+        uncapped = PercentileSketch(error, max_buckets=1 << 20)
+        for value in samples:
+            capped.record(value)
+            uncapped.record(value)
+        assert len(capped._buckets) <= 64
+        ordered = sorted(samples)
+        for fraction in (0.9, 0.95, 0.99, 0.999):
+            exact = ordered[int(fraction * (len(ordered) - 1))]
+            estimate = capped.percentile(fraction)
+            assert estimate == uncapped.percentile(fraction)
+            assert abs(estimate - exact) <= error * exact * (1 + 1e-9)
+
     def test_memory_bounded_by_bucket_cap(self):
         sketch = PercentileSketch(0.01, max_buckets=16)
         rng = random.Random(7)

@@ -184,6 +184,209 @@ class TestErrors:
             sim.run()
 
 
+class TestThrowContinuation:
+    """A process that catches the kernel's thrown error keeps running.
+
+    Pre-fix, both run loops discarded the command returned by
+    ``gen.throw(...)``: a catch-and-continue process was silently
+    dropped — never rescheduled, never marked finished, invisible to
+    the blocked-waiter drain check.
+    """
+
+    def test_catch_and_continue_after_bad_yield(self):
+        sim = Simulator()
+        log = []
+
+        def proc():
+            try:
+                yield "not-a-command"
+            except SimulationError:
+                log.append("caught")
+            yield 100
+            log.append(sim.now)
+            return "done"
+
+        process = sim.spawn(proc())
+        sim.run()
+        assert log == ["caught", 100]
+        assert process.finished
+        assert process.completion.value == "done"
+
+    def test_catch_and_continue_after_negative_timeout(self):
+        sim = Simulator()
+        log = []
+
+        def proc():
+            try:
+                yield -5
+            except SimulationError:
+                log.append("caught")
+            yield 70
+            log.append(sim.now)
+
+        process = sim.spawn(proc())
+        sim.run()
+        assert log == ["caught", 70]
+        assert process.finished
+
+    def test_catch_and_return_marks_finished(self):
+        sim = Simulator()
+
+        def proc():
+            try:
+                yield "bogus"
+            except SimulationError:
+                return "recovered"
+            yield 1
+
+        process = sim.spawn(proc())
+        sim.run()
+        assert process.finished
+        assert process.completion.value == "recovered"
+
+    def test_catch_and_continue_in_bounded_run(self):
+        # The bounded run(until=) loop takes the non-inlined _step path;
+        # it must handle the post-throw yield identically.
+        sim = Simulator()
+        log = []
+
+        def proc():
+            try:
+                yield "bogus"
+            except SimulationError:
+                log.append("caught")
+            yield 40
+            log.append(sim.now)
+
+        process = sim.spawn(proc())
+        sim.run(until=1000)
+        assert log == ["caught", 40]
+        assert process.finished
+
+    def test_catch_then_wait_on_completion(self):
+        # Post-throw, the process may block on an unfired completion;
+        # it must be wired into the waiter list like any other blocker.
+        sim = Simulator()
+        done = Completion()
+        log = []
+
+        def firer():
+            yield 200
+            done.fire("late")
+
+        def proc():
+            try:
+                yield -1
+            except SimulationError:
+                pass
+            value = yield done
+            log.append((sim.now, value))
+
+        sim.spawn(firer())
+        sim.spawn(proc())
+        sim.run()
+        assert log == [(200, "late")]
+        assert sim.blocked_processes == 0
+
+    def test_uncaught_error_still_propagates(self):
+        sim = Simulator()
+
+        def proc():
+            yield "bogus"
+
+        sim.spawn(proc())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_double_fault_propagates(self):
+        # Catching the first error and yielding another bad command
+        # re-throws; an uncaught second error escapes run().
+        sim = Simulator()
+
+        def proc():
+            try:
+                yield "first"
+            except SimulationError:
+                yield "second"
+
+        sim.spawn(proc())
+        with pytest.raises(SimulationError, match="second"):
+            sim.run()
+
+
+class TestBoundedRunEquivalence:
+    """run() and stepwise run(until=t_i) must replay identically."""
+
+    @staticmethod
+    def _program(sim, log):
+        done = Completion()
+
+        def firer():
+            yield 130
+            done.fire("fired")
+            log.append((sim.now, "firer"))
+
+        def chains(tag, delays):
+            for delay in delays:
+                yield delay
+                log.append((sim.now, tag))
+
+        def blocker():
+            value = yield done
+            log.append((sim.now, "blocker", value))
+            yield 0
+            log.append((sim.now, "blocker-zero"))
+
+        def recoverer():
+            try:
+                yield "bogus"
+            except SimulationError:
+                log.append((sim.now, "recovered"))
+            yield 45
+            log.append((sim.now, "recoverer"))
+
+        sim.spawn(firer())
+        sim.spawn(chains("a", [10, 10, 10, 100, 5]))
+        sim.spawn(chains("b", [65, 65, 65]))
+        sim.spawn(blocker())
+        sim.spawn(recoverer())
+
+    def test_stepwise_matches_unbounded(self):
+        sim_full = Simulator()
+        log_full = []
+        self._program(sim_full, log_full)
+        end = sim_full.run()
+
+        sim_step = Simulator()
+        log_step = []
+        self._program(sim_step, log_step)
+        for horizon in range(0, end + 50, 7):
+            sim_step.run(until=horizon)
+        sim_step.run()
+
+        assert log_step == log_full
+        assert sim_step.now == sim_full.now
+        assert sim_step.blocked_processes == sim_full.blocked_processes == 0
+        assert sim_step.pending_events == sim_full.pending_events == 0
+
+    def test_bounded_run_never_rewinds_time(self):
+        # Pre-fix, run(until=t) with t < now *rewound* the clock when an
+        # event remained queued beyond the horizon.
+        sim = Simulator()
+
+        def proc():
+            yield 100
+            yield 1000
+
+        sim.spawn(proc())
+        sim.run(until=500)
+        assert sim.now == 500
+        sim.run(until=200)
+        assert sim.now == 500  # not rewound to 200
+        sim.run()
+        assert sim.now == 1100
+
+
 class TestTimeoutHelper:
     def test_timeout_fires_at_deadline(self):
         sim = Simulator()

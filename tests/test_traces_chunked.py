@@ -181,6 +181,87 @@ class TestWarmupSkip:
             stripped.close()
             chunked.delete()
 
+    def test_full_warmup_yields_empty_replay(self):
+        # warmup_records == n_records: the cold-start view is empty —
+        # no crash, no issuers, and the chunked form must agree with
+        # the in-memory compiled form on every surface.
+        trace = sample_trace(n=20, warmup=20)
+        compiled_stripped = compile_trace(trace).without_warmup()
+        chunked = ChunkedCompiledTrace.from_trace(trace, chunk_records=7)
+        stripped = chunked.without_warmup()
+        try:
+            assert len(stripped) == len(compiled_stripped) == 0
+            assert stripped.warmup_records == 0
+            assert stripped.warmup_blocks() == 0
+            assert stripped.issuer_plan() == []
+            assert stripped.hosts() == compiled_stripped.hosts() == []
+            assert list(stripped.iter_records()) == []
+            assert stripped.fingerprint == compiled_stripped.fingerprint
+        finally:
+            stripped.close()
+            chunked.delete()
+
+    def test_full_warmup_empty_replay_runs(self):
+        # The empty cold-start view must still replay end to end.
+        trace = sample_trace(n=20, warmup=20)
+        chunked = ChunkedCompiledTrace.from_trace(trace, chunk_records=7)
+        stripped = chunked.without_warmup()
+        try:
+            results = run_simulation(stripped, tiny_config())
+            assert results.blocks_read == 0
+            assert results.blocks_written == 0
+        finally:
+            stripped.close()
+            chunked.delete()
+
+    def test_without_warmup_of_stripped_is_self(self, chunked_pair):
+        _, chunked = chunked_pair
+        stripped = chunked.without_warmup()
+        try:
+            assert stripped.without_warmup() is stripped
+        finally:
+            stripped.close()
+
+    def test_reopen_of_reopen_preserves_skip_view(self, chunked_pair):
+        # A stripped view reopened from its own spool path (what a
+        # pickled worker of a pickled worker does) must keep the same
+        # content, fingerprint, and warmup accounting as the original.
+        trace, chunked = chunked_pair
+        stripped = chunked.without_warmup()
+        first = ChunkedCompiledTrace.open(
+            stripped.spool_dir, skip=trace.warmup_records
+        )
+        second = ChunkedCompiledTrace.open(
+            first.spool_dir, skip=trace.warmup_records
+        )
+        try:
+            assert second.fingerprint == stripped.fingerprint
+            assert len(second) == len(stripped)
+            assert second.warmup_records == 0
+            assert list(second.iter_records()) == list(stripped.iter_records())
+        finally:
+            stripped.close()
+            first.close()
+            second.close()
+
+    def test_double_pickle_preserves_skip_view(self, chunked_pair):
+        trace, chunked = chunked_pair
+        stripped = chunked.without_warmup()
+        once = pickle.loads(pickle.dumps(stripped))
+        twice = pickle.loads(pickle.dumps(once))
+        try:
+            assert twice.fingerprint == stripped.fingerprint
+            assert len(twice) == len(stripped)
+            assert twice.warmup_records == 0
+            assert (
+                twice.fingerprint
+                == compile_trace(trace.without_warmup()).fingerprint
+            )
+        finally:
+            stripped.close()
+            once.close()
+            twice.close()
+
 
 class TestPersistence:
     def test_open_existing_spool(self, tmp_path, chunked_pair):
