@@ -57,6 +57,7 @@ from repro.core import (
     SimulationResults,
     run_simulation,
 )
+from repro.net import DirectoryTiming
 from repro.obs import Observation
 from repro.tracegen import TraceGenConfig, generate_trace, generate_trace_chunked
 from repro.traces import (
@@ -110,6 +111,7 @@ __all__ = [
     "format_bytes",
     "format_time",
     "Architecture",
+    "DirectoryTiming",
     "RestartSpec",
     "SimConfig",
     "TimingModel",

@@ -13,6 +13,7 @@ from repro.core.policies import WritebackPolicy
 from repro.errors import ConfigError
 from repro.filer.timing import FilerTiming
 from repro.flash.timing import FlashTiming
+from repro.net.directory import DirectoryTiming
 from repro.net.link import NetworkTiming
 from repro.policies.admission import AdmissionPolicy
 from repro.policies.cleaning import CleaningPolicy
@@ -32,6 +33,9 @@ class TimingModel:
     flash: FlashTiming = field(default_factory=FlashTiming.paper_default)
     network: NetworkTiming = field(default_factory=NetworkTiming.paper_default)
     filer: FilerTiming = field(default_factory=FilerTiming.paper_default)
+    #: consistency-directory latencies (§3.8 extension); both zero by
+    #: default — the paper's instant-invalidation model.
+    directory: DirectoryTiming = field(default_factory=DirectoryTiming.paper_default)
 
     def __post_init__(self) -> None:
         if self.ram_read_ns < 0 or self.ram_write_ns < 0:
@@ -48,6 +52,9 @@ class TimingModel:
     def with_prefetch_rate(self, rate: float) -> "TimingModel":
         return replace(self, filer=self.filer.with_prefetch_rate(rate))
 
+    def with_directory(self, directory: DirectoryTiming) -> "TimingModel":
+        return replace(self, directory=directory)
+
     def as_table(self) -> str:
         """Render Table 1 ("Timing Model Parameters")."""
         rows = [
@@ -62,6 +69,15 @@ class TimingModel:
             ("File server write", "%.1f us / 4K block" % (self.filer.write_ns / 1000)),
             ("File server fast read rate", "%d%%" % round(100 * self.filer.fast_read_rate)),
         ]
+        if not self.directory.is_instant:
+            # Extension rows — Table 1 proper stays ten lines at the
+            # paper default (the directory is instant there).
+            rows.append(
+                ("Directory lookup", "%.1f us / write" % (self.directory.lookup_ns / 1000))
+            )
+            rows.append(
+                ("Directory invalidate", "%.1f us / copy" % (self.directory.invalidate_ns / 1000))
+            )
         width = max(len(name) for name, _value in rows)
         return "\n".join("%-*s  %s" % (width, name, value) for name, value in rows)
 

@@ -1,4 +1,4 @@
-"""Global cache-consistency directory (§3.8, §7.9).
+"""Global cache-consistency directory (§3.8, §7.9) — fleet-scale form.
 
 "The simulator invalidates stale copies of blocks instantly (using
 global knowledge) when a new version is first written into a cache.
@@ -8,30 +8,108 @@ overhead of cache consistency traffic."
 
 The directory tracks, per block, which hosts hold any copy.  When a
 host writes a block, every *other* host's copies are dropped from all
-of its tiers instantly (zero simulated time), and the write is counted
-as "requiring invalidation" if any copy was dropped.  The headline
-metric is the fraction of application-level block writes requiring
-invalidations (Figures 11 and 12).
+of its tiers, and the write is counted as "requiring invalidation" if
+any copy was dropped.  The headline metric is the fraction of
+application-level block writes requiring invalidations (Figures 11
+and 12).
+
+Beyond the paper's two hosts this module scales to fleets of
+thousands:
+
+* **Sharding.**  State lives in an array of :class:`_DirectoryShard`
+  objects keyed by ``block & (n_shards - 1)`` (``n_shards`` is a power
+  of two), each with its own holder map and counters.  Shard counters
+  are merged at report time through summing properties, so callers see
+  one directory regardless of the shard count.
+* **Bitmask holders.**  The per-block holder set is a plain ``int``
+  bitmask (bit *i* set ⇔ host *i* holds a copy) instead of a
+  ``set`` — one machine word for fleets up to word size, and still a
+  single arbitrary-precision int beyond it.
+* **Flat registration.**  Dropper callbacks live in a list indexed by
+  host id rather than a dict, so a 1 000-host registration is one
+  array fill.
+
+At the paper's default (zero directory latency, any shard count) the
+observable behavior — counters, drop order, traffic-hook messages — is
+bit-identical to the original unsharded implementation; the
+differential harness pins this.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Set
+import os
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+#: Fleets at or below this size keep a single shard — the paper-scale
+#: fast path, with no indexing arithmetic worth amortizing.
+_SINGLE_SHARD_MAX_HOSTS = 8
+
+#: Default shard count for larger fleets (must be a power of two).
+_DEFAULT_SHARDS = 64
+
+#: Environment override for the automatic shard count (power of two).
+#: The differential harness uses it to replay one trace single-sharded
+#: and multi-sharded and pin the results bit-identical; explicit
+#: ``n_shards`` arguments win over the environment.
+SHARDS_ENV = "REPRO_DIRECTORY_SHARDS"
 
 
-class ConsistencyDirectory:
-    """Tracks block copies across hosts and performs instant invalidation."""
+class _DirectoryShard:
+    """One shard of the directory: a holder map plus its own counters."""
 
-    def __init__(self, n_hosts: int) -> None:
-        self.n_hosts = n_hosts
-        # block -> set of host ids holding a copy in any tier
-        self._holders: Dict[int, Set[int]] = {}
-        # host id -> callback(block) dropping the block from that host's caches
-        self._droppers: Dict[int, Callable[[int], None]] = {}
-        # measured counters (only writes flagged as measured count)
+    __slots__ = (
+        "holders",
+        "block_writes",
+        "writes_requiring_invalidation",
+        "copies_invalidated",
+    )
+
+    def __init__(self) -> None:
+        # block -> bitmask of host ids holding a copy in any tier
+        self.holders: Dict[int, int] = {}
         self.block_writes = 0
         self.writes_requiring_invalidation = 0
         self.copies_invalidated = 0
+
+
+def _decode_mask(mask: int) -> Set[int]:
+    """The set of host ids whose bits are set in ``mask``."""
+    hosts: Set[int] = set()
+    while mask:
+        low = mask & -mask
+        hosts.add(low.bit_length() - 1)
+        mask ^= low
+    return hosts
+
+
+class ConsistencyDirectory:
+    """Tracks block copies across hosts and performs invalidation."""
+
+    __slots__ = ("n_hosts", "n_shards", "_shards", "_shard_mask", "_droppers",
+                 "invalidation_latency_ns", "traffic_hook")
+
+    def __init__(self, n_hosts: int, n_shards: Optional[int] = None) -> None:
+        self.n_hosts = n_hosts
+        if n_shards is None:
+            env = os.environ.get(SHARDS_ENV, "").strip()
+            if env:
+                n_shards = int(env)
+            else:
+                n_shards = 1 if n_hosts <= _SINGLE_SHARD_MAX_HOSTS else _DEFAULT_SHARDS
+        if n_shards < 1 or n_shards & (n_shards - 1):
+            raise ValueError("n_shards must be a power of two, got %r" % n_shards)
+        self.n_shards = n_shards
+        self._shards: Tuple[_DirectoryShard, ...] = tuple(
+            _DirectoryShard() for _ in range(n_shards)
+        )
+        self._shard_mask = n_shards - 1
+        # host id -> callback(block) dropping the block from that host's
+        # caches; a flat slot array so fleet-size registration stays cheap.
+        self._droppers: List[Optional[Callable[[int], None]]] = [None] * n_hosts
+        #: simulated nanoseconds spent on measured directory lookups and
+        #: invalidate messages (zero unless ``timing.directory`` is set;
+        #: accumulated by the host stacks, which own the clock).
+        self.invalidation_latency_ns = 0
         #: optional hook(writer_host, victim_host) fired per dropped
         #: remote copy; the System uses it to charge invalidation
         #: messages to the victim's network segment (the §3.8 protocol
@@ -46,11 +124,13 @@ class ConsistencyDirectory:
 
     def note_copy(self, host_id: int, block: int) -> None:
         """A host now holds a copy of ``block`` (in any tier)."""
-        holders = self._holders.get(block)
-        if holders is None:
-            self._holders[block] = {host_id}
+        holders = self._shards[block & self._shard_mask].holders
+        bit = 1 << host_id
+        mask = holders.get(block)
+        if mask is None:
+            holders[block] = bit
         else:
-            holders.add(host_id)
+            holders[block] = mask | bit
 
     def note_drop(self, host_id: int, block: int) -> None:
         """A host no longer holds any copy of ``block``.
@@ -58,15 +138,43 @@ class ConsistencyDirectory:
         The host stack calls this only when the block has left *every*
         tier on that host.
         """
-        holders = self._holders.get(block)
-        if holders is not None:
-            holders.discard(host_id)
-            if not holders:
-                del self._holders[block]
+        holders = self._shards[block & self._shard_mask].holders
+        mask = holders.get(block)
+        if mask is not None:
+            mask &= ~(1 << host_id)
+            if mask:
+                holders[block] = mask
+            else:
+                del holders[block]
+
+    def drop_host(self, host_id: int) -> None:
+        """Forget every copy a host holds (crash/reboot state cleanup).
+
+        Called from the restart path: a rebooted host's caches are
+        empty, so any holder bits it still carries are stale and would
+        inflate ``copies_invalidated`` on later writes.  This is state
+        maintenance, not an invalidation — no droppers, hooks, or
+        counters fire.
+        """
+        keep = ~(1 << host_id)
+        for shard in self._shards:
+            holders = shard.holders
+            dead = []
+            for block, mask in holders.items():
+                stripped = mask & keep
+                if stripped != mask:
+                    if stripped:
+                        holders[block] = stripped
+                    else:
+                        dead.append(block)
+            for block in dead:
+                del holders[block]
 
     def holders_of(self, block: int) -> Set[int]:
         """The hosts currently holding a copy (a snapshot)."""
-        return set(self._holders.get(block, ()))
+        return _decode_mask(
+            self._shards[block & self._shard_mask].holders.get(block, 0)
+        )
 
     # --- invalidation -----------------------------------------------------
 
@@ -81,42 +189,85 @@ class ConsistencyDirectory:
         Threads interleave freely, so the phase is a per-record
         property, not a global clock.
         """
+        shard = self._shards[block & self._shard_mask]
         if measured:
-            self.block_writes += 1
-        holders = self._holders.get(block)
-        if not holders:
+            shard.block_writes += 1
+        holders = shard.holders
+        mask = holders.get(block)
+        writer_bit = 1 << writer_host
+        if not mask or mask == writer_bit:
+            # Nobody, or only the writer, holds a copy — nothing to
+            # invalidate.  (The common case for single-host runs and
+            # private blocks.)
             return 0
-        if len(holders) == 1 and writer_host in holders:
-            # Only the writer holds a copy — nothing to invalidate.
-            # (The common case for single-host runs and private blocks.)
-            return 0
-        others = [host for host in holders if host != writer_host]
-        if not others:
-            return 0
-        for host in others:
-            dropper = self._droppers.get(host)
+        others = mask & ~writer_bit
+        kept = mask & writer_bit
+        if kept:
+            holders[block] = kept
+        else:
+            del holders[block]
+        droppers = self._droppers
+        hook = self.traffic_hook
+        count = 0
+        remaining = others
+        while remaining:
+            low = remaining & -remaining
+            remaining ^= low
+            host = low.bit_length() - 1
+            count += 1
+            dropper = droppers[host]
             if dropper is not None:
                 dropper(block)
-            holders.discard(host)
-            if self.traffic_hook is not None:
-                self.traffic_hook(writer_host, host)
+                if hook is not None:
+                    # Only a host that actually dropped something owes
+                    # an invalidation message; an unregistered holder
+                    # has no caches to invalidate over the wire.
+                    hook(writer_host, host)
         if measured:
-            self.writes_requiring_invalidation += 1
-            self.copies_invalidated += len(others)
-        return len(others)
+            shard.writes_requiring_invalidation += 1
+            shard.copies_invalidated += count
+        return count
 
     # --- reporting -----------------------------------------------------------
+
+    @property
+    def block_writes(self) -> int:
+        """Measured application block writes (merged across shards)."""
+        return sum(shard.block_writes for shard in self._shards)
+
+    @property
+    def writes_requiring_invalidation(self) -> int:
+        return sum(shard.writes_requiring_invalidation for shard in self._shards)
+
+    @property
+    def copies_invalidated(self) -> int:
+        return sum(shard.copies_invalidated for shard in self._shards)
+
+    def shard_counters(self) -> List[Tuple[int, int, int]]:
+        """Per-shard ``(block_writes, writes_requiring_invalidation,
+        copies_invalidated)`` triples, in shard order."""
+        return [
+            (
+                shard.block_writes,
+                shard.writes_requiring_invalidation,
+                shard.copies_invalidated,
+            )
+            for shard in self._shards
+        ]
 
     @property
     def invalidation_fraction(self) -> float:
         """Fraction of measured block writes that required invalidation
         (the y-axis of Figures 11 and 12)."""
-        if self.block_writes == 0:
+        writes = self.block_writes
+        if writes == 0:
             return 0.0
-        return self.writes_requiring_invalidation / self.block_writes
+        return self.writes_requiring_invalidation / writes
 
     def reset_counters(self) -> None:
         """Zero the measured counters (used by tests and restarts)."""
-        self.block_writes = 0
-        self.writes_requiring_invalidation = 0
-        self.copies_invalidated = 0
+        for shard in self._shards:
+            shard.block_writes = 0
+            shard.writes_requiring_invalidation = 0
+            shard.copies_invalidated = 0
+        self.invalidation_latency_ns = 0

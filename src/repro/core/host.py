@@ -65,13 +65,32 @@ _PKT_ACK = Packet.ack()
 
 
 class HostStack:
-    """Common machinery shared by the three architectures."""
+    """Common machinery shared by the three architectures.
 
-    #: observability event sink (a repro.obs EventRecorder), attached by
-    #: repro.obs.instrument.attach_observation.  A *class* attribute so
-    #: untraced instances carry no per-instance cost; rare-event sites
-    #: (syncer rounds) guard on it with one predictable branch.
-    _obs_rec = None
+    Slotted: a fleet-scale ``System`` instantiates thousands of these,
+    and the per-instance ``__dict__`` was the dominant construction
+    cost.  (The obs twin subclasses declare no ``__slots__`` and get a
+    dict back — they are rare and carry recorder state.)
+    """
+
+    __slots__ = (
+        "sim",
+        "host_id",
+        "config",
+        "flash_device",
+        "segment",
+        "filer",
+        "directory",
+        "rng",
+        "timing",
+        "_ram_read_ns",
+        "_ram_write_ns",
+        "_has_ram",
+        "_dir_stall",
+        "_obs_rec",
+        "keep_running",
+        "flash_online_at",
+    )
 
     def __init__(
         self,
@@ -98,6 +117,19 @@ class HostStack:
         self._ram_read_ns = self.timing.ram_read_ns
         self._ram_write_ns = self.timing.ram_write_ns
         self._has_ram = config.has_ram
+        # Directory latency model: None at the paper default (instant
+        # invalidation — the write path pays zero extra yields and
+        # replays bit-identically), else (lookup_ns, invalidate_ns).
+        directory_timing = self.timing.directory
+        self._dir_stall = (
+            None
+            if directory_timing.is_instant
+            else (directory_timing.lookup_ns, directory_timing.invalidate_ns)
+        )
+        #: observability event sink (a repro.obs EventRecorder),
+        #: attached by repro.obs.instrument.attach_observation;
+        #: rare-event sites (syncer rounds) guard on it.
+        self._obs_rec = None
         #: syncer-loop liveness predicate; the System replaces it with a
         #: check on active application threads so the event queue drains
         #: once the trace replay finishes.
@@ -192,6 +224,8 @@ class LayeredStack(HostStack):
     """Shared implementation of the two layered architectures
     (naive and lookaside), which differ only in where RAM writebacks go."""
 
+    __slots__ = ("ram", "flash", "_flash_direct", "_admission", "_cleaning")
+
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         config = self.config
@@ -257,12 +291,16 @@ class LayeredStack(HostStack):
             self.ram.remove(block)
             self._note_maybe_gone(block)
         if self.flash is None:
+            # Both tiers are now empty; bulk-clear any holder bits that
+            # in-flight writebacks left behind.
+            self.directory.drop_host(self.host_id)
             return
         if volatile_flash:
             for block in list(self.flash.blocks()):
                 self.flash.remove(block)
                 self.flash_device.trim_block(block)
                 self._note_maybe_gone(block)
+            self.directory.drop_host(self.host_id)
         else:
             # Contents survive, but the cache is offline while recovery
             # scans and validates its metadata.
@@ -312,7 +350,14 @@ class LayeredStack(HostStack):
     # --- write path ------------------------------------------------------
 
     def write_block(self, block: int, measured: bool = True) -> Iterator:
-        self.directory.on_block_write(self.host_id, block, measured)
+        dropped = self.directory.on_block_write(self.host_id, block, measured)
+        dir_stall = self._dir_stall
+        if dir_stall is not None:
+            cost = dir_stall[0] + dropped * dir_stall[1]
+            if cost:
+                if measured:
+                    self.directory.invalidation_latency_ns += cost
+                yield cost
         if not self._has_ram:
             # No RAM cache at all: writes land on the next tier directly.
             if self.flash is not None:
@@ -549,6 +594,8 @@ class NaiveStack(LayeredStack):
     RAM writebacks go to the flash; flash writebacks go to the filer.
     """
 
+    __slots__ = ()
+
     def _writeback_ram_data(self, block: int) -> Iterator:
         if self.flash is not None:
             yield from self._write_into_flash(block)
@@ -563,6 +610,8 @@ class LookasideStack(LayeredStack):
     routed through the flash.  The flash is updated after the file
     server and never contains dirty data."
     """
+
+    __slots__ = ()
 
     def _writeback_ram_data(self, block: int) -> Iterator:
         yield from self._filer_write()
@@ -581,6 +630,8 @@ class UnifiedStack(HostStack):
     remaining capacity of each medium (no preference for RAM).  Blocks
     are never migrated between media.
     """
+
+    __slots__ = ("cache", "_free_ram", "_free_flash", "_flash_direct")
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
@@ -654,7 +705,14 @@ class UnifiedStack(HostStack):
         yield from self._install(block, dirty=False)
 
     def write_block(self, block: int, measured: bool = True) -> Iterator:
-        self.directory.on_block_write(self.host_id, block, measured)
+        dropped = self.directory.on_block_write(self.host_id, block, measured)
+        dir_stall = self._dir_stall
+        if dir_stall is not None:
+            cost = dir_stall[0] + dropped * dir_stall[1]
+            if cost:
+                if measured:
+                    self.directory.invalidation_latency_ns += cost
+                yield cost
         entry = self.cache.get(block)
         if entry is not None:
             self.cache.mark_dirty(block)

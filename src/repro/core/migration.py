@@ -41,6 +41,8 @@ from repro.errors import ConfigError
 class MigrationStack(HostStack):
     """Exclusive two-tier cache with demotion/promotion migration."""
 
+    __slots__ = ("ram", "flash")
+
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         config = self.config
@@ -79,12 +81,16 @@ class MigrationStack(HostStack):
             self.ram.remove(block)
             self._note_maybe_gone(block)
         if self.flash is None:
+            # Both tiers are now empty; bulk-clear any holder bits that
+            # in-flight writebacks left behind.
+            self.directory.drop_host(self.host_id)
             return
         if volatile_flash:
             for block in list(self.flash.blocks()):
                 self.flash.remove(block)
                 self.flash_device.trim_block(block)
                 self._note_maybe_gone(block)
+            self.directory.drop_host(self.host_id)
         else:
             self.flash_online_at = (
                 self.sim.now + len(self.flash) * scan_ns_per_block
@@ -111,7 +117,14 @@ class MigrationStack(HostStack):
     # --- write path ------------------------------------------------------------
 
     def write_block(self, block: int, measured: bool = True) -> Iterator:
-        self.directory.on_block_write(self.host_id, block, measured)
+        dropped = self.directory.on_block_write(self.host_id, block, measured)
+        dir_stall = self._dir_stall
+        if dir_stall is not None:
+            cost = dir_stall[0] + dropped * dir_stall[1]
+            if cost:
+                if measured:
+                    self.directory.invalidation_latency_ns += cost
+                yield cost
         if not self.config.has_ram:
             yield from self._filer_write()
             return
@@ -212,8 +225,12 @@ class MigrationStack(HostStack):
             self.flash.mark_dirty(block)
         yield from self.flash_device.write_block(block)
         if self.flash.peek(block) is None:
+            # Evicted (or wiped by a restart) while the device write was
+            # in flight: the host holds nothing, so registering it as a
+            # holder would leave a stale directory entry.
             self.flash_device.trim_block(block)
-        self.directory.note_copy(self.host_id, block)
+        else:
+            self.directory.note_copy(self.host_id, block)
 
     def _flush_block(self, store: BlockStore, block: int) -> Iterator:
         """Write one dirty block back to the filer."""

@@ -73,6 +73,10 @@ class SimulationResults:
     block_writes: int = 0
     writes_requiring_invalidation: int = 0
     copies_invalidated: int = 0
+    #: simulated nanoseconds the measured write paths stalled on
+    #: directory lookups and invalidate messages (0 at the paper's
+    #: instant-invalidation default, i.e. timing.directory zero)
+    invalidation_latency_ns: int = 0
     #: per-request latency breakdown (present when the run carried an
     #: Observation — run_simulation(obs=...) or SimConfig.trace_events)
     breakdown: Optional["LatencyBreakdown"] = None
@@ -201,6 +205,11 @@ class SimulationResults:
                 "invalidations:     %.1f%% of %d block writes"
                 % (100 * self.invalidation_fraction, self.block_writes)
             )
+        if self.invalidation_latency_ns:
+            lines.append(
+                "invalidation time: %.3f ms of directory stalls"
+                % (self.invalidation_latency_ns / 1_000_000)
+            )
         if self.breakdown is not None:
             lines.append("latency breakdown (us/block):")
             mean_read = self.breakdown.mean_read_us()
@@ -232,6 +241,8 @@ class SimulationResults:
             "flash_program_bytes": self.flash_program_bytes,
             "flash_erase_count": self.flash_erase_count,
         }
+        if self.invalidation_latency_ns:
+            payload["invalidation_latency_ns"] = self.invalidation_latency_ns
         if self.flash_write_amp is not None:
             payload["flash_write_amp"] = self.flash_write_amp
         if self.device_lifetime_days is not None:

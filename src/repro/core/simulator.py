@@ -159,6 +159,7 @@ def run_simulation(
         block_writes=system.directory.block_writes,
         writes_requiring_invalidation=system.directory.writes_requiring_invalidation,
         copies_invalidated=system.directory.copies_invalidated,
+        invalidation_latency_ns=system.directory.invalidation_latency_ns,
         breakdown=obs.breakdown if obs is not None else None,
         obs_counters=obs.counters() if obs is not None else None,
     )

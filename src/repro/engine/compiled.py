@@ -231,6 +231,11 @@ def kernel_eligible(system) -> bool:
         Architecture.UNIFIED,
     ):
         return False
+    directory_timing = system.config.timing.directory
+    if directory_timing.lookup_ns or directory_timing.invalidate_ns:
+        # Modeled directory latency inserts stalls on the write path
+        # that the flattened state tables do not transcribe.
+        return False
     for device in system.flash_devices:
         if device is not None and not device.unlimited_parallelism:
             return False
@@ -375,7 +380,12 @@ def _layered_executor(system, stack, naive) -> _HostExecutor:
     req_rl = fleet.read_request_latency
     req_wl = fleet.write_request_latency
     directory = stack.directory
-    dir_holders = directory._holders
+    dir_shards = directory._shards
+    dir_shard_mask = directory._shard_mask
+    # Accumulated measured-write counts flush into shard 0; only the
+    # merged totals (summing properties) are signature-visible.
+    dir_shard0 = dir_shards[0]
+    writer_bit = 1 << host_id
     # Inline the LRU touch only while the store's ``_touch`` is still
     # the bare policy method — a ref ledger rebinds it at setup time,
     # and non-LRU policies keep the generic call.
@@ -503,8 +513,10 @@ def _layered_executor(system, stack, naive) -> _HostExecutor:
         LS_BASE=_LS_BASE,
         LS_BASE1=_LS_BASE - 1,
         LS_LAST=_LS_LAST,
-        directory=directory,
-        dir_holders=dir_holders,
+        dir_shards=dir_shards,
+        dir_shard_mask=dir_shard_mask,
+        dir_shard0=dir_shard0,
+        writer_bit=writer_bit,
         ram_lru_order=ram_lru_order,
         ram_lru_pop=ram_lru_pop,
     ):
@@ -560,15 +572,13 @@ def _layered_executor(system, stack, naive) -> _HostExecutor:
                         # case short-circuits; remote copies take the
                         # real call (which may schedule invalidation
                         # traffic, hence the horizon refresh).
-                        holders = dir_holders.get(blk)
-                        if holders is None or not holders or (
-                            len(holders) == 1 and host_id in holders
-                        ):
+                        holders = dir_shards[blk & dir_shard_mask].holders.get(blk)
+                        if not holders or holders == writer_bit:
                             if measured:
                                 acc_dw += 1
                         else:
                             if acc_dw:
-                                directory.block_writes += acc_dw
+                                dir_shard0.block_writes += acc_dw
                                 acc_dw = 0
                             sim.now = now
                             on_block_write(host_id, blk, measured)
@@ -915,7 +925,7 @@ def _layered_executor(system, stack, naive) -> _HostExecutor:
                 if acc_ms:
                     ram_stats.misses += acc_ms
                 if acc_dw:
-                    directory.block_writes += acc_dw
+                    dir_shard0.block_writes += acc_dw
                 if bail_push >= 0:
                     sim._seq += 1
                     heappush(heap, (bail_push, sim._seq, task, None))

@@ -99,6 +99,7 @@ _EXTENSION_NAMES: Tuple[str, ...] = (
     "consistency_traffic",
     "ablations",
     "endurance",
+    "fleet",
 )
 
 _REGISTRY = {

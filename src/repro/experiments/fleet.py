@@ -1,0 +1,105 @@
+"""Extension experiment: multi-tenant fleet consistency scenarios.
+
+The multihost experiment scales host *count* over one shared working
+set; this one scales the *deployment shape*: tenant groups with skewed
+popularity, rolling restarts, and a failover storm onto cold standbys
+(see :mod:`repro.tracegen.fleet`).  Each scenario runs twice — at the
+paper's instant-invalidation default and with a modeled directory
+latency (:class:`~repro.net.directory.DirectoryTiming`, RPC-scale
+constants) — so the table shows both the invalidation *load* a
+consistency protocol must carry and what that load costs once lookups
+and invalidate messages take real time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from repro._units import US
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    ExperimentResult,
+    baseline_config,
+    scaled_gb,
+)
+from repro.net.directory import DirectoryTiming
+from repro.sweep import SweepPoint, run_sweep_points
+from repro.tracegen.fleet import SCENARIOS, FleetSpec, fleet_trace
+
+#: Modeled directory constants for the non-instant runs: a one-hop
+#: metadata lookup plus a per-victim invalidate round trip (switch +
+#: software scale, same order as the filer network constants).
+DIRECTORY_LOOKUP_NS = 5_000
+DIRECTORY_INVALIDATE_NS = 20_000
+
+FULL_FLEET = dict(n_hosts=64, n_tenants=8)
+FAST_FLEET = dict(n_hosts=16, n_tenants=4)
+
+
+def run(
+    *,
+    scale: int = DEFAULT_SCALE,
+    fast: bool = False,
+    workers: Optional[int] = None,
+    ws_gb: float = 4.0,
+) -> ExperimentResult:
+    shape = FAST_FLEET if fast else FULL_FLEET
+    spec = FleetSpec(
+        n_hosts=shape["n_hosts"],
+        n_tenants=shape["n_tenants"],
+        ws_bytes=scaled_gb(ws_gb, scale),
+    )
+    result = ExperimentResult(
+        experiment="fleet",
+        title="Fleet scenarios: %d hosts, %d tenants, %g GB/tenant working sets"
+        % (spec.n_hosts, spec.n_tenants, ws_gb),
+        columns=(
+            "scenario",
+            "directory",
+            "inval_pct",
+            "copies_invalidated",
+            "read_us",
+            "write_us",
+            "inval_stall_ms",
+        ),
+        notes=(
+            "Steady multi-tenant traffic keeps invalidations inside each "
+            "tenant group; rolling restarts add re-warm read bursts, and "
+            "the failover storm shifts one tenant onto cold standbys "
+            "whose writes must invalidate the primaries' stale copies. "
+            "With modeled directory latency the same invalidation load "
+            "becomes visible write-path stall time."
+        ),
+    )
+    instant = baseline_config(scale=scale)
+    modeled = replace(
+        instant,
+        timing=instant.timing.with_directory(
+            DirectoryTiming(
+                lookup_ns=DIRECTORY_LOOKUP_NS,
+                invalidate_ns=DIRECTORY_INVALIDATE_NS,
+            )
+        ),
+    )
+    labels = []
+    points = []
+    for scenario in SCENARIOS:
+        trace = fleet_trace(spec, scenario)
+        for name, config in (("instant", instant), ("modeled", modeled)):
+            labels.append((scenario, name))
+            points.append(
+                SweepPoint(config=config, trace=trace, n_hosts=spec.n_hosts)
+            )
+    outcome = run_sweep_points(points, workers=workers)
+    for (scenario, name), res in zip(labels, outcome.results):
+        result.add_row(
+            scenario=scenario,
+            directory=name,
+            inval_pct=100.0 * res.invalidation_fraction,
+            copies_invalidated=res.copies_invalidated,
+            read_us=res.read_latency_us,
+            write_us=res.write_latency_us,
+            inval_stall_ms=res.invalidation_latency_ns / (1000 * US),
+        )
+    return result

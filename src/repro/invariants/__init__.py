@@ -28,6 +28,7 @@ from repro.invariants.suite import (
     CacheTierChecker,
     Checker,
     CheckerSuite,
+    DirectoryChecker,
     FTLChecker,
     KernelChecker,
     build_suite,
@@ -43,6 +44,7 @@ __all__ = [
     "CacheTierChecker",
     "Checker",
     "CheckerSuite",
+    "DirectoryChecker",
     "FTLChecker",
     "InvariantViolation",
     "KernelChecker",

@@ -14,5 +14,12 @@ simultaneously (§7.1).
 
 from repro.net.packet import Packet, PacketKind
 from repro.net.link import NetworkSegment, NetworkTiming
+from repro.net.directory import DirectoryTiming
 
-__all__ = ["Packet", "PacketKind", "NetworkSegment", "NetworkTiming"]
+__all__ = [
+    "DirectoryTiming",
+    "Packet",
+    "PacketKind",
+    "NetworkSegment",
+    "NetworkTiming",
+]

@@ -23,6 +23,10 @@ nanosecond of a block I/O to exactly one component:
     data — dirty-victim evictions charged to the requesting thread (the
     paper's "multiple threads doing evictions contend ... and slow
     down").
+``invalidation``
+    consistency-directory stalls on the write path — lookup plus
+    per-victim invalidate messages (zero unless ``timing.directory``
+    models them; the paper's default is instant invalidation).
 ``other``
     anything the instrumentation does not attribute.  Zero for the
     naive/lookaside/unified architectures (property-tested); whole-I/O
@@ -52,6 +56,7 @@ COMPONENTS = (
     "filer_queue",
     "filer_service",
     "syncer_stall",
+    "invalidation",
     "other",
 )
 
@@ -78,6 +83,7 @@ class Span:
         self.filer_queue = 0
         self.filer_service = 0
         self.syncer_stall = 0
+        self.invalidation = 0
         self.other = 0
 
     def total_ns(self) -> int:
@@ -89,6 +95,7 @@ class Span:
             + self.filer_queue
             + self.filer_service
             + self.syncer_stall
+            + self.invalidation
             + self.other
         )
 
@@ -192,6 +199,7 @@ class BreakdownCollector:
         totals["filer_queue"] += span.filer_queue
         totals["filer_service"] += span.filer_service
         totals["syncer_stall"] += span.syncer_stall
+        totals["invalidation"] += span.invalidation
         totals["other"] += span.other
         if is_write:
             bd.write_blocks += 1

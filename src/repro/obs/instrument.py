@@ -217,7 +217,15 @@ class _ObsLayeredMixin(_ObsStackMixin):
 
     def write_block_obs(self, block: int, span: Span, measured: bool = True) -> Iterator:
         """Instrumented twin of LayeredStack.write_block."""
-        self.directory.on_block_write(self.host_id, block, measured)
+        dropped = self.directory.on_block_write(self.host_id, block, measured)
+        dir_stall = self._dir_stall
+        if dir_stall is not None:
+            cost = dir_stall[0] + dropped * dir_stall[1]
+            if cost:
+                if measured:
+                    self.directory.invalidation_latency_ns += cost
+                yield cost
+                span.invalidation += cost
         if not self._has_ram:
             if self.flash is not None:
                 yield from self._write_into_flash_obs(block, span)
@@ -438,7 +446,15 @@ class ObsUnifiedStack(_ObsStackMixin, UnifiedStack):
 
     def write_block_obs(self, block: int, span: Span, measured: bool = True) -> Iterator:
         """Instrumented twin of UnifiedStack.write_block."""
-        self.directory.on_block_write(self.host_id, block, measured)
+        dropped = self.directory.on_block_write(self.host_id, block, measured)
+        dir_stall = self._dir_stall
+        if dir_stall is not None:
+            cost = dir_stall[0] + dropped * dir_stall[1]
+            if cost:
+                if measured:
+                    self.directory.invalidation_latency_ns += cost
+                yield cost
+                span.invalidation += cost
         sim = self.sim
         rec = self._obs_rec
         entry = self.cache.get(block)

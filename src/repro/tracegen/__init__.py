@@ -15,6 +15,8 @@ Pipeline: :func:`repro.fsmodel.generate_filesystem` →
 from repro.tracegen.config import TraceGenConfig
 from repro.tracegen.workingset import WorkingSet, WorkingSetPiece, build_working_set
 from repro.tracegen.generator import generate_trace, generate_trace_chunked
+from repro.tracegen.fleet import SCENARIOS as FLEET_SCENARIOS
+from repro.tracegen.fleet import FleetSpec, fleet_trace
 
 __all__ = [
     "TraceGenConfig",
@@ -23,4 +25,7 @@ __all__ = [
     "build_working_set",
     "generate_trace",
     "generate_trace_chunked",
+    "FleetSpec",
+    "fleet_trace",
+    "FLEET_SCENARIOS",
 ]

@@ -41,6 +41,15 @@ distinct configurations must provably coincide:
    included), so memory-bounded percentile reporting never silently
    degrades.
 
+6. **Directory sharding is invisible.**  At the paper's zero directory
+   latency, replaying one fleet trace with the consistency directory
+   forced to 1, auto, and 256 shards must produce bit-identical
+   signatures — sharding is a scaling data structure, not a semantic.
+
+7. **Fleet scenarios are deterministic.**  Every multi-tenant scenario
+   (:mod:`repro.tracegen.fleet`) regenerated at its pinned seed must be
+   record-for-record equal and replay bit-identically.
+
 The sweep-backed identities run over :func:`repro.sweep.run_sweep`
 with the :mod:`repro.invariants` sanitizer enabled, so one differential
 pass also exercises the full invariant suite.  Run from the command
@@ -55,6 +64,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.architectures import Architecture
+from repro.core.consistency import SHARDS_ENV
 from repro.core.policies import WritebackPolicy
 from repro.core.results import SimulationResults
 from repro.errors import InvariantViolation
@@ -569,6 +579,29 @@ def check_compiled_kernel_identity(
             grid_trace,
             baseline_config(scale=scale, **overrides),
         )
+    # Fleet-shaped point: several hosts sharing one working set keeps
+    # the kernel's directory fast path busy with multi-bit holder masks
+    # (the two-host matrix rarely grows masks past two bits), once at
+    # the automatic shard count and once forced multi-shard.
+    multihost_trace = compile_trace(
+        baseline_trace(
+            n_hosts=4, shared_working_set=True, scale=scale, volume_multiple=2.0
+        )
+    )
+    compare("multihost/shared-ws-4h", multihost_trace, baseline_config(scale=scale))
+    saved_shards = os.environ.get(SHARDS_ENV)
+    try:
+        os.environ[SHARDS_ENV] = "8"
+        compare(
+            "multihost/shared-ws-4h-sharded",
+            multihost_trace,
+            baseline_config(scale=scale),
+        )
+    finally:
+        if saved_shards is None:
+            os.environ.pop(SHARDS_ENV, None)
+        else:
+            os.environ[SHARDS_ENV] = saved_shards
     if problems:
         return DifferentialCheck(
             "compiled-kernel-identity", False, "; ".join(problems[:4])
@@ -577,6 +610,103 @@ def check_compiled_kernel_identity(
         "compiled-kernel-identity",
         True,
         "%d points bit-identical across both kernels" % points,
+    )
+
+
+def _fleet_spec(scale: int):
+    """The pinned fleet spec the fleet-backed checks share."""
+    from repro.tracegen.fleet import FleetSpec
+
+    return FleetSpec(n_hosts=16, n_tenants=4, ws_bytes=scaled_gb(4.0, scale))
+
+
+def check_sharded_directory_identity(scale: int = DEFAULT_SCALE) -> DifferentialCheck:
+    """A sharded directory must be invisible at zero directory latency.
+
+    One multi-tenant fleet trace replays three times — single shard,
+    the automatic shard count, and a forced 256-way split — and the
+    :func:`full_signature` of every run must match the single-shard
+    reference exactly: sharding is a data-structure change, and with
+    instant invalidation (the paper's model) nothing observable may
+    move with the shard count.
+    """
+    import os
+
+    from repro.core.simulator import run_simulation
+    from repro.tracegen.fleet import fleet_trace
+
+    spec = _fleet_spec(scale)
+    trace = fleet_trace(spec, "steady")
+    config = baseline_config(scale=scale)
+    signatures = {}
+    saved = os.environ.get(SHARDS_ENV)
+    try:
+        for label, value in (("1", "1"), ("auto", ""), ("256", "256")):
+            if value:
+                os.environ[SHARDS_ENV] = value
+            else:
+                os.environ.pop(SHARDS_ENV, None)
+            signatures[label] = full_signature(
+                run_simulation(trace, config, n_hosts=spec.n_hosts)
+            )
+    finally:
+        if saved is None:
+            os.environ.pop(SHARDS_ENV, None)
+        else:
+            os.environ[SHARDS_ENV] = saved
+    problems: List[str] = []
+    reference = signatures["1"]
+    for label in ("auto", "256"):
+        if signatures[label] != reference:
+            drifted = [
+                key for key in reference if reference[key] != signatures[label][key]
+            ]
+            problems.append("shards=%s: %s" % (label, ", ".join(drifted[:3])))
+    if problems:
+        return DifferentialCheck(
+            "sharded-directory-identity", False, "; ".join(problems)
+        )
+    return DifferentialCheck(
+        "sharded-directory-identity",
+        True,
+        "%d-host fleet replay bit-identical at 1/auto/256 shards" % spec.n_hosts,
+    )
+
+
+def check_fleet_identity(scale: int = DEFAULT_SCALE) -> DifferentialCheck:
+    """Fleet scenario generation and replay must be deterministic.
+
+    Every scenario of the pinned default spec is generated twice; the
+    two traces must be record-for-record equal and their default-config
+    replays must produce bit-identical :func:`full_signature`\\ s — the
+    property the ``fleet_smoke`` CI gate and the fleet experiment's
+    comparability across runs both rest on.
+    """
+    from repro.core.simulator import run_simulation
+    from repro.tracegen.fleet import SCENARIOS, fleet_trace
+
+    spec = _fleet_spec(scale)
+    config = baseline_config(scale=scale)
+    problems: List[str] = []
+    for scenario in SCENARIOS:
+        first = fleet_trace(spec, scenario)
+        second = fleet_trace(spec, scenario)
+        if first.records != second.records or (
+            first.warmup_records != second.warmup_records
+        ):
+            problems.append("%s: regenerated trace differs" % scenario)
+            continue
+        reference = full_signature(run_simulation(first, config, n_hosts=spec.n_hosts))
+        candidate = full_signature(run_simulation(second, config, n_hosts=spec.n_hosts))
+        if reference != candidate:
+            drifted = [key for key in reference if reference[key] != candidate[key]]
+            problems.append("%s: %s" % (scenario, ", ".join(drifted[:3])))
+    if problems:
+        return DifferentialCheck("fleet-identity", False, "; ".join(problems))
+    return DifferentialCheck(
+        "fleet-identity",
+        True,
+        "%d scenarios regenerate and replay bit-identically" % len(SCENARIOS),
     )
 
 
@@ -656,6 +786,8 @@ def run_differential(
             check_sync_policies_zero_dirty(scale=scale),
             check_chunked_replay_identity(scale=scale, workers=workers),
             check_compiled_kernel_identity(scale=scale),
+            check_sharded_directory_identity(scale=scale),
+            check_fleet_identity(scale=scale),
             check_percentile_sketch(scale=scale),
         ]
     )

@@ -98,6 +98,7 @@ class TestExperimentsRunner:
             "consistency_traffic",
             "ablations",
             "endurance",
+            "fleet",
         }
 
     def test_chart_flag(self, capsys):

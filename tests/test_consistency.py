@@ -131,3 +131,64 @@ class TestTrafficHook:
 
         system = System(tiny_config(), 2)
         assert system.directory.traffic_hook is None
+
+    def test_hook_silent_for_unregistered_victim(self):
+        # A holder that never registered a dropper drops nothing, so no
+        # invalidation message may be charged for it — but the copy is
+        # still invalidated and counted (the directory is the truth).
+        directory = ConsistencyDirectory(3)
+        dropped = []
+        directory.register_host(0, dropped.append)
+        directory.register_host(1, dropped.append)
+        messages = []
+        directory.traffic_hook = lambda writer, victim: messages.append(
+            (writer, victim)
+        )
+        directory.note_copy(2, 7)
+        assert directory.on_block_write(0, 7) == 1
+        assert directory.copies_invalidated == 1
+        assert directory.holders_of(7) == set()
+        assert messages == []
+
+
+class TestRestartHolderState:
+    def test_restart_mid_demote_leaves_no_stale_holder(self):
+        # A demotion suspended on its flash write must not re-register
+        # the host as a holder after a volatile restart wiped the block.
+        from repro.core.architectures import Architecture
+        from repro.core.machine import System
+        from tests.helpers import tiny_config
+
+        config = tiny_config(architecture=Architecture.EXCLUSIVE)
+        system = System(config, 2)
+        host = system.hosts[0]
+        gen = host._demote_install(42, False)
+        next(gen)  # block 42 is in flash; the device write is in flight
+        assert 42 in host.flash
+        host.apply_restart(volatile_flash=True, scan_ns_per_block=0)
+        for _ in gen:  # the suspended demotion resumes after the reboot
+            pass
+        assert 0 not in system.directory.holders_of(42)
+
+    def test_drop_host_forgets_every_copy(self):
+        directory, _dropped = directory_with_hosts(3)
+        for block in (3, 70, 141):  # spread across shards
+            directory.note_copy(0, block)
+            directory.note_copy(2, block)
+        directory.on_block_write(1, 3)
+        counters = (
+            directory.block_writes,
+            directory.writes_requiring_invalidation,
+            directory.copies_invalidated,
+        )
+        directory.note_copy(0, 9)
+        directory.drop_host(0)
+        for block in (3, 9, 70, 141):
+            assert 0 not in directory.holders_of(block)
+        assert directory.holders_of(70) == {2}
+        # drop_host is state cleanup, not an invalidation: counters stay.
+        assert counters == (
+            directory.block_writes,
+            directory.writes_requiring_invalidation,
+            directory.copies_invalidated,
+        )

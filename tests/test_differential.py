@@ -45,13 +45,15 @@ class TestHarness:
     def test_run_differential_aggregates(self):
         report = run_differential(scale=FAST_SCALE)
         assert report.passed, report.summary()
-        assert len(report.checks) == 6
+        assert len(report.checks) == 8
         assert {c.name for c in report.checks} == {
             "flash-zero-collapse",
             "read-only-zero-writebacks",
             "sync-policies-zero-dirty",
             "chunked-replay-identity",
             "compiled-kernel-identity",
+            "sharded-directory-identity",
+            "fleet-identity",
             "percentile-sketch-bounds",
         }
 
@@ -69,7 +71,7 @@ class TestHarness:
     def test_main_fast(self, capsys):
         assert main(["--scale", str(FAST_SCALE)]) == 0
         out = capsys.readouterr().out
-        assert out.count("PASS") == 6
+        assert out.count("PASS") == 8
 
 
 class TestSignature:

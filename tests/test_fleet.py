@@ -1,0 +1,265 @@
+"""Fleet-scale consistency: sharding properties, the directory latency
+model, and the multi-tenant scenario family."""
+
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro._units import MB
+from repro.core.consistency import ConsistencyDirectory
+from repro.core.machine import System
+from repro.core.simulator import run_simulation
+from repro.engine.compiled import kernel_eligible
+from repro.errors import ConfigError
+from repro.net.directory import DirectoryTiming
+from repro.tracegen.fleet import SCENARIOS, FleetSpec, fleet_trace
+from repro.traces.records import Trace, TraceOp, TraceRecord
+
+from tests.helpers import tiny_config
+
+
+def _random_ops(rng, n_hosts, n_blocks, n_ops):
+    """A reproducible interleaving of directory operations."""
+    ops = []
+    for _ in range(n_ops):
+        kind = rng.randrange(3)
+        host = rng.randrange(n_hosts)
+        block = rng.randrange(n_blocks)
+        ops.append((kind, host, block, rng.random() < 0.7))
+    return ops
+
+
+def _apply(directory, ops):
+    for kind, host, block, measured in ops:
+        if kind == 0:
+            directory.note_copy(host, block)
+        elif kind == 1:
+            directory.note_drop(host, block)
+        else:
+            directory.on_block_write(host, block, measured)
+
+
+class TestShardingProperties:
+    def test_invalidating_writes_never_exceed_block_writes(self):
+        rng = random.Random(0xF1EE7)
+        for trial in range(20):
+            directory = ConsistencyDirectory(8)
+            _apply(directory, _random_ops(rng, 8, 64, 400))
+            assert (
+                directory.writes_requiring_invalidation <= directory.block_writes
+            )
+            assert directory.copies_invalidated >= (
+                directory.writes_requiring_invalidation
+            )
+
+    def test_shard_counters_sum_to_totals(self):
+        rng = random.Random(0xC0FFEE)
+        directory = ConsistencyDirectory(16, n_shards=8)
+        _apply(directory, _random_ops(rng, 16, 128, 600))
+        writes, requiring, copies = (
+            sum(column) for column in zip(*directory.shard_counters())
+        )
+        assert writes == directory.block_writes
+        assert requiring == directory.writes_requiring_invalidation
+        assert copies == directory.copies_invalidated
+
+    def test_sharded_matches_unsharded_on_same_ops(self):
+        rng = random.Random(0x5EED)
+        ops = _random_ops(rng, 12, 200, 1000)
+        single = ConsistencyDirectory(12, n_shards=1)
+        sharded = ConsistencyDirectory(12, n_shards=16)
+        single_drops = {h: [] for h in range(12)}
+        sharded_drops = {h: [] for h in range(12)}
+        for host in range(12):
+            single.register_host(host, single_drops[host].append)
+            sharded.register_host(host, sharded_drops[host].append)
+        _apply(single, ops)
+        _apply(sharded, ops)
+        assert single_drops == sharded_drops
+        assert single.block_writes == sharded.block_writes
+        assert (
+            single.writes_requiring_invalidation
+            == sharded.writes_requiring_invalidation
+        )
+        assert single.copies_invalidated == sharded.copies_invalidated
+        for block in range(200):
+            assert single.holders_of(block) == sharded.holders_of(block)
+
+    def test_shard_count_defaults(self):
+        assert ConsistencyDirectory(2).n_shards == 1
+        assert ConsistencyDirectory(1000).n_shards == 64
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            ConsistencyDirectory(4, n_shards=3)
+
+    def test_thousand_host_system_builds(self):
+        system = System(tiny_config(), 1000)
+        assert system.directory.n_shards == 64
+        assert len(system.hosts) == 1000
+        # Slotted host stacks: no per-instance dict on the plain paths.
+        assert not hasattr(system.hosts[0], "__dict__")
+
+
+class TestDirectoryTiming:
+    def test_defaults_are_instant(self):
+        timing = DirectoryTiming.paper_default()
+        assert timing.is_instant
+        assert tiny_config().timing.directory.is_instant
+
+    def test_rejects_negative_latencies(self):
+        with pytest.raises(ConfigError):
+            DirectoryTiming(lookup_ns=-1)
+        with pytest.raises(ConfigError):
+            DirectoryTiming(invalidate_ns=-1)
+
+    def _shared_write_trace(self):
+        """Two hosts ping-pong writes over one shared file: every
+        measured write by one host invalidates the other's copy."""
+        records = []
+        for round_index in range(40):
+            for host in (0, 1):
+                records.append(TraceRecord(TraceOp.READ, host, 0, 0, 0, 4))
+                records.append(TraceRecord(TraceOp.WRITE, host, 0, 0, 0, 4))
+        return Trace(records, [16], warmup_records=len(records) // 2)
+
+    def _modeled_config(self):
+        config = tiny_config()
+        return replace(
+            config,
+            timing=config.timing.with_directory(
+                DirectoryTiming(lookup_ns=5_000, invalidate_ns=20_000)
+            ),
+        )
+
+    def test_instant_default_reports_zero_stall(self):
+        results = run_simulation(self._shared_write_trace(), tiny_config())
+        assert results.invalidation_latency_ns == 0
+
+    def test_modeled_latency_surfaces_in_results(self):
+        results = run_simulation(self._shared_write_trace(), self._modeled_config())
+        assert results.writes_requiring_invalidation > 0
+        assert results.invalidation_latency_ns > 0
+        # Every measured write pays at least the lookup; invalidating
+        # writes add a per-victim charge on top.
+        floor = results.block_writes * 5_000 + (
+            results.copies_invalidated * 20_000
+        )
+        assert results.invalidation_latency_ns == floor
+
+    def test_modeled_latency_slows_writes(self):
+        trace = self._shared_write_trace()
+        instant = run_simulation(trace, tiny_config())
+        modeled = run_simulation(trace, self._modeled_config())
+        assert modeled.write_latency_us > instant.write_latency_us
+
+    def test_breakdown_attributes_invalidation_component(self):
+        from repro.obs import Observation
+
+        obs = Observation()
+        run_simulation(self._shared_write_trace(), self._modeled_config(), obs=obs)
+        breakdown = obs.breakdown
+        assert breakdown.write_ns["invalidation"] > 0
+        assert breakdown.unattributed_ns == 0
+
+    def test_modeled_latency_disables_compiled_kernel(self):
+        system = System(self._modeled_config(), 2)
+        assert not kernel_eligible(system)
+        assert kernel_eligible(System(tiny_config(), 2))
+
+
+class TestFleetSpec:
+    def test_group_size_and_shares(self):
+        spec = FleetSpec(n_hosts=12, n_tenants=3, tenant_skew=0.0)
+        assert spec.group_size == 4
+        assert spec.tenant_shares() == pytest.approx([1 / 3] * 3)
+
+    def test_skew_orders_shares(self):
+        shares = FleetSpec(n_hosts=8, n_tenants=4, tenant_skew=1.0).tenant_shares()
+        assert shares == sorted(shares, reverse=True)
+        assert sum(shares) == pytest.approx(1.0)
+
+    def test_rejects_uneven_groups(self):
+        with pytest.raises(ConfigError):
+            FleetSpec(n_hosts=10, n_tenants=4)
+
+    def test_rejects_unknown_scenario(self):
+        with pytest.raises(ConfigError):
+            fleet_trace(FleetSpec(n_hosts=4, n_tenants=2, ws_bytes=1 * MB), "nope")
+
+    def test_failover_needs_two_host_groups(self):
+        with pytest.raises(ConfigError):
+            fleet_trace(
+                FleetSpec(n_hosts=4, n_tenants=4, ws_bytes=1 * MB), "failover_storm"
+            )
+
+
+class TestFleetScenarios:
+    SPEC = FleetSpec(n_hosts=8, n_tenants=4, ws_bytes=1 * MB, threads_per_host=2)
+
+    def test_scenarios_cover_all_hosts(self):
+        for scenario in SCENARIOS:
+            trace = fleet_trace(self.SPEC, scenario)
+            hosts = trace.hosts()
+            assert min(hosts) == 0
+            assert max(hosts) == self.SPEC.n_hosts - 1
+
+    def test_generation_is_deterministic(self):
+        for scenario in SCENARIOS:
+            first = fleet_trace(self.SPEC, scenario)
+            second = fleet_trace(self.SPEC, scenario)
+            assert first.records == second.records
+            assert first.warmup_records == second.warmup_records
+
+    def test_tenants_use_disjoint_files(self):
+        trace = fleet_trace(self.SPEC, "steady")
+        group = self.SPEC.group_size
+        tenant_files = {}
+        for record in trace.records:
+            tenant_files.setdefault(record.host // group, set()).add(record.file_id)
+        tenants = sorted(tenant_files)
+        for a in tenants:
+            for b in tenants:
+                if a < b:
+                    assert not (tenant_files[a] & tenant_files[b])
+
+    def test_rolling_restart_adds_rewarm_reads(self):
+        steady = fleet_trace(self.SPEC, "steady")
+        rolling = fleet_trace(self.SPEC, "rolling_restart")
+        assert len(rolling) > len(steady)
+        assert rolling.warmup_records == steady.warmup_records
+        extra = len(rolling) - len(steady)
+        reads = lambda t: sum(1 for r in t.records if not r.is_write)  # noqa: E731
+        assert reads(rolling) - reads(steady) == extra
+
+    def test_failover_standbys_idle_before_switch(self):
+        trace = fleet_trace(self.SPEC, "failover_storm")
+        group = self.SPEC.group_size
+        n_primary = (group + 1) // 2
+        standbys = set(range(n_primary, group))
+        first_standby = next(
+            index
+            for index, record in enumerate(trace.records)
+            if record.host in standbys
+        )
+        # Standbys are silent through warmup and only wake mid-measurement.
+        assert first_standby >= trace.warmup_records
+        # After the switch the tenant's primaries go quiet: the last
+        # primary record precedes the last standby record.
+        last_primary = max(
+            index
+            for index, record in enumerate(trace.records)
+            if record.host < n_primary
+        )
+        assert last_primary < len(trace.records) - 1
+
+    def test_replay_counts_invalidations(self):
+        for scenario in SCENARIOS:
+            results = run_simulation(
+                fleet_trace(self.SPEC, scenario),
+                tiny_config(),
+                n_hosts=self.SPEC.n_hosts,
+            )
+            assert results.writes_requiring_invalidation > 0
+            assert results.writes_requiring_invalidation <= results.block_writes
