@@ -56,6 +56,7 @@ from __future__ import annotations
 
 import atexit
 import hashlib
+import multiprocessing
 import os
 import pickle
 import tempfile
@@ -378,8 +379,9 @@ def _load_trace_ref(ref: TraceRef):
     return trace
 
 
-def _drain_worker_cache() -> None:
-    """Release every cached trace attachment (worker exit path).
+def _drain_worker_cache() -> int:
+    """Release every cached trace attachment; returns how many entries
+    were evicted.
 
     Without this, interpreter teardown reaches ``SharedMemory.__del__``
     while the trace's memoryviews are still alive and ``close`` raises
@@ -387,16 +389,65 @@ def _drain_worker_cache() -> None:
     via ``atexit`` (module import happens in every worker), harmless in
     processes that never resolved a trace ref.
     """
+    drained = 0
     while _WORKER_TRACE_CACHE:
         _ref, (_trace, cleanup) = _WORKER_TRACE_CACHE.popitem()
+        drained += 1
         if cleanup is not None:
             try:
                 cleanup()
             except BufferError:  # pragma: no cover - defensive
                 pass
+    return drained
 
 
 atexit.register(_drain_worker_cache)
+
+
+def _drain_at_barrier(barrier) -> Tuple[int, int]:
+    """Pool task: drain this worker's trace cache, then rendezvous.
+
+    The barrier forces each of the pool's workers to claim exactly one
+    of the ``n_workers`` copies of this task — a worker that finished
+    its drain cannot grab a second copy until every other worker has
+    arrived — so a broadcast of ``n_workers`` tasks provably reaches
+    every worker.  Returns ``(pid, evicted_count)``.
+    """
+    drained = _drain_worker_cache()
+    try:
+        barrier.wait(timeout=30)
+    except Exception:  # pragma: no cover - a peer died; drain still done
+        pass
+    return os.getpid(), drained
+
+
+def _drain_pool_caches(pool, n_workers: int) -> List[Tuple[int, int]]:
+    """Broadcast a cache drain to every worker of a live pool.
+
+    Worker processes exit via ``os._exit`` when their pool is shut
+    down, skipping ``atexit`` — so an idle persistent pool would keep
+    already-unlinked shared-memory segments mapped (and spool file
+    handles open) until interpreter exit.  Called from the pool
+    teardown paths; returns the per-worker ``(pid, evicted)`` pairs, or
+    ``[]`` when the pool is a stand-in or the platform can't provide
+    the rendezvous barrier.
+    """
+    if not hasattr(pool, "_processes") or n_workers < 1:
+        return []  # a test stand-in, not a real worker pool
+    try:
+        manager = multiprocessing.Manager()
+    except Exception:  # pragma: no cover - no fork/spawn available
+        return []
+    try:
+        barrier = manager.Barrier(n_workers)
+        futures = [
+            pool.submit(_drain_at_barrier, barrier) for _ in range(n_workers)
+        ]
+        return [future.result(timeout=30) for future in futures]
+    except Exception:  # pragma: no cover - defensive: teardown must not fail
+        return []
+    finally:
+        manager.shutdown()
 
 
 def _run_point_task(
@@ -692,9 +743,12 @@ def shutdown_pool() -> None:
     so interpreter shutdown is always clean.
     """
     global _POOL, _POOL_WORKERS
-    pool, _POOL, _POOL_WORKERS = _POOL, None, 0
+    pool, workers, _POOL, _POOL_WORKERS = _POOL, _POOL_WORKERS, None, 0
     if pool is None:
         return
+    # Workers exit via os._exit (no atexit), so evict their cached
+    # trace attachments explicitly before releasing the processes.
+    _drain_pool_caches(pool, workers)
     try:
         pool.shutdown(wait=True)
     except Exception:  # pragma: no cover - defensive: exit must not fail
@@ -706,6 +760,9 @@ atexit.register(shutdown_pool)
 
 def _dispose_owned_pool(pool) -> None:
     """Shut down a single-sweep pool; tolerate minimal stand-ins."""
+    workers = getattr(pool, "_max_workers", 0)
+    if workers:
+        _drain_pool_caches(pool, workers)
     shutdown = getattr(pool, "shutdown", None)
     if shutdown is None:
         return

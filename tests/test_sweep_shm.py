@@ -293,3 +293,55 @@ class TestPersistentPool:
         # And the engine recovers: next sweep spawns a new pool.
         run_sweep(small_trace, grid(2), workers=2)
         assert sweep._POOL is not None
+
+
+@needs_shm
+class TestPoolTeardownDrain:
+    """Recycling the pool must not leave worker-side shm attachments
+    alive: workers exit via ``os._exit`` (no atexit), and an *idle*
+    persistent pool would otherwise pin already-unlinked segments."""
+
+    def test_teardown_drain_reaches_every_worker(self, small_trace):
+        shutdown_pool()
+        run_sweep(small_trace, grid(2), workers=2)
+        pool = sweep._POOL
+        assert pool is not None
+        pairs = sweep._drain_pool_caches(pool, 2)
+        # Both workers report, and at least one held a cached attachment.
+        assert len(pairs) == 2
+        assert len({pid for pid, _ in pairs}) == 2
+        assert sum(count for _, count in pairs) >= 1
+        # Second drain proves the caches are now empty (no re-leak).
+        pairs = sweep._drain_pool_caches(pool, 2)
+        assert [count for _, count in pairs] == [0, 0]
+        shutdown_pool()
+
+    def test_shutdown_pool_drains_caches(self, small_trace, monkeypatch):
+        shutdown_pool()
+        run_sweep(small_trace, grid(2), workers=2)
+        calls = []
+        real = sweep._drain_pool_caches
+        monkeypatch.setattr(
+            sweep,
+            "_drain_pool_caches",
+            lambda pool, n: calls.append(n) or real(pool, n),
+        )
+        shutdown_pool()
+        assert calls == [2]
+
+    def test_fresh_pool_disposal_drains_caches(self, small_trace, monkeypatch):
+        calls = []
+        real = sweep._drain_pool_caches
+        monkeypatch.setattr(
+            sweep,
+            "_drain_pool_caches",
+            lambda pool, n: calls.append(n) or real(pool, n),
+        )
+        run_sweep(small_trace, grid(2), workers=2, fresh_pool=True)
+        assert calls == [2]
+
+    def test_drain_skips_stand_in_pools(self):
+        class StandIn:
+            pass
+
+        assert sweep._drain_pool_caches(StandIn(), 2) == []
